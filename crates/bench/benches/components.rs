@@ -1,0 +1,123 @@
+//! Criterion microbenchmarks of the hot structures on the memory-controller
+//! path: the tag buffer, the FBR metadata engine, the SRAM tag-array cache,
+//! the DRAM channel scheduler, the TLB and the workload generators.
+//!
+//! These are throughput benchmarks of the simulator's building blocks (they
+//! also double as a regression guard for the simulation speed that the
+//! experiment harness depends on).
+
+use banshee::{BansheeConfig, CacheSetMetadata, FrequencyReplacement, TagBuffer};
+use banshee_common::{Addr, LineAddr, PageNum, TrafficClass};
+use banshee_dcache::{DCacheConfig, DramCacheController, MemRequest};
+use banshee_dram::{DramConfig, DramDevice};
+use banshee_memhier::{PteMapInfo, ReplacementPolicy, SetAssocCache, Tlb, TlbEntry};
+use banshee_workloads::SpecProgram;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_tag_buffer(c: &mut Criterion) {
+    c.bench_function("tag_buffer_lookup_insert", |b| {
+        let mut tb = TagBuffer::new(1024, 8, 0.7);
+        for i in 0..512u64 {
+            tb.insert_remap(PageNum::new(i), PteMapInfo::cached_in((i % 4) as u8));
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(tb.lookup(PageNum::new(i % 2048)));
+            if i % 64 == 0 {
+                tb.drain();
+            }
+            tb.insert_clean(PageNum::new(i % 4096), PteMapInfo::NOT_CACHED);
+        });
+    });
+}
+
+fn bench_fbr(c: &mut Criterion) {
+    c.bench_function("fbr_algorithm1_sampled_access", |b| {
+        let cfg = BansheeConfig::paper_default();
+        let mut fbr = FrequencyReplacement::new(&cfg);
+        let mut set = CacheSetMetadata::new(4, 5);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(fbr.on_access(&mut set, i % 37, 0.3));
+        });
+    });
+}
+
+fn bench_sram_cache(c: &mut Criterion) {
+    c.bench_function("llc_tag_array_access", |b| {
+        let mut llc = SetAssocCache::new(8 * 1024 * 1024, 16, ReplacementPolicy::Lru);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(0x9E37);
+            black_box(llc.access(LineAddr::new(i % (1 << 20)), i % 7 == 0));
+        });
+    });
+}
+
+fn bench_dram_channel(c: &mut Criterion) {
+    c.bench_function("dram_device_access", |b| {
+        let mut dev = DramDevice::new(
+            banshee_common::DramKind::InPackage,
+            DramConfig::in_package_default(),
+        );
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 4;
+            black_box(dev.access(now, Addr::new((now * 64) % (1 << 30)), 64, TrafficClass::HitData));
+        });
+    });
+}
+
+fn bench_tlb(c: &mut Criterion) {
+    c.bench_function("tlb_lookup", |b| {
+        let mut tlb = Tlb::new(64);
+        for i in 0..64u64 {
+            tlb.fill(TlbEntry {
+                vpage: i,
+                ppage: PageNum::new(i),
+                info: PteMapInfo::NOT_CACHED,
+                size: banshee_memhier::PageSize::Base4K,
+            });
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(tlb.lookup(i % 96));
+        });
+    });
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    c.bench_function("synthetic_trace_mcf", |b| {
+        let mut gen = SpecProgram::Mcf.build(16 << 20, 0, 1);
+        b.iter(|| black_box(gen.next_access()));
+    });
+}
+
+fn bench_banshee_controller(c: &mut Criterion) {
+    c.bench_function("banshee_controller_access", |b| {
+        let cfg = DCacheConfig::scaled(banshee_common::MemSize::mib(16));
+        let mut ctrl = banshee::BansheeController::from_dcache(&cfg);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let addr = Addr::new((i % 100_000) * 64);
+            let hint = ctrl.current_mapping(addr.page());
+            black_box(ctrl.access(&MemRequest::demand(addr, 0).with_hint(hint), i));
+        });
+    });
+}
+
+criterion_group!(
+    components,
+    bench_tag_buffer,
+    bench_fbr,
+    bench_sram_cache,
+    bench_dram_channel,
+    bench_tlb,
+    bench_trace_generation,
+    bench_banshee_controller
+);
+criterion_main!(components);

@@ -1,0 +1,90 @@
+//! Criterion wrappers around every paper experiment at smoke scale.
+//!
+//! `cargo bench` therefore exercises the code path of **every table and
+//! figure** of the paper (Figures 4–9, Tables 1/5/6, the large-page and
+//! BATMAN studies). These runs are deliberately tiny — they verify that each
+//! experiment executes end-to-end and give a stable throughput number; the
+//! real reproduction numbers come from the `experiments` binary at standard
+//! scale (see `EXPERIMENTS.md`).
+
+use banshee_bench::experiments;
+use banshee_bench::runner::{ExperimentScale, Runner};
+use banshee_dcache::DramCacheDesign;
+use banshee_workloads::{GraphKernel, SpecProgram, WorkloadKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn tiny_runner() -> Runner {
+    Runner::new(ExperimentScale::Smoke)
+}
+
+fn tiny_workloads() -> Vec<WorkloadKind> {
+    vec![
+        WorkloadKind::Graph(GraphKernel::PageRank),
+        WorkloadKind::Spec(SpecProgram::Mcf),
+    ]
+}
+
+fn configure(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut group = c.benchmark_group("paper_experiments");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    group
+}
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut group = configure(c);
+    let runner = tiny_runner();
+    let workloads = tiny_workloads();
+
+    group.bench_function("fig4_fig5_fig6_matrix", |b| {
+        b.iter(|| {
+            let matrix = runner.run_matrix(&DramCacheDesign::figure4_lineup(), &workloads);
+            let f4 = experiments::fig4::build(&matrix);
+            let f5 = experiments::fig5::build(&matrix);
+            let f6 = experiments::fig6::build(&matrix);
+            (f4.points.len(), f5.bars.len(), f6.bars.len())
+        })
+    });
+
+    group.bench_function("fig7_replacement_ablation", |b| {
+        b.iter(|| experiments::fig7::run(&runner, &workloads[..1]).bars.len())
+    });
+
+    group.bench_function("fig8_latency_bandwidth_sweep", |b| {
+        b.iter(|| {
+            let fig = experiments::fig8::run(&runner, &workloads[..1]);
+            fig.latency.len() + fig.bandwidth.len()
+        })
+    });
+
+    group.bench_function("fig9_sampling_sweep", |b| {
+        b.iter(|| experiments::fig9::run(&runner, &workloads[..1]).points.len())
+    });
+
+    group.bench_function("table1_per_access_behaviour", |b| {
+        b.iter(|| experiments::table1::run().len())
+    });
+
+    group.bench_function("table5_pt_update_overhead", |b| {
+        b.iter(|| experiments::table5::run(&runner, &workloads[..1]).len())
+    });
+
+    group.bench_function("table6_associativity", |b| {
+        b.iter(|| experiments::table6::run(&runner, &workloads[..1]).len())
+    });
+
+    group.bench_function("large_pages_study", |b| {
+        b.iter(|| experiments::large_pages::run(&runner, &workloads[..1]).len())
+    });
+
+    group.bench_function("batman_study", |b| {
+        b.iter(|| experiments::batman::run(&runner, &workloads[1..]).len())
+    });
+
+    group.finish();
+}
+
+criterion_group!(paper, bench_experiments);
+criterion_main!(paper);

@@ -1,0 +1,110 @@
+//! CLI entry point that regenerates every table and figure of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p banshee-bench --bin experiments -- all
+//! cargo run --release -p banshee-bench --bin experiments -- fig4 fig5 --quick
+//! ```
+//!
+//! Flags: `--quick` (smaller runs), `--smoke` (tiny sanity runs).
+//! Output: tables on stdout + JSON under `target/experiments/`.
+
+use banshee_bench::experiments::{self, run_main_matrix, scale_from_flags, EXPERIMENT_NAMES};
+use banshee_bench::runner::Runner;
+use banshee_bench::table::Table;
+
+fn print_all(tables: Vec<Table>) {
+    for t in tables {
+        t.print();
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut selected: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
+    if selected.is_empty() {
+        selected.push("all".to_string());
+    }
+    for name in &selected {
+        if !EXPERIMENT_NAMES.contains(&name.as_str()) {
+            eprintln!(
+                "unknown experiment '{name}'; valid names: {}",
+                EXPERIMENT_NAMES.join(", ")
+            );
+            std::process::exit(2);
+        }
+    }
+    let all = selected.iter().any(|s| s == "all");
+    let want = |name: &str| all || selected.iter().any(|s| s == name);
+
+    let scale = scale_from_flags(quick, smoke);
+    let runner = Runner::new(scale);
+    eprintln!(
+        "running {} at {:?} scale ({} instructions per run, {} cores)",
+        selected.join(", "),
+        scale,
+        scale.instructions(),
+        scale.cores()
+    );
+
+    // Figures 4/5/6 share one designs × workloads matrix.
+    if want("fig4") || want("fig5") || want("fig6") {
+        eprintln!("[matrix] running the Figure 4/5/6 design x workload matrix ...");
+        let matrix = run_main_matrix(&runner);
+        if want("fig4") {
+            print_all(experiments::fig4::report(&matrix));
+        }
+        if want("fig5") {
+            print_all(experiments::fig5::report(&matrix));
+        }
+        if want("fig6") {
+            print_all(experiments::fig6::report(&matrix));
+        }
+    }
+    if want("fig7") {
+        eprintln!("[fig7] replacement-policy ablation ...");
+        print_all(experiments::fig7::report(&runner, &experiments::full_suite()));
+    }
+    if want("fig8") {
+        eprintln!("[fig8] latency/bandwidth sweep ...");
+        print_all(experiments::fig8::report(&runner, &experiments::sweep_suite()));
+    }
+    if want("fig9") {
+        eprintln!("[fig9] sampling-coefficient sweep ...");
+        print_all(experiments::fig9::report(&runner, &experiments::sweep_suite()));
+    }
+    if want("table1") {
+        eprintln!("[table1] per-access behaviour ...");
+        print_all(experiments::table1::report());
+    }
+    if want("table5") {
+        eprintln!("[table5] page-table update overhead ...");
+        print_all(experiments::table5::report(&runner, &experiments::sweep_suite()));
+    }
+    if want("table6") {
+        eprintln!("[table6] associativity sweep ...");
+        print_all(experiments::table6::report(&runner, &experiments::sweep_suite()));
+    }
+    if want("large_pages") {
+        eprintln!("[large_pages] 2 MiB pages on graph workloads ...");
+        print_all(experiments::large_pages::report(
+            &runner,
+            &banshee_workloads::WorkloadKind::graph_suite(),
+        ));
+    }
+    if want("batman") {
+        eprintln!("[batman] bandwidth balancing ...");
+        print_all(experiments::batman::report(&runner, &experiments::sweep_suite()));
+    }
+    eprintln!(
+        "done; JSON written under {}",
+        banshee_bench::table::output_dir().display()
+    );
+}

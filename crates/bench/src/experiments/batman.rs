@@ -1,0 +1,110 @@
+//! Section 5.4.2: BATMAN bandwidth balancing on top of Alloy Cache and
+//! Banshee.
+//!
+//! The paper reports that turning off part of the in-package DRAM when it
+//! carries more than 80% of the traffic helps Alloy Cache more than Banshee
+//! (5% vs 1% on average) because Banshee already consumes less total
+//! bandwidth — and that Banshee keeps its lead even with balancing enabled.
+
+use crate::runner::Runner;
+use crate::table::{fmt2, fmt_pct, write_json, Table};
+use banshee_dcache::DramCacheDesign;
+use banshee_workloads::WorkloadKind;
+use serde::Serialize;
+
+/// One design's with/without-BATMAN comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct BatmanRow {
+    /// Design label.
+    pub design: String,
+    /// Geometric-mean IPC without balancing.
+    pub ipc_plain: f64,
+    /// Geometric-mean IPC with BATMAN.
+    pub ipc_batman: f64,
+    /// Relative improvement from balancing.
+    pub improvement: f64,
+}
+
+/// The designs the paper applies BATMAN to.
+pub fn lineup() -> Vec<DramCacheDesign> {
+    vec![
+        DramCacheDesign::Alloy {
+            fill_probability: 0.1,
+        },
+        DramCacheDesign::Banshee,
+    ]
+}
+
+/// Run the study.
+pub fn run(runner: &Runner, workloads: &[WorkloadKind]) -> Vec<BatmanRow> {
+    let geomean = |values: &[f64]| -> f64 {
+        let v: Vec<f64> = values.iter().copied().filter(|x| *x > 0.0).collect();
+        if v.is_empty() {
+            0.0
+        } else {
+            (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp()
+        }
+    };
+    let mut rows = Vec::new();
+    for design in lineup() {
+        let mut plain = Vec::new();
+        let mut balanced = Vec::new();
+        for &w in workloads {
+            let r = runner.run(design, w);
+            plain.push(r.ipc());
+            let mut cfg = runner.config(design);
+            cfg.use_batman = true;
+            let rb = runner.run_with(cfg, w);
+            balanced.push(rb.ipc());
+        }
+        let p = geomean(&plain);
+        let b = geomean(&balanced);
+        rows.push(BatmanRow {
+            design: design.label(),
+            ipc_plain: p,
+            ipc_batman: b,
+            improvement: if p > 0.0 { b / p - 1.0 } else { 0.0 },
+        });
+    }
+    rows
+}
+
+/// Print and persist the study.
+pub fn report(runner: &Runner, workloads: &[WorkloadKind]) -> Vec<Table> {
+    let rows = run(runner, workloads);
+    let mut t = Table::new(
+        "Section 5.4.2: BATMAN bandwidth balancing",
+        &["design", "IPC", "IPC + BATMAN", "improvement"],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.design.clone(),
+            fmt2(r.ipc_plain),
+            fmt2(r.ipc_batman),
+            fmt_pct(r.improvement),
+        ]);
+    }
+    let _ = write_json("batman_bandwidth_balancing", &rows);
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::ExperimentScale;
+    use banshee_workloads::{GraphKernel, WorkloadKind};
+
+    #[test]
+    fn batman_study_runs_for_both_designs() {
+        let runner = Runner::new(ExperimentScale::Smoke);
+        let workloads = [WorkloadKind::Graph(GraphKernel::PageRank)];
+        let rows = run(&runner, &workloads);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.ipc_plain > 0.0 && r.ipc_batman > 0.0);
+            // Balancing is a second-order optimization: it must not change
+            // performance by an order of magnitude in either direction.
+            assert!(r.improvement.abs() < 0.5, "{}: {}", r.design, r.improvement);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Figure 4: speedup normalized to NoCache (bars) and MPKI (red dots) for
+//! every workload and DRAM-cache design.
+
+use crate::runner::MatrixResults;
+use crate::table::{fmt2, write_json, Table};
+use serde::Serialize;
+
+/// One (workload, design) data point of Figure 4.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig4Point {
+    /// Workload label.
+    pub workload: String,
+    /// Design label.
+    pub design: String,
+    /// Speedup relative to NoCache on the same workload.
+    pub speedup: f64,
+    /// DRAM-cache misses per kilo-instruction.
+    pub mpki: f64,
+}
+
+/// The full figure.
+#[derive(Debug, Clone, Serialize, Default)]
+pub struct Fig4 {
+    /// All data points.
+    pub points: Vec<Fig4Point>,
+    /// Geometric-mean speedup per design (the "geo-mean" group of bars).
+    pub geomean_speedup: Vec<(String, f64)>,
+}
+
+/// Build Figure 4 from the main matrix.
+pub fn build(matrix: &MatrixResults) -> Fig4 {
+    let mut fig = Fig4::default();
+    for workload in matrix.workloads() {
+        let baseline = matrix
+            .get(workload, "NoCache")
+            .expect("NoCache baseline must be present");
+        for design in matrix.designs() {
+            let r = matrix.get(workload, design).expect("full matrix");
+            fig.points.push(Fig4Point {
+                workload: workload.clone(),
+                design: design.clone(),
+                speedup: r.speedup_over(baseline),
+                mpki: r.mpki(),
+            });
+        }
+    }
+    for design in matrix.designs() {
+        let gm = matrix.geomean(design, |r| {
+            let base = matrix
+                .get(&r.workload, "NoCache")
+                .expect("baseline present");
+            r.speedup_over(base)
+        });
+        fig.geomean_speedup.push((design.clone(), gm));
+    }
+    fig
+}
+
+/// Print the figure as two tables (speedup and MPKI) and write the JSON.
+pub fn report(matrix: &MatrixResults) -> Vec<Table> {
+    let fig = build(matrix);
+    let designs: Vec<String> = matrix.designs().to_vec();
+
+    let mut header: Vec<&str> = vec!["workload"];
+    let design_refs: Vec<&str> = designs.iter().map(|s| s.as_str()).collect();
+    header.extend(design_refs.iter());
+
+    let mut speedup = Table::new("Figure 4: speedup normalized to NoCache", &header);
+    let mut mpki = Table::new("Figure 4 (dots): DRAM cache MPKI", &header);
+    for workload in matrix.workloads() {
+        let mut srow = vec![workload.clone()];
+        let mut mrow = vec![workload.clone()];
+        for design in &designs {
+            let p = fig
+                .points
+                .iter()
+                .find(|p| &p.workload == workload && &p.design == design)
+                .expect("point exists");
+            srow.push(fmt2(p.speedup));
+            mrow.push(fmt2(p.mpki));
+        }
+        speedup.row(srow);
+        mpki.row(mrow);
+    }
+    let mut grow = vec!["geo-mean".to_string()];
+    for design in &designs {
+        let gm = fig
+            .geomean_speedup
+            .iter()
+            .find(|(d, _)| d == design)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0);
+        grow.push(fmt2(gm));
+    }
+    speedup.row(grow);
+
+    let _ = write_json("fig4_speedup_mpki", &fig);
+    vec![speedup, mpki]
+}
+
+/// Headline comparisons the paper quotes in Section 5.2 (Banshee vs. the
+/// best baselines), computed from the geomeans.
+pub fn headline(fig: &Fig4) -> Vec<(String, f64)> {
+    let get = |name: &str| {
+        fig.geomean_speedup
+            .iter()
+            .find(|(d, _)| d == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0)
+    };
+    let banshee = get("Banshee");
+    let mut out = Vec::new();
+    for baseline in ["Unison", "TDC", "Alloy 1", "Alloy 0.1"] {
+        let b = get(baseline);
+        if b > 0.0 {
+            out.push((format!("Banshee vs {baseline}"), banshee / b - 1.0));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{ExperimentScale, Runner};
+
+    #[test]
+    fn fig4_builds_from_a_smoke_matrix() {
+        let runner = Runner::new(ExperimentScale::Smoke);
+        let matrix = runner.run_matrix(
+            &banshee_dcache::DramCacheDesign::figure4_lineup(),
+            &crate::experiments::sweep_suite()[..2],
+        );
+        let fig = build(&matrix);
+        assert_eq!(fig.points.len(), matrix.workloads().len() * matrix.designs().len());
+        assert_eq!(fig.geomean_speedup.len(), matrix.designs().len());
+        // NoCache's speedup over itself is exactly 1.
+        for p in fig.points.iter().filter(|p| p.design == "NoCache") {
+            assert!((p.speedup - 1.0).abs() < 1e-9);
+        }
+        let tables = report(&matrix);
+        assert_eq!(tables.len(), 2);
+        assert!(!tables[0].is_empty());
+        let h = headline(&fig);
+        assert!(!h.is_empty());
+    }
+}

@@ -1,0 +1,153 @@
+//! Figure 5: in-package DRAM traffic (bytes per instruction) broken down by
+//! traffic class for every workload and design.
+
+use crate::runner::MatrixResults;
+use crate::table::{fmt2, write_json, Table};
+use banshee_common::{DramKind, TrafficClass};
+use serde::Serialize;
+
+/// One stacked bar of Figure 5.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig5Bar {
+    /// Workload label.
+    pub workload: String,
+    /// Design label.
+    pub design: String,
+    /// Useful hit data (bytes/instruction).
+    pub hit_data: f64,
+    /// Miss / speculative data.
+    pub miss_data: f64,
+    /// Tag reads/updates and probes.
+    pub tag: f64,
+    /// Frequency-counter traffic (Banshee only).
+    pub counter: f64,
+    /// Cache replacement traffic.
+    pub replacement: f64,
+    /// Writebacks landing in the in-package DRAM.
+    pub writeback: f64,
+    /// Sum of all classes.
+    pub total: f64,
+}
+
+/// The full figure.
+#[derive(Debug, Clone, Serialize, Default)]
+pub struct Fig5 {
+    /// One bar per (workload, design).
+    pub bars: Vec<Fig5Bar>,
+    /// Per-design average total bytes/instruction (the "average" group).
+    pub average_total: Vec<(String, f64)>,
+}
+
+/// Build Figure 5 from the main matrix.
+pub fn build(matrix: &MatrixResults) -> Fig5 {
+    let mut fig = Fig5::default();
+    for workload in matrix.workloads() {
+        for design in matrix.designs() {
+            // NoCache and the in-package figure are trivially zero; the paper
+            // omits NoCache from this figure, and so do we.
+            if design == "NoCache" {
+                continue;
+            }
+            let r = matrix.get(workload, design).expect("full matrix");
+            let b = |c: TrafficClass| r.bytes_per_instr(DramKind::InPackage, c);
+            fig.bars.push(Fig5Bar {
+                workload: workload.clone(),
+                design: design.clone(),
+                hit_data: b(TrafficClass::HitData),
+                miss_data: b(TrafficClass::MissData),
+                tag: b(TrafficClass::Tag),
+                counter: b(TrafficClass::Counter),
+                replacement: b(TrafficClass::Replacement),
+                writeback: b(TrafficClass::Writeback),
+                total: r.total_bytes_per_instr(DramKind::InPackage),
+            });
+        }
+    }
+    for design in matrix.designs() {
+        if design == "NoCache" {
+            continue;
+        }
+        fig.average_total.push((
+            design.clone(),
+            matrix.mean(design, |r| r.total_bytes_per_instr(DramKind::InPackage)),
+        ));
+    }
+    fig
+}
+
+/// Print the figure and write its JSON.
+pub fn report(matrix: &MatrixResults) -> Vec<Table> {
+    let fig = build(matrix);
+    let mut t = Table::new(
+        "Figure 5: in-package DRAM traffic (bytes per instruction)",
+        &[
+            "workload", "design", "HitData", "MissData", "Tag", "Counter", "Replacement",
+            "Writeback", "total",
+        ],
+    );
+    for bar in &fig.bars {
+        t.row(vec![
+            bar.workload.clone(),
+            bar.design.clone(),
+            fmt2(bar.hit_data),
+            fmt2(bar.miss_data),
+            fmt2(bar.tag),
+            fmt2(bar.counter),
+            fmt2(bar.replacement),
+            fmt2(bar.writeback),
+            fmt2(bar.total),
+        ]);
+    }
+    let mut avg = Table::new(
+        "Figure 5 (average): total in-package bytes per instruction",
+        &["design", "bytes/instr"],
+    );
+    for (design, total) in &fig.average_total {
+        avg.row(vec![design.clone(), fmt2(*total)]);
+    }
+    let _ = write_json("fig5_in_package_traffic", &fig);
+    vec![t, avg]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{ExperimentScale, Runner};
+    use banshee_dcache::DramCacheDesign;
+    use banshee_workloads::{SpecProgram, WorkloadKind};
+
+    #[test]
+    fn breakdown_classes_sum_to_total() {
+        let runner = Runner::new(ExperimentScale::Smoke);
+        let matrix = runner.run_matrix(
+            &[
+                DramCacheDesign::NoCache,
+                DramCacheDesign::Alloy {
+                    fill_probability: 1.0,
+                },
+                DramCacheDesign::Banshee,
+            ],
+            &[WorkloadKind::Spec(SpecProgram::Mcf)],
+        );
+        let fig = build(&matrix);
+        // NoCache is excluded; two bars remain.
+        assert_eq!(fig.bars.len(), 2);
+        for bar in &fig.bars {
+            let sum = bar.hit_data
+                + bar.miss_data
+                + bar.tag
+                + bar.counter
+                + bar.replacement
+                + bar.writeback;
+            assert!((sum - bar.total).abs() < 1e-9, "classes must sum to total");
+        }
+        // Alloy pays tag bytes on the in-package link; its total exceeds
+        // Banshee's.
+        let alloy = fig.bars.iter().find(|b| b.design == "Alloy 1").unwrap();
+        let banshee = fig.bars.iter().find(|b| b.design == "Banshee").unwrap();
+        assert!(alloy.tag > 0.0);
+        assert!(alloy.total > banshee.total);
+        let tables = report(&matrix);
+        assert_eq!(tables.len(), 2);
+    }
+}

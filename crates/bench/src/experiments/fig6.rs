@@ -1,0 +1,132 @@
+//! Figure 6: off-package DRAM traffic (bytes per instruction) for every
+//! workload and design.
+
+use crate::runner::MatrixResults;
+use crate::table::{fmt2, write_json, Table};
+use banshee_common::DramKind;
+use serde::Serialize;
+
+/// One bar of Figure 6.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig6Bar {
+    /// Workload label.
+    pub workload: String,
+    /// Design label.
+    pub design: String,
+    /// Total off-package bytes per instruction.
+    pub bytes_per_instr: f64,
+}
+
+/// The full figure.
+#[derive(Debug, Clone, Serialize, Default)]
+pub struct Fig6 {
+    /// One bar per (workload, design).
+    pub bars: Vec<Fig6Bar>,
+    /// Per-design average (the "average" group of the figure).
+    pub average: Vec<(String, f64)>,
+}
+
+/// Build Figure 6 from the main matrix.
+pub fn build(matrix: &MatrixResults) -> Fig6 {
+    let mut fig = Fig6::default();
+    for workload in matrix.workloads() {
+        for design in matrix.designs() {
+            // The paper's Figure 6 plots the cache designs (NoCache and
+            // CacheOnly are the trivial all-off-package / no-off-package
+            // endpoints).
+            if design == "NoCache" || design == "CacheOnly" {
+                continue;
+            }
+            let r = matrix.get(workload, design).expect("full matrix");
+            fig.bars.push(Fig6Bar {
+                workload: workload.clone(),
+                design: design.clone(),
+                bytes_per_instr: r.total_bytes_per_instr(DramKind::OffPackage),
+            });
+        }
+    }
+    for design in matrix.designs() {
+        if design == "NoCache" || design == "CacheOnly" {
+            continue;
+        }
+        fig.average.push((
+            design.clone(),
+            matrix.mean(design, |r| r.total_bytes_per_instr(DramKind::OffPackage)),
+        ));
+    }
+    fig
+}
+
+/// Print the figure and write its JSON.
+pub fn report(matrix: &MatrixResults) -> Vec<Table> {
+    let fig = build(matrix);
+    let designs: Vec<String> = fig
+        .average
+        .iter()
+        .map(|(d, _)| d.clone())
+        .collect();
+    let mut header: Vec<&str> = vec!["workload"];
+    header.extend(designs.iter().map(|s| s.as_str()));
+    let mut t = Table::new(
+        "Figure 6: off-package DRAM traffic (bytes per instruction)",
+        &header,
+    );
+    for workload in matrix.workloads() {
+        let mut row = vec![workload.clone()];
+        for design in &designs {
+            let v = fig
+                .bars
+                .iter()
+                .find(|b| &b.workload == workload && &b.design == design)
+                .map(|b| b.bytes_per_instr)
+                .unwrap_or(0.0);
+            row.push(fmt2(v));
+        }
+        t.row(row);
+    }
+    let mut avg_row = vec!["average".to_string()];
+    for design in &designs {
+        let v = fig
+            .average
+            .iter()
+            .find(|(d, _)| d == design)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0);
+        avg_row.push(fmt2(v));
+    }
+    t.row(avg_row);
+    let _ = write_json("fig6_off_package_traffic", &fig);
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{ExperimentScale, Runner};
+    use banshee_dcache::DramCacheDesign;
+    use banshee_workloads::{SpecProgram, WorkloadKind};
+
+    #[test]
+    fn off_package_traffic_reported_per_design() {
+        let runner = Runner::new(ExperimentScale::Smoke);
+        let matrix = runner.run_matrix(
+            &[
+                DramCacheDesign::NoCache,
+                DramCacheDesign::Unison,
+                DramCacheDesign::Banshee,
+            ],
+            &[WorkloadKind::Spec(SpecProgram::Lbm)],
+        );
+        let fig = build(&matrix);
+        assert_eq!(fig.bars.len(), 2, "NoCache excluded");
+        // Unison replaces on every miss at footprint granularity, so its
+        // off-package traffic should not be lower than Banshee's on a
+        // streaming workload.
+        let unison = fig.bars.iter().find(|b| b.design == "Unison").unwrap();
+        let banshee = fig.bars.iter().find(|b| b.design == "Banshee").unwrap();
+        assert!(unison.bytes_per_instr > 0.0 && banshee.bytes_per_instr > 0.0);
+        let tables = report(&matrix);
+        assert_eq!(tables.len(), 1);
+        assert!(tables[0].len() >= 2);
+    }
+}

@@ -1,0 +1,115 @@
+//! Figure 7: where Banshee's gain comes from — replacement-policy ablation.
+//!
+//! Compares, averaged over the workload suite: Banshee with an LRU policy
+//! that replaces on every miss, Banshee's FBR without counter sampling,
+//! full Banshee, and TDC. The paper reports performance (bars, normalized to
+//! NoCache) and DRAM-cache bandwidth consumption (red dots, bytes per
+//! instruction).
+
+use crate::runner::Runner;
+use crate::table::{fmt2, write_json, Table};
+use banshee_common::DramKind;
+use banshee_dcache::DramCacheDesign;
+use banshee_workloads::WorkloadKind;
+use serde::Serialize;
+
+/// One bar (plus its dot) of Figure 7.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig7Bar {
+    /// Policy label.
+    pub policy: String,
+    /// Mean speedup normalized to NoCache across the suite.
+    pub speedup: f64,
+    /// Mean in-package DRAM traffic in bytes per instruction.
+    pub dram_cache_bytes_per_instr: f64,
+}
+
+/// The full figure.
+#[derive(Debug, Clone, Serialize, Default)]
+pub struct Fig7 {
+    /// Bars in the paper's order.
+    pub bars: Vec<Fig7Bar>,
+}
+
+/// The policies compared in Figure 7, in presentation order.
+pub fn lineup() -> Vec<DramCacheDesign> {
+    vec![
+        DramCacheDesign::BansheeLru,
+        DramCacheDesign::BansheeFbrNoSample,
+        DramCacheDesign::Banshee,
+        DramCacheDesign::Tdc,
+    ]
+}
+
+/// Run the ablation over `workloads` and build the figure.
+pub fn run(runner: &Runner, workloads: &[WorkloadKind]) -> Fig7 {
+    let mut designs = vec![DramCacheDesign::NoCache];
+    designs.extend(lineup());
+    let matrix = runner.run_matrix(&designs, workloads);
+
+    let mut fig = Fig7::default();
+    for design in lineup() {
+        let label = design.label();
+        let speedup = matrix.geomean(&label, |r| {
+            let base = matrix.get(&r.workload, "NoCache").expect("baseline");
+            r.speedup_over(base)
+        });
+        let bpi = matrix.mean(&label, |r| r.total_bytes_per_instr(DramKind::InPackage));
+        fig.bars.push(Fig7Bar {
+            policy: label,
+            speedup,
+            dram_cache_bytes_per_instr: bpi,
+        });
+    }
+    fig
+}
+
+/// Print and persist the figure.
+pub fn report(runner: &Runner, workloads: &[WorkloadKind]) -> Vec<Table> {
+    let fig = run(runner, workloads);
+    let mut t = Table::new(
+        "Figure 7: replacement-policy ablation (mean over suite)",
+        &["policy", "norm. speedup", "DRAM cache bytes/instr"],
+    );
+    for bar in &fig.bars {
+        t.row(vec![
+            bar.policy.clone(),
+            fmt2(bar.speedup),
+            fmt2(bar.dram_cache_bytes_per_instr),
+        ]);
+    }
+    let _ = write_json("fig7_replacement_ablation", &fig);
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::ExperimentScale;
+    use banshee_workloads::SpecProgram;
+
+    #[test]
+    fn ablation_orders_banshee_ahead_of_lru() {
+        let runner = Runner::new(ExperimentScale::Smoke);
+        let workloads = [WorkloadKind::Spec(SpecProgram::Mcf)];
+        let fig = run(&runner, &workloads);
+        assert_eq!(fig.bars.len(), 4);
+        let get = |name: &str| {
+            fig.bars
+                .iter()
+                .find(|b| b.policy == name)
+                .expect("policy present")
+        };
+        let banshee = get("Banshee");
+        let lru = get("Banshee LRU");
+        // Replacing on every miss burns far more DRAM-cache bandwidth than
+        // the bandwidth-aware policy (the central claim of Figure 7).
+        assert!(
+            lru.dram_cache_bytes_per_instr > banshee.dram_cache_bytes_per_instr,
+            "LRU {} should exceed Banshee {}",
+            lru.dram_cache_bytes_per_instr,
+            banshee.dram_cache_bytes_per_instr
+        );
+        assert!(banshee.speedup > 0.0);
+    }
+}

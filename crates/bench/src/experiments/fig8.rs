@@ -1,0 +1,173 @@
+//! Figure 8: sensitivity of each design to DRAM-cache latency (b) and
+//! bandwidth (c).
+//!
+//! The latency sweep scales the in-package DRAM access latency to 100%, 66%
+//! and 50% of the off-package latency; the bandwidth sweep gives the
+//! in-package DRAM 8×, 4× and 2× the off-package bandwidth (by channel
+//! count). Each point is the geometric-mean speedup over the sweep suite,
+//! normalized to NoCache.
+
+use crate::runner::Runner;
+use crate::table::{fmt2, write_json, Table};
+use banshee_dcache::DramCacheDesign;
+use banshee_workloads::WorkloadKind;
+use serde::Serialize;
+
+/// One point of a sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig8Point {
+    /// Design label.
+    pub design: String,
+    /// Sweep-parameter label ("100%", "8X", ...).
+    pub setting: String,
+    /// Geometric-mean speedup over NoCache (at the default setting).
+    pub speedup: f64,
+}
+
+/// Both panels of the figure.
+#[derive(Debug, Clone, Serialize, Default)]
+pub struct Fig8 {
+    /// Panel (b): latency sweep.
+    pub latency: Vec<Fig8Point>,
+    /// Panel (c): bandwidth sweep.
+    pub bandwidth: Vec<Fig8Point>,
+}
+
+/// The designs plotted in Figure 8.
+pub fn lineup() -> Vec<DramCacheDesign> {
+    vec![
+        DramCacheDesign::Banshee,
+        DramCacheDesign::Alloy {
+            fill_probability: 0.1,
+        },
+        DramCacheDesign::Tdc,
+        DramCacheDesign::Unison,
+    ]
+}
+
+/// Run both sweeps.
+pub fn run(runner: &Runner, workloads: &[WorkloadKind]) -> Fig8 {
+    let mut fig = Fig8::default();
+
+    // Baselines: NoCache at the default setting, one result per workload.
+    let mut baseline = std::collections::HashMap::new();
+    for &w in workloads {
+        let r = runner.run(DramCacheDesign::NoCache, w);
+        baseline.insert(w.name(), r);
+    }
+    let geomean_speedup = |results: &[banshee_sim::SimResult]| -> f64 {
+        let vals: Vec<f64> = results
+            .iter()
+            .map(|r| r.speedup_over(&baseline[&r.workload]))
+            .filter(|v| *v > 0.0)
+            .collect();
+        if vals.is_empty() {
+            0.0
+        } else {
+            (vals.iter().map(|v| v.ln()).sum::<f64>() / vals.len() as f64).exp()
+        }
+    };
+
+    // Panel (b): latency scale 100% / 66% / 50%.
+    for (label, scale) in [("100%", 1.0f64), ("66%", 0.66), ("50%", 0.5)] {
+        for design in lineup() {
+            let results: Vec<_> = workloads
+                .iter()
+                .map(|&w| {
+                    let cfg = runner
+                        .config(design)
+                        .with_dram_cache_latency_scale(scale);
+                    runner.run_with(cfg, w)
+                })
+                .collect();
+            fig.latency.push(Fig8Point {
+                design: design.label(),
+                setting: label.to_string(),
+                speedup: geomean_speedup(&results),
+            });
+        }
+    }
+
+    // Panel (c): bandwidth ratio 8× / 4× / 2×.
+    for (label, channels) in [("8X", 8usize), ("4X", 4), ("2X", 2)] {
+        for design in lineup() {
+            let results: Vec<_> = workloads
+                .iter()
+                .map(|&w| {
+                    let cfg = runner
+                        .config(design)
+                        .with_dram_cache_bandwidth_ratio(channels);
+                    runner.run_with(cfg, w)
+                })
+                .collect();
+            fig.bandwidth.push(Fig8Point {
+                design: design.label(),
+                setting: label.to_string(),
+                speedup: geomean_speedup(&results),
+            });
+        }
+    }
+    fig
+}
+
+/// Print and persist both panels.
+pub fn report(runner: &Runner, workloads: &[WorkloadKind]) -> Vec<Table> {
+    let fig = run(runner, workloads);
+    let mut lat = Table::new(
+        "Figure 8(b): speedup vs DRAM cache latency (geo-mean, norm. to NoCache)",
+        &["design", "100%", "66%", "50%"],
+    );
+    let mut bw = Table::new(
+        "Figure 8(c): speedup vs DRAM cache bandwidth (geo-mean, norm. to NoCache)",
+        &["design", "8X", "4X", "2X"],
+    );
+    for design in lineup() {
+        let label = design.label();
+        let pick = |points: &[Fig8Point], setting: &str| {
+            points
+                .iter()
+                .find(|p| p.design == label && p.setting == setting)
+                .map(|p| p.speedup)
+                .unwrap_or(0.0)
+        };
+        lat.row(vec![
+            label.clone(),
+            fmt2(pick(&fig.latency, "100%")),
+            fmt2(pick(&fig.latency, "66%")),
+            fmt2(pick(&fig.latency, "50%")),
+        ]);
+        bw.row(vec![
+            label.clone(),
+            fmt2(pick(&fig.bandwidth, "8X")),
+            fmt2(pick(&fig.bandwidth, "4X")),
+            fmt2(pick(&fig.bandwidth, "2X")),
+        ]);
+    }
+    let _ = write_json("fig8_latency_bandwidth_sweep", &fig);
+    vec![lat, bw]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::ExperimentScale;
+    use banshee_workloads::SpecProgram;
+
+    #[test]
+    fn bandwidth_sweep_is_monotonic_for_banshee() {
+        let runner = Runner::new(ExperimentScale::Smoke);
+        let workloads = [WorkloadKind::Spec(SpecProgram::Mcf)];
+        let fig = run(&runner, &workloads);
+        let pick = |setting: &str| {
+            fig.bandwidth
+                .iter()
+                .find(|p| p.design == "Banshee" && p.setting == setting)
+                .unwrap()
+                .speedup
+        };
+        // More in-package bandwidth can only help (within noise).
+        assert!(pick("8X") >= pick("2X") * 0.95, "8X {} vs 2X {}", pick("8X"), pick("2X"));
+        assert_eq!(fig.latency.len(), 3 * lineup().len());
+        assert_eq!(fig.bandwidth.len(), 3 * lineup().len());
+    }
+}

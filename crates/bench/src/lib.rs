@@ -1,0 +1,34 @@
+//! The experiment harness: one module per table/figure of the paper's
+//! evaluation (Section 5), plus shared runners and table/JSON output.
+//!
+//! Every experiment follows the same shape:
+//!
+//! 1. build a set of [`banshee_sim::SimConfig`]s (designs × parameters),
+//! 2. run them over the workload suite with [`runner`],
+//! 3. print the same rows/series the paper reports (speedup normalized to
+//!    NoCache, bytes per instruction by traffic class, miss rates, ...) and
+//! 4. write the raw numbers as JSON under `target/experiments/`.
+//!
+//! Absolute numbers will not match the paper (the substrate is a scaled
+//! simulator, not the authors' testbed); the quantities to compare are the
+//! *shapes*: which design wins, by roughly what factor, and where the
+//! crossovers are. `EXPERIMENTS.md` records that comparison.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run --release -p banshee-bench --bin experiments -- all
+//! ```
+//!
+//! or a single experiment with e.g. `-- fig4`. Add `--quick` for a faster,
+//! lower-fidelity pass.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod runner;
+pub mod table;
+
+pub use runner::{ExperimentScale, MatrixResults, Runner};
+pub use table::Table;

@@ -1,0 +1,259 @@
+//! Shared experiment runner: the workload suite × design matrix.
+
+use banshee_common::MemSize;
+use banshee_dcache::DramCacheDesign;
+use banshee_sim::{run_one, SimConfig, SimResult};
+use banshee_workloads::{Workload, WorkloadKind};
+use std::collections::HashMap;
+
+/// How big an experiment run should be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExperimentScale {
+    /// A few million instructions per run — minutes for the full matrix.
+    Quick,
+    /// The default scaled runs used for EXPERIMENTS.md.
+    Standard,
+    /// A smoke-test scale used by unit/integration tests and Criterion.
+    Smoke,
+}
+
+impl ExperimentScale {
+    /// DRAM-cache capacity for this scale.
+    pub fn dram_cache_capacity(&self) -> MemSize {
+        match self {
+            ExperimentScale::Smoke => MemSize::mib(8),
+            ExperimentScale::Quick => MemSize::mib(16),
+            ExperimentScale::Standard => MemSize::mib(32),
+        }
+    }
+
+    /// Total data footprint of a workload relative to the cache (the paper's
+    /// interesting regime is footprint ≫ cache).
+    pub fn footprint_factor(&self) -> u64 {
+        4
+    }
+
+    /// Measured instructions per simulation (after warm-up).
+    pub fn instructions(&self) -> u64 {
+        match self {
+            ExperimentScale::Smoke => 300_000,
+            ExperimentScale::Quick => 2_000_000,
+            ExperimentScale::Standard => 8_000_000,
+        }
+    }
+
+    /// Warm-up instructions per simulation (excluded from the statistics).
+    pub fn warmup_instructions(&self) -> u64 {
+        match self {
+            ExperimentScale::Smoke => 200_000,
+            ExperimentScale::Quick => 4_000_000,
+            ExperimentScale::Standard => 8_000_000,
+        }
+    }
+
+    /// Number of cores to simulate.
+    pub fn cores(&self) -> usize {
+        match self {
+            ExperimentScale::Smoke => 4,
+            _ => 16,
+        }
+    }
+}
+
+/// Builds configurations and runs (workload, design) pairs.
+#[derive(Debug, Clone)]
+pub struct Runner {
+    /// The scale of each simulation.
+    pub scale: ExperimentScale,
+    /// RNG seed shared by every run (kept fixed so designs see identical
+    /// traces).
+    pub seed: u64,
+}
+
+impl Runner {
+    /// A runner at the given scale.
+    pub fn new(scale: ExperimentScale) -> Self {
+        Runner { scale, seed: 42 }
+    }
+
+    /// The base configuration for a design at this scale.
+    pub fn config(&self, design: DramCacheDesign) -> SimConfig {
+        let mut cfg = SimConfig::scaled(design, self.scale.dram_cache_capacity());
+        cfg.cores = self.scale.cores();
+        cfg.hierarchy = banshee_memhier::HierarchyConfig {
+            llc_size: MemSize::bytes(
+                (self.scale.dram_cache_capacity().as_bytes() / 32).max(256 * 1024),
+            ),
+            ..banshee_memhier::HierarchyConfig::paper_default(self.scale.cores())
+        };
+        cfg.total_instructions = self.scale.instructions();
+        cfg.warmup_instructions = self.scale.warmup_instructions();
+        cfg.seed = self.seed;
+        cfg
+    }
+
+    /// The workload object for a suite entry at this scale.
+    pub fn workload(&self, kind: WorkloadKind) -> Workload {
+        let footprint =
+            self.scale.dram_cache_capacity().as_bytes() * self.scale.footprint_factor();
+        Workload::new(kind, footprint, self.seed)
+    }
+
+    /// Run one (design, workload) pair with the default configuration.
+    pub fn run(&self, design: DramCacheDesign, kind: WorkloadKind) -> SimResult {
+        self.run_with(self.config(design), kind)
+    }
+
+    /// Run one workload under an explicit configuration (for sweeps).
+    pub fn run_with(&self, config: SimConfig, kind: WorkloadKind) -> SimResult {
+        run_one(config, &self.workload(kind))
+    }
+
+    /// Run the full designs × workloads matrix.
+    pub fn run_matrix(
+        &self,
+        designs: &[DramCacheDesign],
+        workloads: &[WorkloadKind],
+    ) -> MatrixResults {
+        let mut results = MatrixResults::default();
+        for &kind in workloads {
+            for &design in designs {
+                let r = self.run(design, kind);
+                results.insert(kind.name(), design.label(), r);
+            }
+        }
+        results
+    }
+}
+
+/// Results of a designs × workloads matrix, indexed by (workload, design)
+/// labels.
+#[derive(Debug, Clone, Default)]
+pub struct MatrixResults {
+    results: HashMap<(String, String), SimResult>,
+    workload_order: Vec<String>,
+    design_order: Vec<String>,
+}
+
+impl MatrixResults {
+    /// Store one result.
+    pub fn insert(&mut self, workload: String, design: String, result: SimResult) {
+        if !self.workload_order.contains(&workload) {
+            self.workload_order.push(workload.clone());
+        }
+        if !self.design_order.contains(&design) {
+            self.design_order.push(design.clone());
+        }
+        self.results.insert((workload, design), result);
+    }
+
+    /// Look up one result.
+    pub fn get(&self, workload: &str, design: &str) -> Option<&SimResult> {
+        self.results
+            .get(&(workload.to_string(), design.to_string()))
+    }
+
+    /// Workload labels in insertion order.
+    pub fn workloads(&self) -> &[String] {
+        &self.workload_order
+    }
+
+    /// Design labels in insertion order.
+    pub fn designs(&self) -> &[String] {
+        &self.design_order
+    }
+
+    /// Geometric mean of a per-workload metric over all workloads, for one
+    /// design. Workloads where the metric is non-positive are skipped.
+    pub fn geomean<F>(&self, design: &str, metric: F) -> f64
+    where
+        F: Fn(&SimResult) -> f64,
+    {
+        let values: Vec<f64> = self
+            .workload_order
+            .iter()
+            .filter_map(|w| self.get(w, design))
+            .map(&metric)
+            .filter(|v| *v > 0.0)
+            .collect();
+        if values.is_empty() {
+            0.0
+        } else {
+            (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+        }
+    }
+
+    /// Arithmetic mean of a per-workload metric for one design.
+    pub fn mean<F>(&self, design: &str, metric: F) -> f64
+    where
+        F: Fn(&SimResult) -> f64,
+    {
+        let values: Vec<f64> = self
+            .workload_order
+            .iter()
+            .filter_map(|w| self.get(w, design))
+            .map(&metric)
+            .collect();
+        if values.is_empty() {
+            0.0
+        } else {
+            values.iter().sum::<f64>() / values.len() as f64
+        }
+    }
+
+    /// Every stored result (for JSON export).
+    pub fn all(&self) -> Vec<&SimResult> {
+        self.workload_order
+            .iter()
+            .flat_map(|w| {
+                self.design_order
+                    .iter()
+                    .filter_map(move |d| self.get(w, d))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banshee_workloads::SpecProgram;
+
+    #[test]
+    fn smoke_matrix_runs_and_indexes() {
+        let runner = Runner::new(ExperimentScale::Smoke);
+        let designs = [
+            DramCacheDesign::NoCache,
+            DramCacheDesign::Banshee,
+        ];
+        let workloads = [WorkloadKind::Spec(SpecProgram::Gcc)];
+        let m = runner.run_matrix(&designs, &workloads);
+        assert_eq!(m.workloads().len(), 1);
+        assert_eq!(m.designs().len(), 2);
+        let no = m.get("gcc", "NoCache").unwrap();
+        let ban = m.get("gcc", "Banshee").unwrap();
+        assert!(no.instructions > 0 && ban.instructions > 0);
+        assert!(m.geomean("Banshee", |r| r.ipc()) > 0.0);
+        assert!(m.mean("NoCache", |r| r.ipc()) > 0.0);
+        assert_eq!(m.all().len(), 2);
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(ExperimentScale::Smoke.instructions() < ExperimentScale::Quick.instructions());
+        assert!(ExperimentScale::Quick.instructions() < ExperimentScale::Standard.instructions());
+        assert!(
+            ExperimentScale::Quick.dram_cache_capacity()
+                <= ExperimentScale::Standard.dram_cache_capacity()
+        );
+    }
+
+    #[test]
+    fn config_respects_scale() {
+        let r = Runner::new(ExperimentScale::Smoke);
+        let cfg = r.config(DramCacheDesign::Banshee);
+        assert_eq!(cfg.cores, 4);
+        assert_eq!(cfg.total_instructions, 300_000);
+        assert_eq!(cfg.dcache.capacity, MemSize::mib(8));
+    }
+}

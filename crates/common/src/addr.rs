@@ -1,0 +1,259 @@
+//! Address newtypes and cache-geometry arithmetic.
+//!
+//! The simulator operates on *physical* addresses most of the time. The paper
+//! (Section 3.2) is explicit that Banshee does **not** change a page's
+//! physical address when the page is remapped into the in-package DRAM cache;
+//! a single physical address space covers both DRAMs. We therefore use one
+//! [`Addr`] type for physical addresses and derive line/page identifiers from
+//! it.
+//!
+//! Geometry constants follow the paper's Table 2: 64-byte cache lines, 4 KiB
+//! regular pages, 2 MiB large pages.
+
+use serde::{Deserialize, Serialize};
+
+/// Size of a cache line in bytes (64 B, Table 2).
+pub const CACHE_LINE_SIZE: u64 = 64;
+/// Size of a regular page in bytes (4 KiB).
+pub const PAGE_SIZE: u64 = 4096;
+/// Size of a large page in bytes (2 MiB, Section 4.3).
+pub const LARGE_PAGE_SIZE: u64 = 2 * 1024 * 1024;
+
+/// Number of cache lines in a regular page.
+pub const LINES_PER_PAGE: u64 = PAGE_SIZE / CACHE_LINE_SIZE;
+/// Number of cache lines in a large page.
+pub const LINES_PER_LARGE_PAGE: u64 = LARGE_PAGE_SIZE / CACHE_LINE_SIZE;
+
+/// log2(cache line size).
+pub const LINE_SHIFT: u32 = CACHE_LINE_SIZE.trailing_zeros();
+/// log2(page size).
+pub const PAGE_SHIFT: u32 = PAGE_SIZE.trailing_zeros();
+/// log2(large page size).
+pub const LARGE_PAGE_SHIFT: u32 = LARGE_PAGE_SIZE.trailing_zeros();
+
+/// A byte-granularity physical (or virtual) address.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Addr(pub u64);
+
+/// A cache-line identifier: the address shifted right by [`LINE_SHIFT`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct LineAddr(pub u64);
+
+/// A (4 KiB) page frame number: the address shifted right by [`PAGE_SHIFT`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct PageNum(pub u64);
+
+impl Addr {
+    /// Construct an address from a raw byte value.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// The raw byte address.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The cache line containing this address.
+    #[inline]
+    pub const fn line(self) -> LineAddr {
+        LineAddr(self.0 >> LINE_SHIFT)
+    }
+
+    /// The 4 KiB page containing this address.
+    #[inline]
+    pub const fn page(self) -> PageNum {
+        PageNum(self.0 >> PAGE_SHIFT)
+    }
+
+    /// The 2 MiB large page containing this address (expressed as the number
+    /// of the large page, i.e. address >> 21).
+    #[inline]
+    pub const fn large_page(self) -> u64 {
+        self.0 >> LARGE_PAGE_SHIFT
+    }
+
+    /// Byte offset within the 4 KiB page.
+    #[inline]
+    pub const fn page_offset(self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+
+    /// Byte offset within the cache line.
+    #[inline]
+    pub const fn line_offset(self) -> u64 {
+        self.0 & (CACHE_LINE_SIZE - 1)
+    }
+}
+
+impl LineAddr {
+    /// Construct from a raw line number.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        LineAddr(raw)
+    }
+
+    /// The raw line number.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The first byte address of this line.
+    #[inline]
+    pub const fn base_addr(self) -> Addr {
+        Addr(self.0 << LINE_SHIFT)
+    }
+
+    /// The page this line belongs to.
+    #[inline]
+    pub const fn page(self) -> PageNum {
+        PageNum(self.0 >> (PAGE_SHIFT - LINE_SHIFT))
+    }
+
+    /// Index of this line within its page (0..64 for 4 KiB pages).
+    #[inline]
+    pub const fn index_in_page(self) -> u64 {
+        self.0 & (LINES_PER_PAGE - 1)
+    }
+}
+
+impl PageNum {
+    /// Construct from a raw page frame number.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        PageNum(raw)
+    }
+
+    /// The raw page frame number.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The first byte address of this page.
+    #[inline]
+    pub const fn base_addr(self) -> Addr {
+        Addr(self.0 << PAGE_SHIFT)
+    }
+
+    /// The first line of this page.
+    #[inline]
+    pub const fn first_line(self) -> LineAddr {
+        LineAddr(self.0 << (PAGE_SHIFT - LINE_SHIFT))
+    }
+
+    /// The line at `index` (0..64) within this page.
+    #[inline]
+    pub const fn line_at(self, index: u64) -> LineAddr {
+        LineAddr((self.0 << (PAGE_SHIFT - LINE_SHIFT)) | (index & (LINES_PER_PAGE - 1)))
+    }
+
+    /// The 2 MiB large page containing this 4 KiB page.
+    #[inline]
+    pub const fn large_page(self) -> u64 {
+        self.0 >> (LARGE_PAGE_SHIFT - PAGE_SHIFT)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(v: u64) -> Self {
+        Addr(v)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(a: Addr) -> Self {
+        a.0
+    }
+}
+
+impl core::fmt::Display for Addr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl core::fmt::Display for PageNum {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "pfn:{:#x}", self.0)
+    }
+}
+
+impl core::fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "line:{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_constants_are_consistent() {
+        assert_eq!(CACHE_LINE_SIZE, 64);
+        assert_eq!(PAGE_SIZE, 4096);
+        assert_eq!(LARGE_PAGE_SIZE, 2 * 1024 * 1024);
+        assert_eq!(LINES_PER_PAGE, 64);
+        assert_eq!(LINES_PER_LARGE_PAGE, 32768);
+        assert_eq!(1u64 << LINE_SHIFT, CACHE_LINE_SIZE);
+        assert_eq!(1u64 << PAGE_SHIFT, PAGE_SIZE);
+        assert_eq!(1u64 << LARGE_PAGE_SHIFT, LARGE_PAGE_SIZE);
+    }
+
+    #[test]
+    fn addr_decomposition() {
+        let a = Addr::new(0x1234_5678);
+        assert_eq!(a.line().raw(), 0x1234_5678 >> 6);
+        assert_eq!(a.page().raw(), 0x1234_5678 >> 12);
+        assert_eq!(a.page_offset(), 0x678);
+        assert_eq!(a.line_offset(), 0x38);
+    }
+
+    #[test]
+    fn line_page_round_trip() {
+        let page = PageNum::new(42);
+        for idx in 0..LINES_PER_PAGE {
+            let line = page.line_at(idx);
+            assert_eq!(line.page(), page);
+            assert_eq!(line.index_in_page(), idx);
+            assert_eq!(line.base_addr().page(), page);
+        }
+    }
+
+    #[test]
+    fn page_base_addr_round_trip() {
+        let page = PageNum::new(0xabcd);
+        assert_eq!(page.base_addr().page(), page);
+        assert_eq!(page.first_line(), page.line_at(0));
+    }
+
+    #[test]
+    fn large_page_contains_512_regular_pages() {
+        let lp = Addr::new(3 * LARGE_PAGE_SIZE).large_page();
+        assert_eq!(lp, 3);
+        let pages_per_large = LARGE_PAGE_SIZE / PAGE_SIZE;
+        assert_eq!(pages_per_large, 512);
+        let first = PageNum::new(3 * pages_per_large);
+        let last = PageNum::new(4 * pages_per_large - 1);
+        assert_eq!(first.large_page(), 3);
+        assert_eq!(last.large_page(), 3);
+        assert_eq!(PageNum::new(4 * pages_per_large).large_page(), 4);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Addr::new(0x10)), "0x10");
+        assert_eq!(format!("{}", PageNum::new(0x2)), "pfn:0x2");
+        assert_eq!(format!("{}", LineAddr::new(0x3)), "line:0x3");
+    }
+}

@@ -1,0 +1,39 @@
+//! Shared building blocks for the Banshee DRAM-cache reproduction.
+//!
+//! This crate holds the vocabulary types used by every other crate in the
+//! workspace:
+//!
+//! * [`addr`] — physical/virtual address newtypes and cache-geometry helpers
+//!   (line, page and large-page arithmetic).
+//! * [`rng`] — a small deterministic pseudo-random number generator plus a
+//!   Zipf sampler, used both by the synthetic workload generators and by the
+//!   stochastic pieces of the cache-replacement policies (sampling-based
+//!   counter updates, stochastic fill, random candidate victims).
+//! * [`stats`] — DRAM traffic accounting by [`stats::TrafficClass`] and
+//!   general named counters. The per-class byte counts are what the paper's
+//!   Figures 5, 6 and 9 plot.
+//! * [`config`] — capacity/latency helper constructors and a few
+//!   configuration structs shared between the DRAM model and the system
+//!   simulator.
+//!
+//! Everything here is `no_std`-shaped in spirit (no I/O, no globals) but the
+//! crate itself uses `std` for convenience.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod addr;
+pub mod config;
+pub mod rng;
+pub mod stats;
+
+pub use addr::{Addr, LineAddr, PageNum, CACHE_LINE_SIZE, LARGE_PAGE_SIZE, PAGE_SIZE};
+pub use config::{CyclesPerSec, MemSize};
+pub use rng::{SplitMix64, XorShiftRng, ZipfSampler};
+pub use stats::{Counter, DramKind, StatSet, TrafficClass, TrafficStats};
+
+/// A timestamp or duration measured in CPU cycles (2.7 GHz by default).
+///
+/// All timing in the workspace — DRAM bank occupancy, core stall accounting,
+/// OS cost charging — is expressed in CPU cycles to avoid unit confusion.
+pub type Cycle = u64;

@@ -1,0 +1,293 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Both the workload generators and the cache-replacement policies need
+//! randomness:
+//!
+//! * Banshee's sampling-based counter update (Algorithm 1, line 3) samples an
+//!   access with probability `recent_miss_rate × sampling_coefficient`.
+//! * The candidate-insertion path (Algorithm 1, lines 18–22) replaces a random
+//!   candidate with probability `1 / victim.count`.
+//! * Alloy Cache with BEAR uses stochastic replacement (fill with probability
+//!   0.1).
+//! * The synthetic workloads draw page/line addresses from Zipf and uniform
+//!   distributions.
+//!
+//! All of these must be *deterministic and reproducible* so that experiment
+//! tables are stable across runs. We use a small xorshift* generator seeded
+//! explicitly, plus SplitMix64 for seed expansion, instead of depending on a
+//! system RNG.
+
+/// SplitMix64 — used to expand a single user seed into many stream seeds.
+///
+/// Reference: Steele, Lea, Flood. "Fast splittable pseudorandom number
+/// generators" (OOPSLA 2014). This is the conventional seed-expansion
+/// generator for xorshift-family PRNGs.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a new generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A xorshift64* PRNG: small, fast, deterministic, good enough statistical
+/// quality for workload generation and stochastic replacement decisions.
+#[derive(Debug, Clone)]
+pub struct XorShiftRng {
+    state: u64,
+}
+
+impl XorShiftRng {
+    /// Create a generator from a seed. A zero seed is remapped to a non-zero
+    /// constant because the all-zero state is a fixed point of xorshift.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut state = sm.next_u64();
+        if state == 0 {
+            state = 0x9E37_79B9_7F4A_7C15;
+        }
+        XorShiftRng { state }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// A uniform value in `[0, bound)`. `bound` must be non-zero.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "bound must be non-zero");
+        // Multiplication-based range reduction (Lemire). Bias is negligible
+        // for the bounds used in this workspace.
+        let x = self.next_u64();
+        ((x as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // Use the top 53 bits for a uniformly distributed double.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial: returns `true` with probability `p` (clamped to [0,1]).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.next_f64() < p
+        }
+    }
+
+    /// A uniform value in the inclusive range `[lo, hi]`.
+    #[inline]
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.next_below(hi - lo + 1)
+    }
+}
+
+/// A sampler for the Zipf (power-law) distribution over `{0, 1, ..., n-1}`,
+/// with rank-frequency exponent `s`.
+///
+/// The workload generators use this to model hot/cold page skew: most
+/// accesses concentrate on a small set of hot pages, with a long tail — the
+/// behaviour that makes frequency-based replacement attractive in the paper.
+///
+/// Sampling uses the classic inverse-CDF-by-binary-search over precomputed
+/// cumulative weights. Construction is `O(n)`, sampling is `O(log n)`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Build a sampler over `n` items with exponent `s` (s = 0 is uniform,
+    /// larger `s` is more skewed; s ≈ 0.8–1.2 is typical for memory traces).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is negative/not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "ZipfSampler needs at least one item");
+        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and >= 0");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for rank in 1..=n {
+            total += 1.0 / (rank as f64).powf(s);
+            cumulative.push(total);
+        }
+        // Normalize to [0, 1].
+        for c in cumulative.iter_mut() {
+            *c /= total;
+        }
+        // Guard against floating point droop on the last element.
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        ZipfSampler { cumulative }
+    }
+
+    /// Number of items in the distribution's support.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True if the support is a single item.
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draw one item index (rank order: index 0 is the most popular item).
+    pub fn sample(&self, rng: &mut XorShiftRng) -> usize {
+        let u = rng.next_f64();
+        // partition_point returns the first index whose cumulative weight is
+        // >= u, i.e. the sampled rank.
+        self.cumulative.partition_point(|&c| c < u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xorshift_is_deterministic() {
+        let mut a = XorShiftRng::new(7);
+        let mut b = XorShiftRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = XorShiftRng::new(1);
+        let mut b = XorShiftRng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams from different seeds should diverge");
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = XorShiftRng::new(0);
+        let x = r.next_u64();
+        let y = r.next_u64();
+        assert_ne!(x, 0);
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn next_below_stays_in_range() {
+        let mut r = XorShiftRng::new(11);
+        for bound in [1u64, 2, 3, 10, 63, 64, 1000] {
+            for _ in 0..200 {
+                assert!(r.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = XorShiftRng::new(5);
+        for _ in 0..1000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = XorShiftRng::new(13);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-1.0));
+        assert!(r.chance(2.0));
+    }
+
+    #[test]
+    fn chance_probability_roughly_respected() {
+        let mut r = XorShiftRng::new(17);
+        let n = 20_000;
+        let hits = (0..n).filter(|_| r.chance(0.1)).count();
+        let frac = hits as f64 / n as f64;
+        assert!((0.08..0.12).contains(&frac), "observed {frac}");
+    }
+
+    #[test]
+    fn range_inclusive_bounds() {
+        let mut r = XorShiftRng::new(23);
+        for _ in 0..500 {
+            let v = r.range_inclusive(10, 20);
+            assert!((10..=20).contains(&v));
+        }
+        assert_eq!(r.range_inclusive(5, 5), 5);
+    }
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let z = ZipfSampler::new(1000, 1.0);
+        let mut r = XorShiftRng::new(3);
+        let n = 50_000;
+        let mut top10 = 0usize;
+        for _ in 0..n {
+            if z.sample(&mut r) < 10 {
+                top10 += 1;
+            }
+        }
+        // With s=1.0 and n=1000, the top-10 ranks carry ~39% of the mass.
+        let frac = top10 as f64 / n as f64;
+        assert!(frac > 0.3, "top-10 fraction too small: {frac}");
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_is_zero() {
+        let z = ZipfSampler::new(100, 0.0);
+        let mut r = XorShiftRng::new(9);
+        let n = 100_000;
+        let mut counts = vec![0usize; 100];
+        for _ in 0..n {
+            counts[z.sample(&mut r)] += 1;
+        }
+        let min = *counts.iter().min().unwrap() as f64;
+        let max = *counts.iter().max().unwrap() as f64;
+        assert!(max / min < 1.5, "uniform sampling too skewed: {min} vs {max}");
+    }
+
+    #[test]
+    fn zipf_sample_in_range() {
+        let z = ZipfSampler::new(7, 1.2);
+        let mut r = XorShiftRng::new(4);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut r) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zipf_rejects_empty_support() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Banshee configuration (the paper's Table 3, plus scaling knobs).
+
+use banshee_common::{CyclesPerSec, MemSize, PAGE_SIZE};
+use banshee_dcache::DCacheConfig;
+use serde::{Deserialize, Serialize};
+
+/// All Banshee tuning parameters. Defaults reproduce Table 3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BansheeConfig {
+    /// In-package DRAM capacity used as the cache.
+    pub capacity: MemSize,
+    /// DRAM cache associativity (4 in the paper; Table 6 sweeps 1–8).
+    pub ways: usize,
+    /// Caching granularity in bytes: 4 KiB for regular pages, 2 MiB when the
+    /// controller is instantiated for large pages (Section 4.3).
+    pub page_bytes: u64,
+    /// Number of memory controllers; each gets its own tag buffer.
+    pub memory_controllers: usize,
+
+    // ---- Tag buffer (Section 3.3 / Table 3) ----
+    /// Entries per tag buffer (1024).
+    pub tag_buffer_entries: usize,
+    /// Tag buffer associativity (8).
+    pub tag_buffer_ways: usize,
+    /// Occupancy fraction of *remap* entries at which the software update is
+    /// triggered (0.7).
+    pub tag_buffer_flush_threshold: f64,
+    /// Cost of the software routine that drains tag buffers into the page
+    /// table, in microseconds (20 µs).
+    pub tag_buffer_flush_us: f64,
+    /// TLB shootdown cost for the initiating core, in microseconds (4 µs).
+    pub shootdown_initiator_us: f64,
+    /// TLB shootdown cost for every other core, in microseconds (1 µs).
+    pub shootdown_slave_us: f64,
+
+    // ---- Replacement policy (Section 4.2 / Table 3) ----
+    /// Width of each frequency counter in bits (5).
+    pub counter_bits: u32,
+    /// Number of cached-page entries tracked per set (equals `ways`).
+    pub cached_entries_per_set: usize,
+    /// Number of candidate-page entries tracked per set (5).
+    pub candidate_entries_per_set: usize,
+    /// Sampling coefficient: the counter-update sample rate is
+    /// `recent_miss_rate × sampling_coefficient` (0.1 for 4 KiB pages,
+    /// 0.001 recommended for 2 MiB pages).
+    pub sampling_coefficient: f64,
+    /// Replacement threshold override. `None` uses the paper's default of
+    /// `lines_per_page × sampling_coefficient / 2` (Section 4.2.2).
+    pub replacement_threshold: Option<f64>,
+
+    /// CPU clock used to convert the microsecond costs above into cycles.
+    pub cpu_clock: CyclesPerSec,
+}
+
+impl BansheeConfig {
+    /// The paper's default configuration (Table 3) at full 1 GB capacity.
+    pub fn paper_default() -> Self {
+        BansheeConfig {
+            capacity: MemSize::gib(1),
+            ways: 4,
+            page_bytes: PAGE_SIZE,
+            memory_controllers: 4,
+            tag_buffer_entries: 1024,
+            tag_buffer_ways: 8,
+            tag_buffer_flush_threshold: 0.7,
+            tag_buffer_flush_us: 20.0,
+            shootdown_initiator_us: 4.0,
+            shootdown_slave_us: 1.0,
+            counter_bits: 5,
+            cached_entries_per_set: 4,
+            candidate_entries_per_set: 5,
+            sampling_coefficient: 0.1,
+            replacement_threshold: None,
+            cpu_clock: CyclesPerSec::ghz(2.7),
+        }
+    }
+
+    /// Build from the shared DRAM-cache geometry (capacity, ways, MCs),
+    /// keeping Banshee-specific defaults.
+    pub fn from_dcache(config: &DCacheConfig) -> Self {
+        BansheeConfig {
+            capacity: config.capacity,
+            ways: config.ways,
+            cached_entries_per_set: config.ways,
+            memory_controllers: config.memory_controllers,
+            ..Self::paper_default()
+        }
+    }
+
+    /// Switch the configuration to 2 MiB large-page caching (Section 5.4.1):
+    /// the caching granularity becomes 2 MiB and the sampling coefficient
+    /// drops to 0.001 so counters do not saturate.
+    pub fn for_large_pages(mut self) -> Self {
+        self.page_bytes = banshee_common::LARGE_PAGE_SIZE;
+        self.sampling_coefficient = 0.001;
+        self
+    }
+
+    /// Number of cache lines per caching unit (64 for 4 KiB pages, 32768 for
+    /// 2 MiB pages).
+    pub fn lines_per_page(&self) -> u64 {
+        self.page_bytes / banshee_common::CACHE_LINE_SIZE
+    }
+
+    /// Number of page frames the cache holds at this granularity.
+    pub fn capacity_pages(&self) -> u64 {
+        (self.capacity.as_bytes() / self.page_bytes).max(1)
+    }
+
+    /// Number of sets (capacity pages / ways).
+    pub fn sets(&self) -> u64 {
+        (self.capacity_pages() / self.ways as u64).max(1)
+    }
+
+    /// Maximum frequency-counter value (2^bits - 1; 31 for 5-bit counters).
+    pub fn max_count(&self) -> u32 {
+        (1u32 << self.counter_bits) - 1
+    }
+
+    /// The replacement threshold of Section 4.2.2:
+    /// `page_size (in lines) × sampling_coefficient / 2` unless overridden.
+    pub fn threshold(&self) -> f64 {
+        self.replacement_threshold
+            .unwrap_or(self.lines_per_page() as f64 * self.sampling_coefficient / 2.0)
+    }
+
+    /// Convert the caching-unit number of an address (page number for 4 KiB
+    /// granularity, large-page number for 2 MiB granularity).
+    pub fn unit_of(&self, addr: banshee_common::Addr) -> u64 {
+        addr.raw() / self.page_bytes
+    }
+
+    /// The memory controller an address maps to (static page-granularity
+    /// interleaving, Section 2).
+    pub fn mc_of(&self, unit: u64) -> usize {
+        (unit % self.memory_controllers as u64) as usize
+    }
+}
+
+impl Default for BansheeConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_defaults() {
+        let c = BansheeConfig::paper_default();
+        assert_eq!(c.ways, 4);
+        assert_eq!(c.tag_buffer_entries, 1024);
+        assert_eq!(c.tag_buffer_ways, 8);
+        assert!((c.tag_buffer_flush_threshold - 0.7).abs() < 1e-12);
+        assert_eq!(c.counter_bits, 5);
+        assert_eq!(c.max_count(), 31);
+        assert_eq!(c.cached_entries_per_set, 4);
+        assert_eq!(c.candidate_entries_per_set, 5);
+        assert!((c.sampling_coefficient - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_threshold_matches_section_4_2_2() {
+        let c = BansheeConfig::paper_default();
+        // 64 lines × 0.1 / 2 = 3.2
+        assert!((c.threshold() - 3.2).abs() < 1e-9);
+        let override_cfg = BansheeConfig {
+            replacement_threshold: Some(7.0),
+            ..c
+        };
+        assert!((override_cfg.threshold() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometry_at_paper_scale() {
+        let c = BansheeConfig::paper_default();
+        assert_eq!(c.capacity_pages(), 262_144);
+        assert_eq!(c.sets(), 65_536);
+        assert_eq!(c.lines_per_page(), 64);
+    }
+
+    #[test]
+    fn large_page_mode() {
+        let c = BansheeConfig::paper_default().for_large_pages();
+        assert_eq!(c.page_bytes, 2 * 1024 * 1024);
+        assert_eq!(c.lines_per_page(), 32_768);
+        assert_eq!(c.capacity_pages(), 512);
+        assert!((c.sampling_coefficient - 0.001).abs() < 1e-12);
+        // Threshold scales with the larger page: 32768 × 0.001 / 2 = 16.384.
+        assert!((c.threshold() - 16.384).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unit_and_mc_mapping() {
+        let c = BansheeConfig::paper_default();
+        assert_eq!(c.unit_of(banshee_common::Addr::new(4096 * 5 + 17)), 5);
+        assert_eq!(c.mc_of(5), 1);
+        assert_eq!(c.mc_of(8), 0);
+        let lp = BansheeConfig::paper_default().for_large_pages();
+        assert_eq!(lp.unit_of(banshee_common::Addr::new(2 * 1024 * 1024 * 3)), 3);
+    }
+
+    #[test]
+    fn from_dcache_inherits_geometry() {
+        let d = DCacheConfig::scaled(MemSize::mib(64));
+        let c = BansheeConfig::from_dcache(&d);
+        assert_eq!(c.capacity, MemSize::mib(64));
+        assert_eq!(c.ways, 4);
+        assert_eq!(c.cached_entries_per_set, 4);
+    }
+}

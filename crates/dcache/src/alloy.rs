@@ -1,0 +1,308 @@
+//! Alloy Cache: direct-mapped, cacheline-granularity, tags stored in the
+//! in-package DRAM alongside the data (Qureshi & Loh, MICRO 2012), with the
+//! BEAR bandwidth optimizations (Chou et al., ISCA 2015).
+//!
+//! Behaviour reproduced from the paper's Table 1 and Section 5.1.1:
+//!
+//! * **Hit**: one DRAM-cache access streams the tag-and-data (TAD) unit —
+//!   96 B of in-package traffic (64 B data + 32 B tag), latency ≈ one DRAM
+//!   access.
+//! * **Miss**: the TAD probe still costs 96 B (the data half is the
+//!   speculative load), then the demand line is fetched from off-package
+//!   DRAM — latency ≈ 2× a DRAM access. The parallel off-package probe
+//!   optimization of the original paper is disabled, as in the Banshee
+//!   paper's methodology (it hurts when off-package bandwidth is scarce).
+//! * **Fill (stochastic replacement from BEAR)**: the missed line is
+//!   installed only with probability `fill_probability` (1.0 = "Alloy 1",
+//!   0.1 = "Alloy 0.1"), costing 96 B of in-package replacement traffic
+//!   (64 B data + 32 B tag) plus a 64 B off-package writeback if the victim
+//!   was dirty.
+//! * **LLC dirty eviction**: with BEAR's bandwidth-efficient writeback probe
+//!   the controller knows whether the line is present; a hit writes
+//!   64 B + 32 B tag in-package, a miss writes 64 B off-package.
+
+use crate::controller::{DemandStats, DramCacheController};
+use crate::design::DCacheConfig;
+use crate::plan::{AccessPlan, DramOp, MemRequest, RequestKind};
+use banshee_common::{Addr, Cycle, LineAddr, StatSet, TrafficClass, XorShiftRng};
+use std::collections::HashMap;
+
+/// Per-slot state of the direct-mapped cache.
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    valid: bool,
+    dirty: bool,
+    tag: u64,
+}
+
+/// The Alloy Cache controller.
+#[derive(Debug)]
+pub struct AlloyCache {
+    /// One slot per cache line the in-package DRAM can hold.
+    slots: Vec<Slot>,
+    /// Probability that a miss installs the line (BEAR stochastic fill).
+    fill_probability: f64,
+    demand: DemandStats,
+    rng: XorShiftRng,
+    stats: HashMap<&'static str, u64>,
+    name: String,
+}
+
+impl AlloyCache {
+    /// Build an Alloy Cache over the given geometry. The cache is
+    /// direct-mapped over `config.capacity_lines()` line slots; the paper's
+    /// TAD layout means each slot actually occupies 72 B of DRAM, but the
+    /// capacity difference is immaterial to the traffic/latency behaviour
+    /// being modelled, so we keep the nominal line count.
+    pub fn new(config: &DCacheConfig, fill_probability: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fill_probability),
+            "fill probability must be in [0, 1]"
+        );
+        let line_slots = config.capacity_lines().max(1) as usize;
+        let name = if (fill_probability - 1.0).abs() < 1e-9 {
+            "Alloy 1".to_string()
+        } else {
+            format!("Alloy {fill_probability}")
+        };
+        AlloyCache {
+            slots: vec![Slot::default(); line_slots],
+            fill_probability,
+            demand: DemandStats::new(4096),
+            rng: XorShiftRng::new(0xA110),
+            stats: HashMap::new(),
+            name,
+        }
+    }
+
+    #[inline]
+    fn slot_index(&self, line: LineAddr) -> usize {
+        (line.raw() % self.slots.len() as u64) as usize
+    }
+
+    #[inline]
+    fn tag_of(&self, line: LineAddr) -> u64 {
+        line.raw() / self.slots.len() as u64
+    }
+
+    /// Reconstruct the line address currently held in a slot.
+    fn resident_line(&self, idx: usize) -> LineAddr {
+        LineAddr::new(self.slots[idx].tag * self.slots.len() as u64 + idx as u64)
+    }
+
+    /// The in-package DRAM address of a slot's TAD unit. Slots are laid out
+    /// contiguously so that consecutive lines land in the same DRAM row.
+    fn slot_addr(&self, idx: usize) -> Addr {
+        Addr::new(idx as u64 * 72)
+    }
+
+    fn bump(&mut self, key: &'static str) {
+        *self.stats.entry(key).or_insert(0) += 1;
+    }
+}
+
+impl DramCacheController for AlloyCache {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn access(&mut self, req: &MemRequest, _now: Cycle) -> AccessPlan {
+        let line = req.addr.line();
+        let idx = self.slot_index(line);
+        let tag = self.tag_of(line);
+        let tad_addr = self.slot_addr(idx);
+        let hit = self.slots[idx].valid && self.slots[idx].tag == tag;
+
+        match req.kind {
+            RequestKind::DemandMiss => {
+                self.demand.record(hit);
+                if hit {
+                    self.bump("alloy_hits");
+                    if req.write {
+                        self.slots[idx].dirty = true;
+                    }
+                    // One TAD stream: 64 B data + 32 B tag.
+                    return AccessPlan::empty()
+                        .then(DramOp::in_package(tad_addr, 64, TrafficClass::HitData))
+                        .then(DramOp::in_package(tad_addr, 32, TrafficClass::Tag))
+                        .hit();
+                }
+
+                self.bump("alloy_misses");
+                // Speculative TAD read (wasted data half) then off-package fetch.
+                let mut plan = AccessPlan::empty()
+                    .then(DramOp::in_package(tad_addr, 64, TrafficClass::MissData))
+                    .then(DramOp::in_package(tad_addr, 32, TrafficClass::Tag))
+                    .then(DramOp::off_package(
+                        req.addr,
+                        64,
+                        TrafficClass::MissData,
+                    ));
+
+                // Stochastic fill (BEAR).
+                if self.rng.chance(self.fill_probability) {
+                    self.bump("alloy_fills");
+                    let victim = self.slots[idx];
+                    if victim.valid && victim.dirty {
+                        self.bump("alloy_dirty_victim_writebacks");
+                        let victim_line = self.resident_line(idx);
+                        plan = plan.also(DramOp::off_package(
+                            victim_line.base_addr(),
+                            64,
+                            TrafficClass::Writeback,
+                        ));
+                    }
+                    self.slots[idx] = Slot {
+                        valid: true,
+                        dirty: req.write,
+                        tag,
+                    };
+                    // Fill writes the new TAD unit: 64 B data + 32 B tag.
+                    plan = plan
+                        .also(DramOp::in_package(tad_addr, 64, TrafficClass::Replacement))
+                        .also(DramOp::in_package(tad_addr, 32, TrafficClass::Replacement));
+                }
+                plan
+            }
+            RequestKind::Writeback => {
+                if hit {
+                    self.bump("alloy_writeback_hits");
+                    self.slots[idx].dirty = true;
+                    AccessPlan::empty()
+                        .also(DramOp::in_package(tad_addr, 64, TrafficClass::Writeback))
+                        .also(DramOp::in_package(tad_addr, 32, TrafficClass::Tag))
+                } else {
+                    self.bump("alloy_writeback_misses");
+                    AccessPlan::empty().also(DramOp::off_package(
+                        req.addr,
+                        64,
+                        TrafficClass::Writeback,
+                    ))
+                }
+            }
+        }
+    }
+
+    fn miss_rate(&self) -> f64 {
+        self.demand.miss_rate()
+    }
+
+    fn demand_stats(&self) -> (u64, u64) {
+        self.demand.totals()
+    }
+
+    fn stats(&self) -> StatSet {
+        let mut s = StatSet::new();
+        for (k, v) in self.stats.iter() {
+            s.add(k, *v);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banshee_common::{DramKind, MemSize};
+
+    fn small_config() -> DCacheConfig {
+        DCacheConfig::scaled(MemSize::kib(64)) // 1024 line slots
+    }
+
+    #[test]
+    fn miss_then_hit_traffic_matches_table1() {
+        let mut c = AlloyCache::new(&small_config(), 1.0);
+        let addr = Addr::new(0x10_0000);
+        // First access misses: 96 B in-package probe + 64 B off-package +
+        // 96 B fill.
+        let miss = c.access(&MemRequest::demand(addr, 0), 0);
+        assert!(!miss.dram_cache_hit);
+        assert_eq!(miss.bytes_on(DramKind::InPackage), 96 + 96);
+        assert_eq!(miss.bytes_on(DramKind::OffPackage), 64);
+        // Second access hits: exactly 96 B in-package, nothing off-package.
+        let hit = c.access(&MemRequest::demand(addr, 0), 0);
+        assert!(hit.dram_cache_hit);
+        assert_eq!(hit.bytes_on(DramKind::InPackage), 96);
+        assert_eq!(hit.bytes_on(DramKind::OffPackage), 0);
+        assert_eq!(hit.critical.len(), 2);
+    }
+
+    #[test]
+    fn stochastic_fill_skips_most_fills() {
+        let cfg = small_config();
+        let mut c = AlloyCache::new(&cfg, 0.1);
+        // Stream many distinct lines that all miss.
+        let mut fills = 0u64;
+        let n = 5000u64;
+        for i in 0..n {
+            let addr = Addr::new(i * 64 + (1 << 30));
+            let plan = c.access(&MemRequest::demand(addr, 0), 0);
+            if plan.bytes_of_class(TrafficClass::Replacement) > 0 {
+                fills += 1;
+            }
+        }
+        let fill_rate = fills as f64 / n as f64;
+        assert!(
+            (0.05..0.2).contains(&fill_rate),
+            "expected ~10% fills, got {fill_rate}"
+        );
+    }
+
+    #[test]
+    fn always_fill_evicts_conflicting_line() {
+        let cfg = small_config();
+        let mut c = AlloyCache::new(&cfg, 1.0);
+        let lines = cfg.capacity_lines();
+        let a = Addr::new(0);
+        let conflicting = Addr::new(lines * 64); // maps to the same slot
+        c.access(&MemRequest::demand(a, 0).as_store(), 0);
+        assert_eq!(c.miss_rate(), 1.0);
+        // The conflicting fill must write back the dirty victim off-package.
+        let plan = c.access(&MemRequest::demand(conflicting, 0), 0);
+        assert_eq!(plan.bytes_of_class(TrafficClass::Writeback), 64);
+        // And the original line is gone.
+        let again = c.access(&MemRequest::demand(a, 0), 0);
+        assert!(!again.dram_cache_hit);
+    }
+
+    #[test]
+    fn writeback_routing_depends_on_presence() {
+        let cfg = small_config();
+        let mut c = AlloyCache::new(&cfg, 1.0);
+        let cached = Addr::new(0x4000);
+        c.access(&MemRequest::demand(cached, 0), 0);
+        let wb_hit = c.access(&MemRequest::writeback(cached, 0), 0);
+        assert_eq!(wb_hit.bytes_on(DramKind::InPackage), 96);
+        assert_eq!(wb_hit.bytes_on(DramKind::OffPackage), 0);
+
+        let uncached = Addr::new(0x900_0000);
+        let wb_miss = c.access(&MemRequest::writeback(uncached, 0), 0);
+        assert_eq!(wb_miss.bytes_on(DramKind::InPackage), 0);
+        assert_eq!(wb_miss.bytes_on(DramKind::OffPackage), 64);
+        // Writebacks never appear on the critical path.
+        assert!(wb_hit.critical.is_empty() && wb_miss.critical.is_empty());
+    }
+
+    #[test]
+    fn dirty_writeback_then_eviction_preserves_data() {
+        let cfg = small_config();
+        let mut c = AlloyCache::new(&cfg, 1.0);
+        let lines = cfg.capacity_lines();
+        let a = Addr::new(64);
+        c.access(&MemRequest::demand(a, 0), 0);
+        c.access(&MemRequest::writeback(a, 0), 0); // marks dirty
+        let conflicting = Addr::new(lines * 64 + 64);
+        let plan = c.access(&MemRequest::demand(conflicting, 0), 0);
+        assert_eq!(
+            plan.bytes_of_class(TrafficClass::Writeback),
+            64,
+            "dirty victim must be written back"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_fill_probability_rejected() {
+        let _ = AlloyCache::new(&small_config(), 1.5);
+    }
+}

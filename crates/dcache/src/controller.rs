@@ -1,0 +1,153 @@
+//! The trait every DRAM-cache design implements.
+
+use crate::plan::{AccessPlan, MemRequest};
+use banshee_common::{Cycle, PageNum, StatSet};
+use banshee_memhier::PteMapInfo;
+
+/// A DRAM-cache controller: the logic in a memory controller that decides,
+/// for each request, which DRAM operations to perform and how to manage the
+/// cache's contents.
+///
+/// The system simulator drives controllers through three entry points:
+///
+/// * [`DramCacheController::access`] — every LLC miss and LLC dirty eviction.
+/// * [`DramCacheController::epoch`] — a periodic hook (fixed instruction
+///   interval) used by software-managed designs (HMA) and by designs that
+///   adapt to observed bandwidth (BATMAN).
+/// * [`DramCacheController::current_mapping`] — the ground-truth mapping for
+///   a physical page, used by the simulator when it re-walks the page table
+///   after a TLB shootdown for PTE/TLB-based designs.
+pub trait DramCacheController {
+    /// A short human-readable name ("Banshee", "Alloy 0.1", ...).
+    fn name(&self) -> &str;
+
+    /// Service one request, returning the DRAM operations and side effects.
+    fn access(&mut self, req: &MemRequest, now: Cycle) -> AccessPlan;
+
+    /// Periodic maintenance hook. `now` is the current cycle; the returned
+    /// plan's operations are issued as background traffic. The default
+    /// implementation does nothing.
+    fn epoch(&mut self, _now: Cycle) -> Option<AccessPlan> {
+        None
+    }
+
+    /// The up-to-date DRAM-cache mapping for a physical page, as the *page
+    /// table* should see it after a coherence update. Designs that do not use
+    /// PTE/TLB mapping return [`PteMapInfo::NOT_CACHED`].
+    fn current_mapping(&self, _page: PageNum) -> PteMapInfo {
+        PteMapInfo::NOT_CACHED
+    }
+
+    /// The design's observed DRAM-cache miss rate so far (demand accesses
+    /// only). Used for reporting and, in Banshee, fed back into the adaptive
+    /// sampling rate.
+    fn miss_rate(&self) -> f64;
+
+    /// Total demand accesses and misses (for MPKI reporting).
+    fn demand_stats(&self) -> (u64, u64);
+
+    /// Design-specific named counters (tag-buffer flushes, footprint sizes,
+    /// pages remapped, ...).
+    fn stats(&self) -> StatSet;
+}
+
+/// Shared bookkeeping for demand hit/miss accounting, embedded by the
+/// concrete designs so that miss-rate reporting is uniform.
+#[derive(Debug, Clone, Default)]
+pub struct DemandStats {
+    accesses: u64,
+    misses: u64,
+    /// Misses within the recent window (for adaptive policies).
+    window_accesses: u64,
+    window_misses: u64,
+    window_size: u64,
+    recent_miss_rate: f64,
+}
+
+impl DemandStats {
+    /// Create with a sliding-window length for the recent miss rate.
+    pub fn new(window_size: u64) -> Self {
+        DemandStats {
+            window_size: window_size.max(1),
+            recent_miss_rate: 1.0,
+            ..Default::default()
+        }
+    }
+
+    /// Record one demand access and whether it hit the DRAM cache.
+    pub fn record(&mut self, hit: bool) {
+        self.accesses += 1;
+        self.window_accesses += 1;
+        if !hit {
+            self.misses += 1;
+            self.window_misses += 1;
+        }
+        if self.window_accesses >= self.window_size {
+            self.recent_miss_rate = self.window_misses as f64 / self.window_accesses as f64;
+            self.window_accesses = 0;
+            self.window_misses = 0;
+        }
+    }
+
+    /// Cumulative miss rate.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Miss rate over the most recent completed window (starts at 1.0 so the
+    /// first window of a cold cache samples aggressively, matching the
+    /// paper's intent that sampling tracks the *recent* miss rate).
+    pub fn recent_miss_rate(&self) -> f64 {
+        self.recent_miss_rate
+    }
+
+    /// (accesses, misses) so far.
+    pub fn totals(&self) -> (u64, u64) {
+        (self.accesses, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demand_stats_miss_rate() {
+        let mut s = DemandStats::new(4);
+        assert_eq!(s.miss_rate(), 0.0);
+        s.record(false);
+        s.record(false);
+        s.record(true);
+        s.record(true);
+        assert!((s.miss_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(s.totals(), (4, 2));
+    }
+
+    #[test]
+    fn recent_miss_rate_updates_per_window() {
+        let mut s = DemandStats::new(4);
+        // Before any full window, the recent rate is the pessimistic 1.0.
+        assert_eq!(s.recent_miss_rate(), 1.0);
+        for _ in 0..4 {
+            s.record(false);
+        }
+        assert!((s.recent_miss_rate() - 1.0).abs() < 1e-12);
+        for _ in 0..4 {
+            s.record(true);
+        }
+        assert!(s.recent_miss_rate().abs() < 1e-12);
+        // Cumulative rate is 0.5 though.
+        assert!((s.miss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_window_is_clamped() {
+        let mut s = DemandStats::new(0);
+        s.record(true);
+        assert!((s.recent_miss_rate()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,176 @@
+//! Design selection and the common DRAM-cache configuration.
+
+use banshee_common::{MemSize, PAGE_SIZE};
+use serde::{Deserialize, Serialize};
+
+/// Which DRAM-cache design a simulation uses. This mirrors the scheme list of
+/// the paper's Figure 4.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DramCacheDesign {
+    /// Off-package DRAM only (speedup baseline, "NoCache").
+    NoCache,
+    /// Idealized infinite in-package DRAM ("CacheOnly").
+    CacheOnly,
+    /// Alloy Cache with BEAR optimizations; `fill_probability` is 1.0 for
+    /// "Alloy 1" and 0.1 for "Alloy 0.1".
+    Alloy {
+        /// Probability that a miss fills the cache (stochastic replacement).
+        fill_probability: f64,
+    },
+    /// Unison Cache (page granularity, LRU, way + footprint prediction).
+    Unison,
+    /// Tagless DRAM Cache (idealized TLB coherence, FIFO, perfect footprint).
+    Tdc,
+    /// Software-managed heterogeneous memory architecture (epoch remapping).
+    Hma,
+    /// Banshee with its default frequency-based, sampled replacement.
+    Banshee,
+    /// Ablation: Banshee's architecture but with an LRU policy that replaces
+    /// on every miss (Figure 7, "Banshee LRU").
+    BansheeLru,
+    /// Ablation: Banshee's FBR without sampled counter updates (Figure 7,
+    /// "Banshee FBR no sample", similar to CHOP).
+    BansheeFbrNoSample,
+}
+
+impl DramCacheDesign {
+    /// The display label used in the paper's figures.
+    pub fn label(&self) -> String {
+        match self {
+            DramCacheDesign::NoCache => "NoCache".to_string(),
+            DramCacheDesign::CacheOnly => "CacheOnly".to_string(),
+            DramCacheDesign::Alloy { fill_probability } => {
+                if (*fill_probability - 1.0).abs() < 1e-9 {
+                    "Alloy 1".to_string()
+                } else {
+                    format!("Alloy {fill_probability}")
+                }
+            }
+            DramCacheDesign::Unison => "Unison".to_string(),
+            DramCacheDesign::Tdc => "TDC".to_string(),
+            DramCacheDesign::Hma => "HMA".to_string(),
+            DramCacheDesign::Banshee => "Banshee".to_string(),
+            DramCacheDesign::BansheeLru => "Banshee LRU".to_string(),
+            DramCacheDesign::BansheeFbrNoSample => "Banshee FBR no sample".to_string(),
+        }
+    }
+
+    /// The schemes of Figure 4 in presentation order.
+    pub fn figure4_lineup() -> Vec<DramCacheDesign> {
+        vec![
+            DramCacheDesign::NoCache,
+            DramCacheDesign::Unison,
+            DramCacheDesign::Tdc,
+            DramCacheDesign::Alloy {
+                fill_probability: 1.0,
+            },
+            DramCacheDesign::Alloy {
+                fill_probability: 0.1,
+            },
+            DramCacheDesign::Banshee,
+            DramCacheDesign::CacheOnly,
+        ]
+    }
+}
+
+/// Geometry and behaviour knobs shared by all DRAM-cache designs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DCacheConfig {
+    /// In-package DRAM capacity used as a cache.
+    pub capacity: MemSize,
+    /// Set associativity for page-granularity designs (Banshee, Unison).
+    pub ways: usize,
+    /// Granularity at which footprint prediction is managed, in lines
+    /// (the paper models 4-line granularity).
+    pub footprint_granularity: u64,
+    /// Number of memory controllers the physical address space is
+    /// interleaved over (page granularity). Used to size per-MC structures.
+    pub memory_controllers: usize,
+}
+
+impl DCacheConfig {
+    /// The paper's configuration: 1 GB, 4-way, footprint managed at 4-line
+    /// granularity.
+    pub fn paper_default() -> Self {
+        DCacheConfig {
+            capacity: MemSize::gib(1),
+            ways: 4,
+            footprint_granularity: 4,
+            memory_controllers: 4,
+        }
+    }
+
+    /// A scaled-down configuration for fast simulation, keeping the same
+    /// associativity.
+    pub fn scaled(capacity: MemSize) -> Self {
+        DCacheConfig {
+            capacity,
+            ..Self::paper_default()
+        }
+    }
+
+    /// Total 4 KiB page frames the cache can hold.
+    pub fn capacity_pages(&self) -> u64 {
+        self.capacity.as_bytes() / PAGE_SIZE
+    }
+
+    /// Number of page-granularity sets (capacity pages / ways).
+    pub fn page_sets(&self) -> u64 {
+        (self.capacity_pages() / self.ways as u64).max(1)
+    }
+
+    /// Total 64-byte lines the cache can hold (for line-granularity designs).
+    pub fn capacity_lines(&self) -> u64 {
+        self.capacity.as_bytes() / banshee_common::CACHE_LINE_SIZE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_geometry() {
+        let c = DCacheConfig::paper_default();
+        assert_eq!(c.capacity_pages(), 262_144);
+        assert_eq!(c.page_sets(), 65_536);
+        assert_eq!(c.capacity_lines(), 16_777_216);
+        assert_eq!(c.ways, 4);
+    }
+
+    #[test]
+    fn scaled_keeps_associativity() {
+        let c = DCacheConfig::scaled(MemSize::mib(64));
+        assert_eq!(c.ways, 4);
+        assert_eq!(c.capacity_pages(), 16_384);
+        assert_eq!(c.page_sets(), 4096);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(
+            DramCacheDesign::Alloy {
+                fill_probability: 1.0
+            }
+            .label(),
+            "Alloy 1"
+        );
+        assert_eq!(
+            DramCacheDesign::Alloy {
+                fill_probability: 0.1
+            }
+            .label(),
+            "Alloy 0.1"
+        );
+        assert_eq!(DramCacheDesign::Banshee.label(), "Banshee");
+        assert_eq!(DramCacheDesign::Tdc.label(), "TDC");
+    }
+
+    #[test]
+    fn figure4_lineup_has_seven_schemes() {
+        let lineup = DramCacheDesign::figure4_lineup();
+        assert_eq!(lineup.len(), 7);
+        assert_eq!(lineup[0], DramCacheDesign::NoCache);
+        assert_eq!(lineup[6], DramCacheDesign::CacheOnly);
+    }
+}

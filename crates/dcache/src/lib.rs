@@ -1,0 +1,59 @@
+//! DRAM-cache controller abstraction and the baseline designs the Banshee
+//! paper compares against.
+//!
+//! A DRAM-cache *design* decides, for every request that reaches a memory
+//! controller (an LLC demand miss or an LLC dirty eviction), which DRAM
+//! operations happen: where the data lives, which tags/metadata must be read
+//! or written, and what replacement traffic is generated. The design returns
+//! an [`AccessPlan`] — an explicit list of DRAM operations split into the
+//! *critical path* (the requester waits for these) and *background* work
+//! (fills, writebacks, metadata updates that only consume bandwidth) — plus
+//! any OS-level side effects (page-table updates, TLB shootdowns, page
+//! flushes).
+//!
+//! Designs implemented here (Section 2 and Table 1 of the paper):
+//!
+//! * [`nocache::NoCache`] — off-package DRAM only (the speedup baseline).
+//! * [`cacheonly::CacheOnly`] — idealized infinite in-package DRAM.
+//! * [`alloy::AlloyCache`] — direct-mapped, line-granularity, tags-in-DRAM
+//!   (Qureshi & Loh, MICRO 2012) with the BEAR bandwidth optimizations and
+//!   stochastic fill.
+//! * [`unison::UnisonCache`] — page-granularity, 4-way, LRU, tags-in-DRAM
+//!   with way prediction and footprint caching (Jevdjic et al., MICRO 2014).
+//! * [`tdc::Tdc`] — the Tagless DRAM Cache (Lee et al., ISCA 2015):
+//!   PTE/TLB-mapped, fully-associative, FIFO, idealized TLB coherence.
+//! * [`hma::Hma`] — software-managed epoch-based remapping (Meswani et al.,
+//!   HPCA 2015).
+//! * [`batman::Batman`] — the BATMAN bandwidth-balancing wrapper
+//!   (Section 5.4.2), applicable on top of any other design.
+//!
+//! The Banshee design itself lives in the `banshee` crate and implements the
+//! same [`DramCacheController`] trait.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod alloy;
+pub mod batman;
+pub mod cacheonly;
+pub mod controller;
+pub mod design;
+pub mod footprint;
+pub mod hma;
+pub mod nocache;
+pub mod plan;
+pub mod tdc;
+pub mod unison;
+
+pub use controller::{DemandStats, DramCacheController};
+pub use design::{DCacheConfig, DramCacheDesign};
+pub use footprint::FootprintPredictor;
+pub use plan::{AccessPlan, DramOp, MemRequest, RequestKind, SideEffect};
+
+/// Bytes of a tag/metadata access on the in-package DRAM link (the paper
+/// charges 32 B for a tag read or update — the link's minimum transfer).
+pub const TAG_BYTES: u64 = 32;
+/// Bytes of one cache line.
+pub const LINE_BYTES: u64 = banshee_common::CACHE_LINE_SIZE;
+/// Bytes of one regular page.
+pub const PAGE_BYTES: u64 = banshee_common::PAGE_SIZE;

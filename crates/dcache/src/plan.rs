@@ -1,0 +1,291 @@
+//! Requests into a memory controller and the access plans that come out.
+
+use banshee_common::{Addr, Cycle, DramKind, PageNum, TrafficClass};
+use banshee_memhier::PteMapInfo;
+use serde::{Deserialize, Serialize};
+
+/// What kind of request reached the memory controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RequestKind {
+    /// An LLC demand miss (read or write-allocate) — the core is waiting for
+    /// this data.
+    DemandMiss,
+    /// An LLC dirty eviction — nobody waits, but the data must land in the
+    /// right DRAM. These requests carry **no** TLB mapping hint (Section 3.3),
+    /// which is why tag-based probing or the tag buffer is needed for them.
+    Writeback,
+}
+
+/// One request from the LLC to a memory controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Physical address of the 64-byte line.
+    pub addr: Addr,
+    /// Demand miss or dirty eviction.
+    pub kind: RequestKind,
+    /// True when the demand access is a store (the filled line becomes dirty).
+    pub write: bool,
+    /// Core that issued the access (used for charging OS work).
+    pub core: usize,
+    /// Mapping hint carried from the TLB (cached bit + way bits). `None` for
+    /// dirty evictions and for designs that do not use PTE/TLB mapping.
+    /// The hint may be **stale**; PTE/TLB-based designs must handle that.
+    pub map_hint: Option<PteMapInfo>,
+    /// True when the access falls in a 2 MiB large-page mapping.
+    pub large_page: bool,
+}
+
+impl MemRequest {
+    /// Convenience constructor for a demand read with no mapping hint.
+    pub fn demand(addr: Addr, core: usize) -> Self {
+        MemRequest {
+            addr,
+            kind: RequestKind::DemandMiss,
+            write: false,
+            core,
+            map_hint: None,
+            large_page: false,
+        }
+    }
+
+    /// Convenience constructor for an LLC dirty eviction.
+    pub fn writeback(addr: Addr, core: usize) -> Self {
+        MemRequest {
+            addr,
+            kind: RequestKind::Writeback,
+            write: true,
+            core,
+            map_hint: None,
+            large_page: false,
+        }
+    }
+
+    /// Attach a TLB mapping hint.
+    pub fn with_hint(mut self, hint: PteMapInfo) -> Self {
+        self.map_hint = Some(hint);
+        self
+    }
+
+    /// Mark the access as a store.
+    pub fn as_store(mut self) -> Self {
+        self.write = true;
+        self
+    }
+
+    /// Mark the access as belonging to a large page.
+    pub fn on_large_page(mut self) -> Self {
+        self.large_page = true;
+        self
+    }
+
+    /// The 4 KiB page of this request.
+    pub fn page(&self) -> PageNum {
+        self.addr.page()
+    }
+}
+
+/// One DRAM operation the memory controller must perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramOp {
+    /// Which DRAM the operation targets.
+    pub dram: DramKind,
+    /// Address used for channel/bank/row mapping.
+    pub addr: Addr,
+    /// Payload size in bytes (rounded up to the link's minimum transfer by
+    /// the DRAM model).
+    pub bytes: u64,
+    /// What the bytes are moved for (drives the Figure 5/6/9 breakdowns).
+    pub class: TrafficClass,
+}
+
+impl DramOp {
+    /// An operation on the in-package DRAM.
+    pub fn in_package(addr: Addr, bytes: u64, class: TrafficClass) -> Self {
+        DramOp {
+            dram: DramKind::InPackage,
+            addr,
+            bytes,
+            class,
+        }
+    }
+
+    /// An operation on the off-package DRAM.
+    pub fn off_package(addr: Addr, bytes: u64, class: TrafficClass) -> Self {
+        DramOp {
+            dram: DramKind::OffPackage,
+            addr,
+            bytes,
+            class,
+        }
+    }
+}
+
+/// OS-level side effects a design can request; the system simulator applies
+/// them (charging core cycles, flushing TLBs or SRAM caches, updating PTEs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SideEffect {
+    /// Run a software routine on one core for `cycles` cycles (e.g. the
+    /// tag-buffer-full interrupt handler of Section 3.4, or HMA's periodic
+    /// remapping routine).
+    OsWork {
+        /// Cycles of work charged to a single core.
+        cycles: Cycle,
+    },
+    /// Stall every core for `cycles` cycles (HMA stops all programs while it
+    /// migrates pages).
+    StallAllCores {
+        /// Cycles during which no core makes progress.
+        cycles: Cycle,
+    },
+    /// Apply new mapping bits to every PTE of the given physical pages (via
+    /// the reverse map) — the batched page-table update of Section 3.4.
+    UpdatePageTable {
+        /// (physical page, new mapping) pairs to apply.
+        updates: Vec<(PageNum, PteMapInfo)>,
+    },
+    /// System-wide TLB shootdown. The simulator flushes every TLB and charges
+    /// the initiator/slave costs from Table 3.
+    TlbShootdown,
+    /// Flush every line of a physical page from the on-chip SRAM caches
+    /// (the address-consistency scrub NUMA-style designs need). Dirty lines
+    /// are written back to the DRAM currently holding the page.
+    FlushPage {
+        /// Page to scrub from the SRAM hierarchy.
+        page: PageNum,
+    },
+}
+
+/// The memory-controller-level plan for servicing one request.
+#[derive(Debug, Clone, Default)]
+pub struct AccessPlan {
+    /// Operations the requester waits for, executed in order (each starts
+    /// when the previous finishes — e.g. a tag probe followed by the
+    /// off-package fetch it missed on).
+    pub critical: Vec<DramOp>,
+    /// Operations that only consume bandwidth (fills, evictions, metadata
+    /// updates). Issued when the critical path completes.
+    pub background: Vec<DramOp>,
+    /// Extra fixed latency on the critical path not tied to a DRAM access
+    /// (e.g. way-predictor or SRAM structure lookups).
+    pub extra_latency: Cycle,
+    /// OS side effects to apply after this access.
+    pub side_effects: Vec<SideEffect>,
+    /// Whether the access was serviced by the in-package DRAM (drives the
+    /// DRAM-cache miss-rate / MPKI statistics). Meaningless for writebacks.
+    pub dram_cache_hit: bool,
+}
+
+impl AccessPlan {
+    /// An empty plan (no DRAM traffic at all).
+    pub fn empty() -> Self {
+        AccessPlan::default()
+    }
+
+    /// Plan builder: append a critical-path operation.
+    pub fn then(mut self, op: DramOp) -> Self {
+        self.critical.push(op);
+        self
+    }
+
+    /// Plan builder: append a background operation.
+    pub fn also(mut self, op: DramOp) -> Self {
+        self.background.push(op);
+        self
+    }
+
+    /// Plan builder: record a side effect.
+    pub fn with_side_effect(mut self, effect: SideEffect) -> Self {
+        self.side_effects.push(effect);
+        self
+    }
+
+    /// Plan builder: mark the plan as a DRAM-cache hit.
+    pub fn hit(mut self) -> Self {
+        self.dram_cache_hit = true;
+        self
+    }
+
+    /// Total bytes this plan moves on the given DRAM (before min-transfer
+    /// rounding).
+    pub fn bytes_on(&self, dram: DramKind) -> u64 {
+        self.critical
+            .iter()
+            .chain(self.background.iter())
+            .filter(|op| op.dram == dram)
+            .map(|op| op.bytes)
+            .sum()
+    }
+
+    /// Total bytes of a given traffic class across both DRAMs.
+    pub fn bytes_of_class(&self, class: TrafficClass) -> u64 {
+        self.critical
+            .iter()
+            .chain(self.background.iter())
+            .filter(|op| op.class == class)
+            .map(|op| op.bytes)
+            .sum()
+    }
+
+    /// Number of DRAM operations (critical + background).
+    pub fn op_count(&self) -> usize {
+        self.critical.len() + self.background.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_builders() {
+        let d = MemRequest::demand(Addr::new(0x1000), 3)
+            .with_hint(PteMapInfo::cached_in(2))
+            .as_store()
+            .on_large_page();
+        assert_eq!(d.kind, RequestKind::DemandMiss);
+        assert!(d.write && d.large_page);
+        assert_eq!(d.core, 3);
+        assert_eq!(d.map_hint, Some(PteMapInfo::cached_in(2)));
+        assert_eq!(d.page(), PageNum::new(1));
+
+        let w = MemRequest::writeback(Addr::new(0x2000), 0);
+        assert_eq!(w.kind, RequestKind::Writeback);
+        assert!(w.write);
+        assert!(w.map_hint.is_none());
+    }
+
+    #[test]
+    fn plan_builder_accumulates() {
+        let plan = AccessPlan::empty()
+            .then(DramOp::in_package(Addr::new(0), 64, TrafficClass::HitData))
+            .then(DramOp::in_package(Addr::new(0), 32, TrafficClass::Tag))
+            .also(DramOp::off_package(Addr::new(0), 64, TrafficClass::Writeback))
+            .hit();
+        assert_eq!(plan.critical.len(), 2);
+        assert_eq!(plan.background.len(), 1);
+        assert!(plan.dram_cache_hit);
+        assert_eq!(plan.bytes_on(DramKind::InPackage), 96);
+        assert_eq!(plan.bytes_on(DramKind::OffPackage), 64);
+        assert_eq!(plan.bytes_of_class(TrafficClass::Tag), 32);
+        assert_eq!(plan.op_count(), 3);
+    }
+
+    #[test]
+    fn empty_plan_is_traffic_free() {
+        let plan = AccessPlan::empty();
+        assert_eq!(plan.bytes_on(DramKind::InPackage), 0);
+        assert_eq!(plan.bytes_on(DramKind::OffPackage), 0);
+        assert!(!plan.dram_cache_hit);
+        assert_eq!(plan.op_count(), 0);
+    }
+
+    #[test]
+    fn side_effects_recorded_in_order() {
+        let plan = AccessPlan::empty()
+            .with_side_effect(SideEffect::OsWork { cycles: 100 })
+            .with_side_effect(SideEffect::TlbShootdown);
+        assert_eq!(plan.side_effects.len(), 2);
+        assert_eq!(plan.side_effects[0], SideEffect::OsWork { cycles: 100 });
+        assert_eq!(plan.side_effects[1], SideEffect::TlbShootdown);
+    }
+}

@@ -1,0 +1,318 @@
+//! Tagless DRAM Cache (TDC): page-granularity, fully-associative, FIFO
+//! replacement, with the page mapping held in PTEs/TLBs (Lee et al., ISCA
+//! 2015).
+//!
+//! The Banshee paper evaluates an **idealized** TDC (Section 5.1.1): TLB
+//! coherence is assumed free, address-consistency side effects are ignored,
+//! and footprint prediction is perfect. We reproduce that idealization:
+//!
+//! * **Hit**: 64 B of in-package traffic, no tag access (the mapping came
+//!   from the TLB).
+//! * **Miss**: 64 B from off-package DRAM on the critical path, again no tag
+//!   probe.
+//! * **Replacement on every miss**: the page is brought in at footprint
+//!   granularity and a FIFO victim is evicted (its dirty lines written back).
+//! * **LLC dirty eviction**: routed by the (idealized, always-correct)
+//!   mapping; 64 B to whichever DRAM holds the line.
+//!
+//! Because the mapping is NUMA-style (the page's physical address changes
+//! when it moves), a real TDC would also need cache scrubbing for address
+//! consistency; the paper explicitly ignores this for TDC, and so do we.
+
+use crate::controller::{DemandStats, DramCacheController};
+use crate::design::DCacheConfig;
+use crate::footprint::FootprintPredictor;
+use crate::plan::{AccessPlan, DramOp, MemRequest, RequestKind};
+use banshee_common::{Addr, Cycle, PageNum, StatSet, TrafficClass, CACHE_LINE_SIZE, PAGE_SIZE};
+use banshee_memhier::PteMapInfo;
+use std::collections::{HashMap, VecDeque};
+
+/// State of one cached page frame in the in-package DRAM.
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    /// Which in-package frame slot the page occupies (for DRAM addressing).
+    slot: u64,
+    /// Bitmask of dirty lines.
+    dirty_mask: u64,
+}
+
+/// The idealized TDC controller.
+#[derive(Debug)]
+pub struct Tdc {
+    /// Fully-associative content map: page → frame.
+    frames: HashMap<PageNum, Frame>,
+    /// FIFO order of insertion.
+    fifo: VecDeque<PageNum>,
+    /// Free frame slots.
+    free_slots: Vec<u64>,
+    /// Total page frames the cache can hold.
+    capacity_pages: u64,
+    demand: DemandStats,
+    footprint: FootprintPredictor,
+    fills: u64,
+    evictions: u64,
+}
+
+impl Tdc {
+    /// Build a TDC over the configured capacity.
+    pub fn new(config: &DCacheConfig) -> Self {
+        let capacity_pages = config.capacity_pages().max(1);
+        Tdc {
+            frames: HashMap::new(),
+            fifo: VecDeque::new(),
+            free_slots: (0..capacity_pages).rev().collect(),
+            capacity_pages,
+            demand: DemandStats::new(4096),
+            footprint: FootprintPredictor::new(config.footprint_granularity),
+            fills: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Number of pages currently cached.
+    pub fn resident_pages(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Total page frames the cache can hold.
+    pub fn capacity_pages(&self) -> u64 {
+        self.capacity_pages
+    }
+
+    fn frame_addr(&self, slot: u64, offset: u64) -> Addr {
+        Addr::new(slot * PAGE_SIZE + offset)
+    }
+
+    /// Evict the FIFO-oldest page, returning the traffic it generates.
+    fn evict_one(&mut self, plan: &mut AccessPlan) -> u64 {
+        let victim = loop {
+            match self.fifo.pop_front() {
+                Some(p) if self.frames.contains_key(&p) => break p,
+                Some(_) => continue,
+                None => return u64::MAX, // nothing to evict; caller handles
+            }
+        };
+        let frame = self.frames.remove(&victim).expect("victim resident");
+        self.evictions += 1;
+        let dirty_lines = u64::from(frame.dirty_mask.count_ones());
+        if dirty_lines > 0 {
+            plan.background.push(DramOp::in_package(
+                self.frame_addr(frame.slot, 0),
+                dirty_lines * CACHE_LINE_SIZE,
+                TrafficClass::Replacement,
+            ));
+            plan.background.push(DramOp::off_package(
+                victim.base_addr(),
+                dirty_lines * CACHE_LINE_SIZE,
+                TrafficClass::Writeback,
+            ));
+        }
+        self.footprint.on_evict(victim);
+        frame.slot
+    }
+}
+
+impl DramCacheController for Tdc {
+    fn name(&self) -> &str {
+        "TDC"
+    }
+
+    fn access(&mut self, req: &MemRequest, _now: Cycle) -> AccessPlan {
+        let page = req.page();
+        let line_in_page = req.addr.line().index_in_page();
+
+        match req.kind {
+            RequestKind::DemandMiss => {
+                if let Some(frame) = self.frames.get_mut(&page) {
+                    // ---- Hit: pure 64 B in-package access ----
+                    self.demand.record(true);
+                    if req.write {
+                        frame.dirty_mask |= 1 << line_in_page;
+                    }
+                    let slot = frame.slot;
+                    let addr = self.frame_addr(slot, req.addr.page_offset());
+                    self.footprint.on_access(page, line_in_page);
+                    return AccessPlan::empty()
+                        .then(DramOp::in_package(addr, 64, TrafficClass::HitData))
+                        .hit();
+                }
+
+                // ---- Miss: off-package demand fetch + replacement ----
+                self.demand.record(false);
+                let mut plan = AccessPlan::empty().then(DramOp::off_package(
+                    req.addr,
+                    64,
+                    TrafficClass::MissData,
+                ));
+
+                // Find a frame slot (evicting the FIFO-oldest if full).
+                let slot = if let Some(slot) = self.free_slots.pop() {
+                    slot
+                } else {
+                    let slot = self.evict_one(&mut plan);
+                    debug_assert!(slot != u64::MAX, "full cache must have a victim");
+                    slot
+                };
+
+                // Fill at footprint granularity.
+                self.fills += 1;
+                let fp_bytes = self.footprint.predicted_bytes();
+                self.footprint.on_fill(page, line_in_page);
+                plan = plan
+                    .also(DramOp::off_package(
+                        page.base_addr(),
+                        fp_bytes,
+                        TrafficClass::Replacement,
+                    ))
+                    .also(DramOp::in_package(
+                        self.frame_addr(slot, 0),
+                        fp_bytes,
+                        TrafficClass::Replacement,
+                    ));
+
+                self.frames.insert(
+                    page,
+                    Frame {
+                        slot,
+                        dirty_mask: if req.write { 1 << line_in_page } else { 0 },
+                    },
+                );
+                self.fifo.push_back(page);
+                plan
+            }
+            RequestKind::Writeback => {
+                // Idealized: mapping always known, no probe traffic.
+                if let Some(frame) = self.frames.get_mut(&page) {
+                    frame.dirty_mask |= 1 << line_in_page;
+                    let slot = frame.slot;
+                    let addr = self.frame_addr(slot, req.addr.page_offset());
+                    AccessPlan::empty()
+                        .also(DramOp::in_package(addr, 64, TrafficClass::Writeback))
+                } else {
+                    AccessPlan::empty()
+                        .also(DramOp::off_package(req.addr, 64, TrafficClass::Writeback))
+                }
+            }
+        }
+    }
+
+    fn current_mapping(&self, page: PageNum) -> PteMapInfo {
+        if self.frames.contains_key(&page) {
+            PteMapInfo::cached_in(0)
+        } else {
+            PteMapInfo::NOT_CACHED
+        }
+    }
+
+    fn miss_rate(&self) -> f64 {
+        self.demand.miss_rate()
+    }
+
+    fn demand_stats(&self) -> (u64, u64) {
+        self.demand.totals()
+    }
+
+    fn stats(&self) -> StatSet {
+        let mut s = StatSet::new();
+        s.add("tdc_fills", self.fills);
+        s.add("tdc_evictions", self.evictions);
+        s.add("tdc_resident_pages", self.frames.len() as u64);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banshee_common::{DramKind, MemSize};
+
+    fn tiny() -> DCacheConfig {
+        DCacheConfig {
+            capacity: MemSize::kib(16), // 4 pages
+            ..DCacheConfig::paper_default()
+        }
+    }
+
+    #[test]
+    fn hit_is_tagless_64_bytes() {
+        let mut c = Tdc::new(&tiny());
+        let addr = Addr::new(0x3000);
+        c.access(&MemRequest::demand(addr, 0), 0);
+        let hit = c.access(&MemRequest::demand(addr, 0), 0);
+        assert!(hit.dram_cache_hit);
+        assert_eq!(hit.bytes_on(DramKind::InPackage), 64);
+        assert_eq!(hit.bytes_of_class(TrafficClass::Tag), 0, "TDC has no tag traffic");
+    }
+
+    #[test]
+    fn miss_critical_path_is_single_off_package_access() {
+        let mut c = Tdc::new(&tiny());
+        let miss = c.access(&MemRequest::demand(Addr::new(0x5000), 0), 0);
+        assert_eq!(miss.critical.len(), 1);
+        assert_eq!(miss.critical[0].dram, DramKind::OffPackage);
+        assert_eq!(miss.critical[0].bytes, 64);
+    }
+
+    #[test]
+    fn fully_associative_no_conflict_misses() {
+        // 4-page capacity: any 4 distinct pages can coexist regardless of
+        // their addresses (unlike a set-associative cache).
+        let mut c = Tdc::new(&tiny());
+        let pages = [0u64, 1 << 20, 2 << 20, 3 << 20];
+        for &p in &pages {
+            c.access(&MemRequest::demand(Addr::new(p), 0), 0);
+        }
+        for &p in &pages {
+            assert!(c.access(&MemRequest::demand(Addr::new(p), 0), 0).dram_cache_hit);
+        }
+        assert_eq!(c.resident_pages(), 4);
+    }
+
+    #[test]
+    fn fifo_evicts_oldest_even_if_recently_used() {
+        let mut c = Tdc::new(&tiny());
+        for p in 0..4u64 {
+            c.access(&MemRequest::demand(PageNum::new(p).base_addr(), 0), 0);
+        }
+        // Touch page 0 again (FIFO ignores recency), then insert a 5th page.
+        c.access(&MemRequest::demand(PageNum::new(0).base_addr(), 0), 0);
+        c.access(&MemRequest::demand(PageNum::new(9).base_addr(), 0), 0);
+        assert!(
+            !c.access(&MemRequest::demand(PageNum::new(0).base_addr(), 0), 0)
+                .dram_cache_hit,
+            "FIFO must evict the oldest-inserted page"
+        );
+    }
+
+    #[test]
+    fn dirty_victim_written_back_on_eviction() {
+        let mut c = Tdc::new(&tiny());
+        c.access(&MemRequest::demand(PageNum::new(0).base_addr(), 0).as_store(), 0);
+        for p in 1..4u64 {
+            c.access(&MemRequest::demand(PageNum::new(p).base_addr(), 0), 0);
+        }
+        // Eviction of page 0 (dirty, 1 line) happens on the next miss.
+        let plan = c.access(&MemRequest::demand(PageNum::new(7).base_addr(), 0), 0);
+        assert_eq!(plan.bytes_of_class(TrafficClass::Writeback), 64);
+    }
+
+    #[test]
+    fn writeback_routing_uses_ground_truth_mapping() {
+        let mut c = Tdc::new(&tiny());
+        let cached = Addr::new(0x2000);
+        c.access(&MemRequest::demand(cached, 0), 0);
+        let wb_hit = c.access(&MemRequest::writeback(cached, 0), 0);
+        assert_eq!(wb_hit.bytes_on(DramKind::InPackage), 64);
+        let wb_miss = c.access(&MemRequest::writeback(Addr::new(0xAB_0000), 0), 0);
+        assert_eq!(wb_miss.bytes_on(DramKind::OffPackage), 64);
+    }
+
+    #[test]
+    fn mapping_exposed_for_page_table() {
+        let mut c = Tdc::new(&tiny());
+        let addr = Addr::new(0x7000);
+        assert_eq!(c.current_mapping(addr.page()), PteMapInfo::NOT_CACHED);
+        c.access(&MemRequest::demand(addr, 0), 0);
+        assert!(c.current_mapping(addr.page()).cached);
+    }
+}

@@ -1,0 +1,280 @@
+//! A single DRAM channel: banks with row-buffer state plus a shared data bus.
+//!
+//! Timing model per access:
+//!
+//! 1. The target bank is selected from the address (bank interleaving at
+//!    row-buffer granularity).
+//! 2. The access waits until the bank is free, then pays the row-buffer
+//!    latency (hit / closed / conflict).
+//! 3. The data transfer then waits for the channel's data bus and occupies it
+//!    for `transfer_cycles(bytes)`.
+//!
+//! This is not a full DDR protocol model (no command bus, no tFAW/tWTR), but
+//! it captures the two effects the paper's evaluation depends on: *queueing
+//! under bandwidth pressure* and *row-buffer locality* (sequential page fills
+//! are cheaper per byte than scattered line accesses).
+
+use crate::config::{DramConfig, DramTiming};
+use banshee_common::{Addr, Cycle};
+
+/// What the row buffer did for an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowBufferOutcome {
+    /// The addressed row was already open.
+    Hit,
+    /// The bank had no open row (first access or after an explicit close).
+    Closed,
+    /// A different row was open and had to be precharged first.
+    Conflict,
+}
+
+/// Per-bank state: which row is open and until when the bank is busy.
+#[derive(Debug, Clone, Default)]
+pub struct Bank {
+    open_row: Option<u64>,
+    busy_until: Cycle,
+    /// Earliest cycle a precharge may complete, i.e. activate time + tRAS.
+    ras_until: Cycle,
+}
+
+impl Bank {
+    /// The currently open row, if any.
+    pub fn open_row(&self) -> Option<u64> {
+        self.open_row
+    }
+
+    /// The cycle until which the bank is busy with its current access.
+    pub fn busy_until(&self) -> Cycle {
+        self.busy_until
+    }
+}
+
+/// Result of scheduling one access on a channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelAccess {
+    /// Cycle at which the access started being serviced (after queueing).
+    pub start: Cycle,
+    /// Cycle at which the requested data has fully crossed the bus.
+    pub finish: Cycle,
+    /// Row-buffer behaviour of this access.
+    pub row_outcome: RowBufferOutcome,
+}
+
+/// One DRAM channel.
+#[derive(Debug, Clone)]
+pub struct Channel {
+    banks: Vec<Bank>,
+    bus_free: Cycle,
+    busy_cycles: u64,
+    accesses: u64,
+    row_hits: u64,
+    row_conflicts: u64,
+}
+
+impl Channel {
+    /// Create a channel with `banks` banks.
+    pub fn new(banks: usize) -> Self {
+        assert!(banks > 0, "a channel needs at least one bank");
+        Channel {
+            banks: vec![Bank::default(); banks],
+            bus_free: 0,
+            busy_cycles: 0,
+            accesses: 0,
+            row_hits: 0,
+            row_conflicts: 0,
+        }
+    }
+
+    /// Number of banks.
+    pub fn bank_count(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Total cycles the data bus has been occupied.
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// Number of accesses serviced.
+    pub fn access_count(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Row-buffer hit count.
+    pub fn row_hit_count(&self) -> u64 {
+        self.row_hits
+    }
+
+    /// Row-buffer conflict count.
+    pub fn row_conflict_count(&self) -> u64 {
+        self.row_conflicts
+    }
+
+    /// Earliest cycle at which the data bus is free.
+    pub fn bus_free_at(&self) -> Cycle {
+        self.bus_free
+    }
+
+    /// Schedule an access of `bytes` bytes to `addr`, arriving at `now`.
+    ///
+    /// Returns when the access starts being serviced and when its data has
+    /// fully transferred. Bank and bus state are updated.
+    pub fn access(
+        &mut self,
+        cfg: &DramConfig,
+        timing: &DramTiming,
+        now: Cycle,
+        addr: Addr,
+        bytes: u64,
+    ) -> ChannelAccess {
+        self.accesses += 1;
+
+        let bank_count = self.banks.len() as u64;
+        // Interleave banks at row-buffer granularity so a page fill streams
+        // within one row.
+        let row_id = addr.raw() / cfg.row_buffer_bytes;
+        let bank_idx = (row_id % bank_count) as usize;
+        let row = row_id / bank_count;
+
+        let bank = &mut self.banks[bank_idx];
+        let start = now.max(bank.busy_until);
+
+        let (outcome, access_latency, precharge_wait) = match bank.open_row {
+            Some(open) if open == row => (RowBufferOutcome::Hit, cfg.row_hit_latency(), 0),
+            Some(_) => {
+                // Must respect tRAS before the precharge of the old row.
+                let wait = bank.ras_until.saturating_sub(start);
+                (
+                    RowBufferOutcome::Conflict,
+                    cfg.row_conflict_latency(timing),
+                    wait,
+                )
+            }
+            None => (RowBufferOutcome::Closed, cfg.row_closed_latency(timing), 0),
+        };
+
+        match outcome {
+            RowBufferOutcome::Hit => self.row_hits += 1,
+            RowBufferOutcome::Conflict => self.row_conflicts += 1,
+            RowBufferOutcome::Closed => {}
+        }
+
+        let data_ready = start + precharge_wait + access_latency;
+        let transfer = cfg.transfer_cycles(bytes);
+        let bus_start = data_ready.max(self.bus_free);
+        let finish = bus_start + transfer;
+
+        // Update state.
+        self.bus_free = finish;
+        self.busy_cycles += transfer;
+        let bank = &mut self.banks[bank_idx];
+        bank.open_row = Some(row);
+        bank.busy_until = finish;
+        if outcome != RowBufferOutcome::Hit {
+            bank.ras_until = start + precharge_wait + cfg.bank_busy_after_activate(timing);
+        }
+
+        ChannelAccess {
+            start,
+            finish,
+            row_outcome: outcome,
+        }
+    }
+
+    /// Bus utilization over `elapsed` cycles (clamped to [0, 1]).
+    pub fn utilization(&self, elapsed: Cycle) -> f64 {
+        if elapsed == 0 {
+            0.0
+        } else {
+            (self.busy_cycles as f64 / elapsed as f64).min(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DramConfig {
+        DramConfig::in_package_default()
+    }
+
+    #[test]
+    fn first_access_is_row_closed() {
+        let c = cfg();
+        let t = DramTiming::default();
+        let mut ch = Channel::new(8);
+        let a = ch.access(&c, &t, 0, Addr::new(0x1000), 64);
+        assert_eq!(a.row_outcome, RowBufferOutcome::Closed);
+        assert!(a.finish > a.start);
+    }
+
+    #[test]
+    fn same_row_hits_after_first_access() {
+        let c = cfg();
+        let t = DramTiming::default();
+        let mut ch = Channel::new(8);
+        let first = ch.access(&c, &t, 0, Addr::new(0x0), 64);
+        let second = ch.access(&c, &t, first.finish, Addr::new(0x40), 64);
+        assert_eq!(second.row_outcome, RowBufferOutcome::Hit);
+        // Row hit latency should be shorter than the closed access.
+        assert!(second.finish - second.start <= first.finish - first.start);
+    }
+
+    #[test]
+    fn different_row_same_bank_conflicts() {
+        let c = cfg();
+        let t = DramTiming::default();
+        let mut ch = Channel::new(2);
+        // Rows map to banks via row_id % 2; row 0 and row 2 share bank 0.
+        let first = ch.access(&c, &t, 0, Addr::new(0), 64);
+        let conflict_addr = Addr::new(2 * c.row_buffer_bytes);
+        let second = ch.access(&c, &t, first.finish + 1000, conflict_addr, 64);
+        assert_eq!(second.row_outcome, RowBufferOutcome::Conflict);
+        assert_eq!(ch.row_conflict_count(), 1);
+    }
+
+    #[test]
+    fn back_to_back_accesses_queue_on_the_bus() {
+        let c = cfg();
+        let t = DramTiming::default();
+        let mut ch = Channel::new(8);
+        // Two accesses to different banks issued at the same time must
+        // serialize on the data bus.
+        let a = ch.access(&c, &t, 0, Addr::new(0), 64);
+        let b = ch.access(&c, &t, 0, Addr::new(c.row_buffer_bytes), 64);
+        assert!(b.finish >= a.finish + c.transfer_cycles(64));
+    }
+
+    #[test]
+    fn large_transfers_occupy_bus_longer() {
+        let c = cfg();
+        let t = DramTiming::default();
+        let mut ch_small = Channel::new(8);
+        let mut ch_big = Channel::new(8);
+        let small = ch_small.access(&c, &t, 0, Addr::new(0), 64);
+        let big = ch_big.access(&c, &t, 0, Addr::new(0), 4096);
+        assert!(big.finish - big.start > small.finish - small.start);
+        assert!(ch_big.busy_cycles() > ch_small.busy_cycles());
+    }
+
+    #[test]
+    fn utilization_bounded() {
+        let c = cfg();
+        let t = DramTiming::default();
+        let mut ch = Channel::new(8);
+        for i in 0..100u64 {
+            ch.access(&c, &t, i, Addr::new(i * 64), 64);
+        }
+        let u = ch.utilization(ch.bus_free_at());
+        assert!(u > 0.0 && u <= 1.0, "utilization {u}");
+        assert_eq!(ch.utilization(0), 0.0);
+        assert_eq!(ch.access_count(), 100);
+    }
+
+    #[test]
+    #[should_panic]
+    fn channel_requires_banks() {
+        let _ = Channel::new(0);
+    }
+}

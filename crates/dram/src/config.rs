@@ -1,0 +1,216 @@
+//! DRAM timing and organization configuration.
+
+use banshee_common::{Cycle, CyclesPerSec, MemSize};
+use serde::{Deserialize, Serialize};
+
+/// Raw DRAM timing parameters, expressed in DRAM *bus* clock cycles (the
+/// paper's Table 2 lists 10-10-10-24 at a 667 MHz bus clock).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramTiming {
+    /// Column access strobe latency (read command → first data beat).
+    pub t_cas: u64,
+    /// Row-to-column delay (activate → read command).
+    pub t_rcd: u64,
+    /// Row precharge time (precharge → activate).
+    pub t_rp: u64,
+    /// Row active time (activate → precharge allowed).
+    pub t_ras: u64,
+}
+
+impl DramTiming {
+    /// The paper's default timing: tCAS-tRCD-tRP-tRAS = 10-10-10-24.
+    pub const fn paper_default() -> Self {
+        DramTiming {
+            t_cas: 10,
+            t_rcd: 10,
+            t_rp: 10,
+            t_ras: 24,
+        }
+    }
+}
+
+impl Default for DramTiming {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Full configuration of one DRAM device (a set of identical channels).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Number of independent channels.
+    pub channels: usize,
+    /// Number of banks per channel.
+    pub banks_per_channel: usize,
+    /// Row-buffer (DRAM page) size per bank, in bytes.
+    pub row_buffer_bytes: u64,
+    /// Bus width in bytes per channel (128 bits = 16 B in the paper).
+    pub bus_bytes: u64,
+    /// DRAM bus clock frequency. Data rate is double (DDR).
+    pub bus_clock: CyclesPerSec,
+    /// CPU core clock, used to convert DRAM timing into CPU cycles.
+    pub cpu_clock: CyclesPerSec,
+    /// Minimum data-transfer granule in bytes (32 B for HBM-like links;
+    /// this is why a 64 B line + 8 B tag costs 96 B).
+    pub min_transfer_bytes: u64,
+    /// Multiplier applied to the row access latency portion (1.0 = paper
+    /// default). Figure 8(b) sweeps DRAM-cache latency to 66% and 50%.
+    pub latency_scale: f64,
+    /// Total device capacity (used for sanity checks / cache sizing, not for
+    /// timing).
+    pub capacity: MemSize,
+}
+
+impl DramConfig {
+    /// The paper's off-package DRAM: 1 channel of DDR-1333 with a 128-bit bus
+    /// (≈ 21.3 GB/s peak).
+    pub fn off_package_default() -> Self {
+        DramConfig {
+            channels: 1,
+            banks_per_channel: 8,
+            row_buffer_bytes: 8 * 1024,
+            bus_bytes: 16,
+            bus_clock: CyclesPerSec::mhz(667.0),
+            cpu_clock: CyclesPerSec::ghz(2.7),
+            min_transfer_bytes: 32,
+            latency_scale: 1.0,
+            capacity: MemSize::gib(16),
+        }
+    }
+
+    /// The paper's in-package DRAM: 4 channels of the same technology
+    /// (≈ 85 GB/s peak), 1 GB capacity.
+    pub fn in_package_default() -> Self {
+        DramConfig {
+            channels: 4,
+            banks_per_channel: 8,
+            row_buffer_bytes: 8 * 1024,
+            bus_bytes: 16,
+            bus_clock: CyclesPerSec::mhz(667.0),
+            cpu_clock: CyclesPerSec::ghz(2.7),
+            min_transfer_bytes: 32,
+            latency_scale: 1.0,
+            capacity: MemSize::gib(1),
+        }
+    }
+
+    /// Peak bandwidth in bytes per second (DDR: two beats per bus clock).
+    pub fn peak_bandwidth_bytes_per_sec(&self) -> f64 {
+        self.channels as f64 * self.bus_bytes as f64 * 2.0 * self.bus_clock.hz()
+    }
+
+    /// Peak bandwidth in GB/s (decimal gigabytes, as the paper quotes).
+    pub fn peak_bandwidth_gbps(&self) -> f64 {
+        self.peak_bandwidth_bytes_per_sec() / 1e9
+    }
+
+    /// How many CPU cycles one channel's bus is occupied to move `bytes`
+    /// (after rounding up to the minimum transfer granule).
+    pub fn transfer_cycles(&self, bytes: u64) -> Cycle {
+        let bytes = self.round_to_min_transfer(bytes);
+        // Bytes moved per bus clock: bus width × 2 (DDR).
+        let bytes_per_bus_clock = self.bus_bytes * 2;
+        let bus_clocks = bytes.div_ceil(bytes_per_bus_clock);
+        self.cpu_clock
+            .convert_cycles_from(bus_clocks, self.bus_clock)
+            .max(1)
+    }
+
+    /// Round a byte count up to the link's minimum transfer granule.
+    pub fn round_to_min_transfer(&self, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        bytes.div_ceil(self.min_transfer_bytes) * self.min_transfer_bytes
+    }
+
+    /// Row-buffer-hit access latency (CAS only) in CPU cycles, with the
+    /// latency scale applied.
+    pub fn row_hit_latency(&self) -> Cycle {
+        self.scale_bus_cycles(DramTiming::paper_default().t_cas)
+    }
+
+    /// Latency for an access to a closed row (activate + CAS) in CPU cycles.
+    pub fn row_closed_latency(&self, timing: &DramTiming) -> Cycle {
+        self.scale_bus_cycles(timing.t_rcd + timing.t_cas)
+    }
+
+    /// Latency for a row-buffer conflict (precharge + activate + CAS) in CPU
+    /// cycles.
+    pub fn row_conflict_latency(&self, timing: &DramTiming) -> Cycle {
+        self.scale_bus_cycles(timing.t_rp + timing.t_rcd + timing.t_cas)
+    }
+
+    /// Minimum time a bank stays busy after an activate (tRAS), in CPU cycles.
+    pub fn bank_busy_after_activate(&self, timing: &DramTiming) -> Cycle {
+        self.scale_bus_cycles(timing.t_ras)
+    }
+
+    fn scale_bus_cycles(&self, bus_cycles: u64) -> Cycle {
+        let cpu = self
+            .cpu_clock
+            .convert_cycles_from(bus_cycles, self.bus_clock) as f64;
+        (cpu * self.latency_scale).round().max(1.0) as Cycle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_bandwidths_match_table2() {
+        let off = DramConfig::off_package_default();
+        let inp = DramConfig::in_package_default();
+        // Paper: 21 GB/s off-package, 85 GB/s in-package.
+        assert!((off.peak_bandwidth_gbps() - 21.3).abs() < 0.5, "{}", off.peak_bandwidth_gbps());
+        assert!((inp.peak_bandwidth_gbps() - 85.3).abs() < 2.0, "{}", inp.peak_bandwidth_gbps());
+    }
+
+    #[test]
+    fn min_transfer_rounding() {
+        let c = DramConfig::in_package_default();
+        assert_eq!(c.round_to_min_transfer(0), 0);
+        assert_eq!(c.round_to_min_transfer(1), 32);
+        assert_eq!(c.round_to_min_transfer(32), 32);
+        assert_eq!(c.round_to_min_transfer(64), 64);
+        assert_eq!(c.round_to_min_transfer(72), 96);
+        // 64B line + tag = 96B, the paper's headline overhead example.
+        assert_eq!(c.round_to_min_transfer(64 + 8), 96);
+    }
+
+    #[test]
+    fn transfer_cycles_scale_with_bytes() {
+        let c = DramConfig::off_package_default();
+        let t64 = c.transfer_cycles(64);
+        let t4096 = c.transfer_cycles(4096);
+        assert!(t64 >= 1);
+        assert!(t4096 > t64 * 32, "page transfer should dominate: {t64} vs {t4096}");
+    }
+
+    #[test]
+    fn latency_ordering_hit_lt_closed_lt_conflict() {
+        let c = DramConfig::in_package_default();
+        let t = DramTiming::paper_default();
+        assert!(c.row_hit_latency() < c.row_closed_latency(&t));
+        assert!(c.row_closed_latency(&t) < c.row_conflict_latency(&t));
+    }
+
+    #[test]
+    fn latency_scale_reduces_latency() {
+        let mut c = DramConfig::in_package_default();
+        let t = DramTiming::paper_default();
+        let base = c.row_conflict_latency(&t);
+        c.latency_scale = 0.5;
+        let scaled = c.row_conflict_latency(&t);
+        assert!(scaled < base);
+        assert!(scaled >= base / 2 - 2);
+    }
+
+    #[test]
+    fn timing_default_is_paper_default() {
+        assert_eq!(DramTiming::default(), DramTiming::paper_default());
+        let t = DramTiming::default();
+        assert_eq!((t.t_cas, t.t_rcd, t.t_rp, t.t_ras), (10, 10, 10, 24));
+    }
+}

@@ -1,0 +1,286 @@
+//! A multi-channel DRAM device and the in-/off-package pair.
+
+use crate::channel::{Channel, ChannelAccess};
+use crate::config::{DramConfig, DramTiming};
+use banshee_common::{Addr, Cycle, DramKind, TrafficClass, TrafficStats, PAGE_SIZE};
+
+/// Result of an access at the device level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Cycle the access started being serviced.
+    pub start: Cycle,
+    /// Cycle the data finished transferring.
+    pub finish: Cycle,
+    /// Which channel serviced it.
+    pub channel: usize,
+}
+
+impl AccessOutcome {
+    /// Service latency (queueing + access + transfer).
+    pub fn latency(&self, issued_at: Cycle) -> Cycle {
+        self.finish.saturating_sub(issued_at)
+    }
+}
+
+/// A DRAM device made of identical channels, with traffic accounting.
+#[derive(Debug, Clone)]
+pub struct DramDevice {
+    kind: DramKind,
+    config: DramConfig,
+    timing: DramTiming,
+    channels: Vec<Channel>,
+    traffic: TrafficStats,
+    access_count: u64,
+    total_latency: u64,
+}
+
+impl DramDevice {
+    /// Build a device of the given kind from its configuration.
+    pub fn new(kind: DramKind, config: DramConfig) -> Self {
+        assert!(config.channels > 0, "device needs at least one channel");
+        let channels = (0..config.channels)
+            .map(|_| Channel::new(config.banks_per_channel))
+            .collect();
+        DramDevice {
+            kind,
+            timing: DramTiming::default(),
+            channels,
+            traffic: TrafficStats::new(),
+            access_count: 0,
+            total_latency: 0,
+            config,
+        }
+    }
+
+    /// Which DRAM this device models.
+    pub fn kind(&self) -> DramKind {
+        self.kind
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// Accumulated traffic by class.
+    pub fn traffic(&self) -> &TrafficStats {
+        &self.traffic
+    }
+
+    /// Total number of accesses serviced.
+    pub fn access_count(&self) -> u64 {
+        self.access_count
+    }
+
+    /// Mean service latency (cycles) over all accesses.
+    pub fn mean_latency(&self) -> f64 {
+        if self.access_count == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / self.access_count as f64
+        }
+    }
+
+    /// Channel index for an address. Channels are interleaved at page (4 KiB)
+    /// granularity, matching the paper's static page-granularity mapping of
+    /// physical addresses to memory controllers.
+    pub fn channel_for(&self, addr: Addr) -> usize {
+        ((addr.raw() / PAGE_SIZE) % self.channels.len() as u64) as usize
+    }
+
+    /// Perform an access of `bytes` at `addr`, issued at cycle `now`,
+    /// attributed to traffic class `class`.
+    pub fn access(
+        &mut self,
+        now: Cycle,
+        addr: Addr,
+        bytes: u64,
+        class: TrafficClass,
+    ) -> AccessOutcome {
+        let rounded = self.config.round_to_min_transfer(bytes);
+        self.traffic.add(self.kind, class, rounded);
+        let ch_idx = self.channel_for(addr);
+        let ChannelAccess { start, finish, .. } =
+            self.channels[ch_idx].access(&self.config, &self.timing, now, addr, bytes);
+        self.access_count += 1;
+        self.total_latency += finish.saturating_sub(now);
+        AccessOutcome {
+            start,
+            finish,
+            channel: ch_idx,
+        }
+    }
+
+    /// Record traffic without modelling timing (used for idealized designs,
+    /// e.g. TDC's zero-overhead TLB coherence messages are *not* recorded,
+    /// but HMA's page migrations are charged as traffic performed "in the
+    /// background" by the OS).
+    pub fn record_untimed_traffic(&mut self, bytes: u64, class: TrafficClass) {
+        let rounded = self.config.round_to_min_transfer(bytes);
+        self.traffic.add(self.kind, class, rounded);
+    }
+
+    /// Aggregate bus utilization across channels over `elapsed` cycles.
+    pub fn utilization(&self, elapsed: Cycle) -> f64 {
+        if self.channels.is_empty() || elapsed == 0 {
+            return 0.0;
+        }
+        let sum: f64 = self.channels.iter().map(|c| c.utilization(elapsed)).sum();
+        sum / self.channels.len() as f64
+    }
+
+    /// Row-buffer hit rate across channels.
+    pub fn row_hit_rate(&self) -> f64 {
+        let hits: u64 = self.channels.iter().map(|c| c.row_hit_count()).sum();
+        let total: u64 = self.channels.iter().map(|c| c.access_count()).sum();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
+/// The pair of DRAM devices every DRAM-cache design operates on.
+#[derive(Debug, Clone)]
+pub struct DualDram {
+    /// The in-package (HBM-like) DRAM used as a cache.
+    pub in_package: DramDevice,
+    /// The off-package (DDR) backing DRAM.
+    pub off_package: DramDevice,
+}
+
+impl DualDram {
+    /// Build the paper's default configuration (Table 2).
+    pub fn paper_default() -> Self {
+        DualDram {
+            in_package: DramDevice::new(DramKind::InPackage, DramConfig::in_package_default()),
+            off_package: DramDevice::new(DramKind::OffPackage, DramConfig::off_package_default()),
+        }
+    }
+
+    /// Build from explicit configurations.
+    pub fn new(in_package: DramConfig, off_package: DramConfig) -> Self {
+        DualDram {
+            in_package: DramDevice::new(DramKind::InPackage, in_package),
+            off_package: DramDevice::new(DramKind::OffPackage, off_package),
+        }
+    }
+
+    /// Access the device of the given kind.
+    pub fn device_mut(&mut self, kind: DramKind) -> &mut DramDevice {
+        match kind {
+            DramKind::InPackage => &mut self.in_package,
+            DramKind::OffPackage => &mut self.off_package,
+        }
+    }
+
+    /// Borrow the device of the given kind.
+    pub fn device(&self, kind: DramKind) -> &DramDevice {
+        match kind {
+            DramKind::InPackage => &self.in_package,
+            DramKind::OffPackage => &self.off_package,
+        }
+    }
+
+    /// Combined traffic stats (merged copy).
+    pub fn combined_traffic(&self) -> TrafficStats {
+        let mut t = self.in_package.traffic().clone();
+        t.merge(self.off_package.traffic());
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_is_rounded_and_attributed() {
+        let mut dev = DramDevice::new(DramKind::InPackage, DramConfig::in_package_default());
+        dev.access(0, Addr::new(0), 64 + 8, TrafficClass::Tag);
+        assert_eq!(dev.traffic().bytes(DramKind::InPackage, TrafficClass::Tag), 96);
+        assert_eq!(dev.access_count(), 1);
+    }
+
+    #[test]
+    fn channel_interleaving_spreads_pages() {
+        let dev = DramDevice::new(DramKind::InPackage, DramConfig::in_package_default());
+        let c0 = dev.channel_for(Addr::new(0));
+        let c1 = dev.channel_for(Addr::new(PAGE_SIZE));
+        let c2 = dev.channel_for(Addr::new(2 * PAGE_SIZE));
+        let c4 = dev.channel_for(Addr::new(4 * PAGE_SIZE));
+        assert_ne!(c0, c1);
+        assert_ne!(c1, c2);
+        assert_eq!(c0, c4, "4 channels should wrap around");
+        // Lines within one page stay on one channel.
+        assert_eq!(dev.channel_for(Addr::new(64)), c0);
+        assert_eq!(dev.channel_for(Addr::new(4032)), c0);
+    }
+
+    #[test]
+    fn more_channels_give_more_bandwidth() {
+        // Issue a burst of page-sized reads and compare finish times between
+        // a 1-channel and a 4-channel device.
+        let off = DramConfig::off_package_default();
+        let inp = DramConfig::in_package_default();
+        let mut one = DramDevice::new(DramKind::OffPackage, off);
+        let mut four = DramDevice::new(DramKind::InPackage, inp);
+        let mut one_finish = 0;
+        let mut four_finish = 0;
+        for i in 0..64u64 {
+            let addr = Addr::new(i * PAGE_SIZE);
+            one_finish = one.access(0, addr, 4096, TrafficClass::HitData).finish;
+            four_finish = four.access(0, addr, 4096, TrafficClass::HitData).finish;
+        }
+        assert!(
+            one_finish > 3 * four_finish,
+            "1-channel {one_finish} vs 4-channel {four_finish}"
+        );
+    }
+
+    #[test]
+    fn mean_latency_grows_under_load() {
+        let cfg = DramConfig::off_package_default();
+        let mut idle = DramDevice::new(DramKind::OffPackage, cfg.clone());
+        let mut loaded = DramDevice::new(DramKind::OffPackage, cfg);
+        // Idle: accesses spaced far apart. Loaded: all at once.
+        for i in 0..32u64 {
+            idle.access(i * 10_000, Addr::new(i * PAGE_SIZE), 64, TrafficClass::HitData);
+            loaded.access(0, Addr::new(i * PAGE_SIZE), 64, TrafficClass::HitData);
+        }
+        assert!(loaded.mean_latency() > idle.mean_latency());
+    }
+
+    #[test]
+    fn untimed_traffic_counts_bytes_but_not_accesses() {
+        let mut dev = DramDevice::new(DramKind::OffPackage, DramConfig::off_package_default());
+        dev.record_untimed_traffic(4096, TrafficClass::Replacement);
+        assert_eq!(
+            dev.traffic().bytes(DramKind::OffPackage, TrafficClass::Replacement),
+            4096
+        );
+        assert_eq!(dev.access_count(), 0);
+    }
+
+    #[test]
+    fn dual_dram_combined_traffic() {
+        let mut d = DualDram::paper_default();
+        d.in_package.access(0, Addr::new(0), 64, TrafficClass::HitData);
+        d.off_package.access(0, Addr::new(0), 64, TrafficClass::MissData);
+        let t = d.combined_traffic();
+        assert_eq!(t.bytes(DramKind::InPackage, TrafficClass::HitData), 64);
+        assert_eq!(t.bytes(DramKind::OffPackage, TrafficClass::MissData), 64);
+        assert_eq!(t.grand_total(), 128);
+    }
+
+    #[test]
+    fn row_hit_rate_reflects_streaming() {
+        let mut dev = DramDevice::new(DramKind::InPackage, DramConfig::in_package_default());
+        // Stream 64 consecutive lines of one page: should be mostly row hits.
+        for i in 0..64u64 {
+            dev.access(i, Addr::new(i * 64), 64, TrafficClass::HitData);
+        }
+        assert!(dev.row_hit_rate() > 0.9, "row hit rate {}", dev.row_hit_rate());
+    }
+}

@@ -1,0 +1,35 @@
+//! DRAM device model: channels, banks, row buffers, bus occupancy and
+//! per-class traffic accounting.
+//!
+//! The Banshee paper's evaluation (Section 5.1, Table 2) models two DRAM
+//! devices:
+//!
+//! * **off-package DRAM** — 1 channel, 128-bit bus at DDR-1333
+//!   (≈ 21 GB/s peak), and
+//! * **in-package DRAM** — 4 identical channels (≈ 85 GB/s peak), i.e. the
+//!   same per-channel technology, just more channels — "we assume all the
+//!   channels are the same to model behavior of in-package DRAM".
+//!
+//! Both have the timing parameters tCAS-tRCD-tRP-tRAS = 10-10-10-24 (bus
+//! cycles at 667 MHz). Critically for this paper, the in-package DRAM link
+//! transfers data in **32-byte minimum transfers** over a 16-byte link, so
+//! reading a 64-byte line together with its tag costs at least 96 bytes —
+//! this is where the tag-bandwidth overhead of Alloy/Unison comes from.
+//!
+//! The model here is deliberately at the level the paper's conclusions need:
+//! each access picks a bank (by address), pays row-buffer timing
+//! (hit / closed / conflict), then occupies the channel's data bus for
+//! `bytes / bytes-per-CPU-cycle` cycles. Queueing delay emerges from bank and
+//! bus availability. All byte counts are rounded up to the minimum transfer
+//! size and recorded in a [`TrafficStats`] keyed by [`TrafficClass`].
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod channel;
+pub mod config;
+pub mod device;
+
+pub use channel::{Bank, Channel, RowBufferOutcome};
+pub use config::{DramConfig, DramTiming};
+pub use device::{AccessOutcome, DramDevice, DualDram};

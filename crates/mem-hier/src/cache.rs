@@ -1,0 +1,478 @@
+//! A generic set-associative, tag-only cache model.
+//!
+//! The model tracks presence and dirtiness of cache lines, not their data.
+//! It is used for the SRAM levels (L1D, L2, LLC) and reused by DRAM-cache
+//! designs that need an auxiliary tag structure (e.g. Alloy Cache's
+//! direct-mapped line tags are a 1-way instance; Banshee's tag buffer is an
+//! 8-way instance with extra per-entry payload kept by the caller).
+
+use banshee_common::{LineAddr, XorShiftRng};
+use serde::{Deserialize, Serialize};
+
+/// Victim-selection policy for a set-associative cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplacementPolicy {
+    /// Evict the least-recently-used way.
+    Lru,
+    /// Evict the oldest-inserted way (TDC's page FIFO).
+    Fifo,
+    /// Evict a uniformly random way.
+    Random,
+}
+
+/// One way of one set.
+#[derive(Debug, Clone, Copy, Default)]
+struct Way {
+    valid: bool,
+    dirty: bool,
+    tag: u64,
+    /// Last-touch timestamp for LRU.
+    touched: u64,
+    /// Insertion timestamp for FIFO.
+    inserted: u64,
+}
+
+/// Outcome of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Whether the line was present.
+    pub hit: bool,
+    /// A dirty victim that must be written back to the next level, if the
+    /// access allocated and evicted one.
+    pub writeback: Option<LineAddr>,
+    /// A clean victim that was silently dropped, if any (useful for
+    /// inclusive-hierarchy back-invalidation).
+    pub evicted_clean: Option<LineAddr>,
+}
+
+impl AccessResult {
+    /// The evicted line (dirty or clean), if any.
+    pub fn evicted(&self) -> Option<LineAddr> {
+        self.writeback.or(self.evicted_clean)
+    }
+}
+
+/// A set-associative cache over 64-byte lines.
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    sets: Vec<Vec<Way>>,
+    ways: usize,
+    policy: ReplacementPolicy,
+    clock: u64,
+    rng: XorShiftRng,
+    hits: u64,
+    misses: u64,
+    writebacks: u64,
+}
+
+impl SetAssocCache {
+    /// Build a cache holding `capacity_bytes` of 64-byte lines with `ways`
+    /// associativity.
+    ///
+    /// # Panics
+    /// Panics if the geometry does not divide evenly or is empty.
+    pub fn new(capacity_bytes: u64, ways: usize, policy: ReplacementPolicy) -> Self {
+        assert!(ways > 0, "cache needs at least one way");
+        let lines = capacity_bytes / banshee_common::CACHE_LINE_SIZE;
+        assert!(lines > 0, "cache must hold at least one line");
+        assert!(
+            lines % ways as u64 == 0,
+            "line count {lines} must be a multiple of ways {ways}"
+        );
+        let num_sets = (lines / ways as u64) as usize;
+        SetAssocCache {
+            sets: vec![vec![Way::default(); ways]; num_sets],
+            ways,
+            policy,
+            clock: 0,
+            rng: XorShiftRng::new(0xCACE),
+            hits: 0,
+            misses: 0,
+            writebacks: 0,
+        }
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Dirty evictions so far.
+    pub fn writebacks(&self) -> u64 {
+        self.writebacks
+    }
+
+    /// Miss rate over all accesses so far.
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+
+    #[inline]
+    fn set_index(&self, line: LineAddr) -> usize {
+        (line.raw() % self.sets.len() as u64) as usize
+    }
+
+    #[inline]
+    fn tag_of(&self, line: LineAddr) -> u64 {
+        line.raw() / self.sets.len() as u64
+    }
+
+    fn line_from(&self, set: usize, tag: u64) -> LineAddr {
+        LineAddr::new(tag * self.sets.len() as u64 + set as u64)
+    }
+
+    /// Look up a line without changing any state.
+    pub fn probe(&self, line: LineAddr) -> bool {
+        let set = self.set_index(line);
+        let tag = self.tag_of(line);
+        self.sets[set].iter().any(|w| w.valid && w.tag == tag)
+    }
+
+    /// Access `line`; on a miss, allocate it (possibly evicting a victim).
+    /// `write` marks the line dirty.
+    pub fn access(&mut self, line: LineAddr, write: bool) -> AccessResult {
+        self.access_inner(line, write, true)
+    }
+
+    /// Access `line` without allocating on a miss (e.g. a probe that the
+    /// caller handles as uncached on miss).
+    pub fn access_no_allocate(&mut self, line: LineAddr, write: bool) -> AccessResult {
+        self.access_inner(line, write, false)
+    }
+
+    fn access_inner(&mut self, line: LineAddr, write: bool, allocate: bool) -> AccessResult {
+        self.clock += 1;
+        let set_idx = self.set_index(line);
+        let tag = self.tag_of(line);
+        let clock = self.clock;
+
+        // Hit path.
+        if let Some(way) = self.sets[set_idx]
+            .iter_mut()
+            .find(|w| w.valid && w.tag == tag)
+        {
+            way.touched = clock;
+            way.dirty |= write;
+            self.hits += 1;
+            return AccessResult {
+                hit: true,
+                writeback: None,
+                evicted_clean: None,
+            };
+        }
+
+        self.misses += 1;
+        if !allocate {
+            return AccessResult {
+                hit: false,
+                writeback: None,
+                evicted_clean: None,
+            };
+        }
+
+        // Miss: pick a victim way.
+        let victim_idx = self.pick_victim(set_idx);
+        let victim = self.sets[set_idx][victim_idx];
+        let (writeback, evicted_clean) = if victim.valid {
+            let victim_line = self.line_from(set_idx, victim.tag);
+            if victim.dirty {
+                self.writebacks += 1;
+                (Some(victim_line), None)
+            } else {
+                (None, Some(victim_line))
+            }
+        } else {
+            (None, None)
+        };
+
+        self.sets[set_idx][victim_idx] = Way {
+            valid: true,
+            dirty: write,
+            tag,
+            touched: clock,
+            inserted: clock,
+        };
+
+        AccessResult {
+            hit: false,
+            writeback,
+            evicted_clean,
+        }
+    }
+
+    fn pick_victim(&mut self, set_idx: usize) -> usize {
+        // Prefer an invalid way.
+        if let Some(idx) = self.sets[set_idx].iter().position(|w| !w.valid) {
+            return idx;
+        }
+        match self.policy {
+            ReplacementPolicy::Lru => self.sets[set_idx]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.touched)
+                .map(|(i, _)| i)
+                .unwrap_or(0),
+            ReplacementPolicy::Fifo => self.sets[set_idx]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.inserted)
+                .map(|(i, _)| i)
+                .unwrap_or(0),
+            ReplacementPolicy::Random => self.rng.next_below(self.ways as u64) as usize,
+        }
+    }
+
+    /// Remove a line if present; returns `Some(dirty)` if it was present.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<bool> {
+        let set_idx = self.set_index(line);
+        let tag = self.tag_of(line);
+        for way in self.sets[set_idx].iter_mut() {
+            if way.valid && way.tag == tag {
+                let dirty = way.dirty;
+                *way = Way::default();
+                return Some(dirty);
+            }
+        }
+        None
+    }
+
+    /// Remove every line belonging to 4 KiB page `page`; returns the removed
+    /// lines with their dirty bit. This is the "cache scrubbing" operation
+    /// that address-consistency problems force on NUMA-style designs (HMA),
+    /// and that Banshee avoids by keeping physical addresses stable.
+    pub fn invalidate_page(&mut self, page: banshee_common::PageNum) -> Vec<(LineAddr, bool)> {
+        let mut removed = Vec::new();
+        for idx in 0..banshee_common::addr::LINES_PER_PAGE {
+            let line = page.line_at(idx);
+            if let Some(dirty) = self.invalidate(line) {
+                removed.push((line, dirty));
+            }
+        }
+        removed
+    }
+
+    /// Mark a resident line dirty (used when an upper level writes back into
+    /// this level). Returns false if the line is not resident.
+    pub fn mark_dirty(&mut self, line: LineAddr) -> bool {
+        let set_idx = self.set_index(line);
+        let tag = self.tag_of(line);
+        for way in self.sets[set_idx].iter_mut() {
+            if way.valid && way.tag == tag {
+                way.dirty = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of valid lines currently resident (O(size); intended for tests
+    /// and assertions, not the hot path).
+    pub fn occupancy(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.iter().filter(|w| w.valid).count())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banshee_common::PageNum;
+    use proptest::prelude::*;
+
+    fn small_cache(policy: ReplacementPolicy) -> SetAssocCache {
+        // 4 sets x 2 ways x 64B = 512B.
+        SetAssocCache::new(512, 2, policy)
+    }
+
+    #[test]
+    fn geometry() {
+        let c = SetAssocCache::new(8 * 1024 * 1024, 16, ReplacementPolicy::Lru);
+        assert_eq!(c.ways(), 16);
+        assert_eq!(c.num_sets(), 8 * 1024 * 1024 / 64 / 16);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nondividing_geometry() {
+        let _ = SetAssocCache::new(64 * 3, 2, ReplacementPolicy::Lru);
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small_cache(ReplacementPolicy::Lru);
+        let line = LineAddr::new(100);
+        assert!(!c.access(line, false).hit);
+        assert!(c.access(line, false).hit);
+        assert!(c.probe(line));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert!((c.miss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dirty_eviction_produces_writeback() {
+        let mut c = small_cache(ReplacementPolicy::Lru);
+        // Fill set 0 (lines ≡ 0 mod 4) with 2 ways, one dirty.
+        let a = LineAddr::new(0);
+        let b = LineAddr::new(4);
+        let d = LineAddr::new(8);
+        c.access(a, true); // dirty
+        c.access(b, false);
+        // Next allocation to the same set must evict LRU = a (dirty).
+        let res = c.access(d, false);
+        assert!(!res.hit);
+        assert_eq!(res.writeback, Some(a));
+        assert_eq!(c.writebacks(), 1);
+        assert!(!c.probe(a));
+    }
+
+    #[test]
+    fn lru_keeps_recently_touched() {
+        let mut c = small_cache(ReplacementPolicy::Lru);
+        let a = LineAddr::new(0);
+        let b = LineAddr::new(4);
+        c.access(a, false);
+        c.access(b, false);
+        c.access(a, false); // a is now MRU
+        let res = c.access(LineAddr::new(8), false);
+        assert_eq!(res.evicted(), Some(b));
+        assert!(c.probe(a));
+    }
+
+    #[test]
+    fn fifo_evicts_oldest_insertion_despite_touches() {
+        let mut c = small_cache(ReplacementPolicy::Fifo);
+        let a = LineAddr::new(0);
+        let b = LineAddr::new(4);
+        c.access(a, false);
+        c.access(b, false);
+        c.access(a, false); // touching a does not save it under FIFO
+        let res = c.access(LineAddr::new(8), false);
+        assert_eq!(res.evicted(), Some(a));
+    }
+
+    #[test]
+    fn no_allocate_miss_leaves_cache_unchanged() {
+        let mut c = small_cache(ReplacementPolicy::Lru);
+        let res = c.access_no_allocate(LineAddr::new(3), false);
+        assert!(!res.hit);
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn invalidate_returns_dirty_state() {
+        let mut c = small_cache(ReplacementPolicy::Lru);
+        let a = LineAddr::new(1);
+        let b = LineAddr::new(2);
+        c.access(a, true);
+        c.access(b, false);
+        assert_eq!(c.invalidate(a), Some(true));
+        assert_eq!(c.invalidate(b), Some(false));
+        assert_eq!(c.invalidate(a), None);
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn invalidate_page_removes_all_lines_of_page() {
+        let mut c = SetAssocCache::new(64 * 1024, 4, ReplacementPolicy::Lru);
+        let page = PageNum::new(7);
+        for i in 0..banshee_common::addr::LINES_PER_PAGE {
+            c.access(page.line_at(i), i % 2 == 0);
+        }
+        let removed = c.invalidate_page(page);
+        assert_eq!(removed.len() as u64, banshee_common::addr::LINES_PER_PAGE);
+        assert_eq!(removed.iter().filter(|(_, d)| *d).count() as u64, 32);
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn mark_dirty_only_when_resident() {
+        let mut c = small_cache(ReplacementPolicy::Lru);
+        let a = LineAddr::new(5);
+        assert!(!c.mark_dirty(a));
+        c.access(a, false);
+        assert!(c.mark_dirty(a));
+        // The dirty bit must now produce a writeback on eviction.
+        c.access(LineAddr::new(1), false);
+        let res = c.access(LineAddr::new(9), false);
+        assert_eq!(res.writeback, Some(a));
+    }
+
+    #[test]
+    fn random_policy_eventually_evicts_everything() {
+        let mut c = small_cache(ReplacementPolicy::Random);
+        let a = LineAddr::new(0);
+        c.access(a, false);
+        // Hammer the same set with new lines; a must eventually be evicted.
+        let mut evicted = false;
+        for i in 1..200u64 {
+            c.access(LineAddr::new(i * 4), false);
+            if !c.probe(a) {
+                evicted = true;
+                break;
+            }
+        }
+        assert!(evicted);
+    }
+
+    proptest! {
+        /// Occupancy never exceeds capacity and accounting is consistent.
+        #[test]
+        fn prop_occupancy_bounded(lines in proptest::collection::vec(0u64..4096, 1..300)) {
+            let mut c = SetAssocCache::new(4096, 4, ReplacementPolicy::Lru);
+            let capacity = c.num_sets() * c.ways();
+            for (i, l) in lines.iter().enumerate() {
+                c.access(LineAddr::new(*l), i % 3 == 0);
+                prop_assert!(c.occupancy() <= capacity);
+            }
+            prop_assert_eq!(c.hits() + c.misses(), lines.len() as u64);
+        }
+
+        /// After accessing a line it is always resident (allocate-on-miss).
+        #[test]
+        fn prop_accessed_line_is_resident(l in 0u64..100_000) {
+            let mut c = SetAssocCache::new(8192, 8, ReplacementPolicy::Lru);
+            c.access(LineAddr::new(l), false);
+            prop_assert!(c.probe(LineAddr::new(l)));
+        }
+
+        /// A dirty line is never silently dropped: it either stays resident or
+        /// appears as a writeback.
+        #[test]
+        fn prop_dirty_lines_never_lost(lines in proptest::collection::vec(0u64..512, 1..400)) {
+            let mut c = SetAssocCache::new(2048, 2, ReplacementPolicy::Lru);
+            let dirty_line = LineAddr::new(1000);
+            c.access(dirty_line, true);
+            let mut written_back = false;
+            for l in lines {
+                let res = c.access(LineAddr::new(l), false);
+                if res.writeback == Some(dirty_line) {
+                    written_back = true;
+                }
+            }
+            prop_assert!(written_back || c.probe(dirty_line));
+        }
+    }
+}

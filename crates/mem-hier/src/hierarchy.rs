@@ -1,0 +1,389 @@
+//! The on-chip SRAM cache hierarchy (L1D + L2 private, shared LLC).
+//!
+//! Geometry defaults follow the paper's Table 2: 32 KiB 8-way L1D and
+//! 128 KiB 8-way L2 per core, and an 8 MiB 16-way shared LLC. The in-package
+//! DRAM cache sits *behind* the LLC (it is a memory-side cache, not
+//! inclusive with respect to on-chip caches — Section 3.1), so the only
+//! events that reach the memory controllers are **LLC misses** and **LLC
+//! dirty evictions**. Those two event types are exactly what the
+//! [`HierarchyOutcome`] reports.
+
+use crate::cache::{ReplacementPolicy, SetAssocCache};
+use banshee_common::{Cycle, LineAddr, MemSize, PageNum};
+use serde::{Deserialize, Serialize};
+
+/// Which level serviced an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HitLevel {
+    /// Private L1 data cache.
+    L1,
+    /// Private L2.
+    L2,
+    /// Shared last-level cache.
+    Llc,
+}
+
+/// Configuration of the SRAM hierarchy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HierarchyConfig {
+    /// Number of cores (each gets a private L1D and L2).
+    pub cores: usize,
+    /// L1 data cache capacity.
+    pub l1_size: MemSize,
+    /// L1 associativity.
+    pub l1_ways: usize,
+    /// L1 hit latency in CPU cycles.
+    pub l1_latency: Cycle,
+    /// L2 capacity.
+    pub l2_size: MemSize,
+    /// L2 associativity.
+    pub l2_ways: usize,
+    /// L2 hit latency in CPU cycles.
+    pub l2_latency: Cycle,
+    /// Shared LLC capacity.
+    pub llc_size: MemSize,
+    /// LLC associativity.
+    pub llc_ways: usize,
+    /// LLC hit latency in CPU cycles.
+    pub llc_latency: Cycle,
+}
+
+impl HierarchyConfig {
+    /// The paper's Table 2 configuration for `cores` cores.
+    pub fn paper_default(cores: usize) -> Self {
+        HierarchyConfig {
+            cores,
+            l1_size: MemSize::kib(32),
+            l1_ways: 8,
+            l1_latency: 4,
+            l2_size: MemSize::kib(128),
+            l2_ways: 8,
+            l2_latency: 12,
+            llc_size: MemSize::mib(8),
+            llc_ways: 16,
+            llc_latency: 35,
+        }
+    }
+
+    /// A scaled-down configuration for fast tests and experiments: the same
+    /// shape (private L1/L2, shared LLC) with capacities divided by `factor`.
+    pub fn scaled(cores: usize, factor: u64) -> Self {
+        let base = Self::paper_default(cores);
+        HierarchyConfig {
+            l1_size: MemSize::bytes((base.l1_size.as_bytes() / factor).max(4096)),
+            l2_size: MemSize::bytes((base.l2_size.as_bytes() / factor).max(8192)),
+            llc_size: MemSize::bytes((base.llc_size.as_bytes() / factor).max(65536)),
+            ..base
+        }
+    }
+}
+
+/// What happened for one core access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierarchyOutcome {
+    /// The level that hit, or `None` for an LLC miss that must go to memory.
+    pub hit: Option<HitLevel>,
+    /// SRAM lookup latency accumulated on the path (up to and including the
+    /// level that hit, or the full path for a miss).
+    pub latency: Cycle,
+    /// Dirty lines that fell out of the LLC (or were orphaned from private
+    /// caches) and must be written back to memory by the memory controller.
+    pub memory_writebacks: Vec<LineAddr>,
+}
+
+impl HierarchyOutcome {
+    /// True when the access must be sent to the memory controller.
+    pub fn is_llc_miss(&self) -> bool {
+        self.hit.is_none()
+    }
+}
+
+/// The full on-chip hierarchy.
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    config: HierarchyConfig,
+    l1: Vec<SetAssocCache>,
+    l2: Vec<SetAssocCache>,
+    llc: SetAssocCache,
+    llc_accesses: u64,
+    llc_misses: u64,
+}
+
+impl CacheHierarchy {
+    /// Build the hierarchy from a configuration.
+    pub fn new(config: HierarchyConfig) -> Self {
+        assert!(config.cores > 0, "need at least one core");
+        let l1 = (0..config.cores)
+            .map(|_| {
+                SetAssocCache::new(
+                    config.l1_size.as_bytes(),
+                    config.l1_ways,
+                    ReplacementPolicy::Lru,
+                )
+            })
+            .collect();
+        let l2 = (0..config.cores)
+            .map(|_| {
+                SetAssocCache::new(
+                    config.l2_size.as_bytes(),
+                    config.l2_ways,
+                    ReplacementPolicy::Lru,
+                )
+            })
+            .collect();
+        let llc = SetAssocCache::new(
+            config.llc_size.as_bytes(),
+            config.llc_ways,
+            ReplacementPolicy::Lru,
+        );
+        CacheHierarchy {
+            config,
+            l1,
+            l2,
+            llc,
+            llc_accesses: 0,
+            llc_misses: 0,
+        }
+    }
+
+    /// The configuration used to build this hierarchy.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+
+    /// LLC miss rate so far.
+    pub fn llc_miss_rate(&self) -> f64 {
+        if self.llc_accesses == 0 {
+            0.0
+        } else {
+            self.llc_misses as f64 / self.llc_accesses as f64
+        }
+    }
+
+    /// Total LLC misses so far.
+    pub fn llc_miss_count(&self) -> u64 {
+        self.llc_misses
+    }
+
+    /// Perform one access from `core` to `line`.
+    pub fn access(&mut self, core: usize, line: LineAddr, write: bool) -> HierarchyOutcome {
+        assert!(core < self.config.cores, "core index out of range");
+        let mut latency = self.config.l1_latency;
+        let mut memory_writebacks = Vec::new();
+
+        // L1.
+        let l1_res = self.l1[core].access(line, write);
+        if l1_res.hit {
+            return HierarchyOutcome {
+                hit: Some(HitLevel::L1),
+                latency,
+                memory_writebacks,
+            };
+        }
+        // A dirty L1 victim is absorbed by L2/LLC if present there, else it
+        // must go to memory (possible after an LLC back-invalidation race).
+        if let Some(victim) = l1_res.writeback {
+            if !self.l2[core].mark_dirty(victim) && !self.llc.mark_dirty(victim) {
+                memory_writebacks.push(victim);
+            }
+        }
+
+        // L2.
+        latency += self.config.l2_latency;
+        let l2_res = self.l2[core].access(line, write);
+        if l2_res.hit {
+            return HierarchyOutcome {
+                hit: Some(HitLevel::L2),
+                latency,
+                memory_writebacks,
+            };
+        }
+        if let Some(victim) = l2_res.writeback {
+            if !self.llc.mark_dirty(victim) {
+                memory_writebacks.push(victim);
+            }
+        }
+
+        // LLC.
+        latency += self.config.llc_latency;
+        self.llc_accesses += 1;
+        let llc_res = self.llc.access(line, write);
+        if let Some(victim) = llc_res.writeback {
+            // Inclusive hierarchy: back-invalidate the victim everywhere; if
+            // a private copy was dirtier, it folds into this writeback.
+            self.back_invalidate(victim);
+            memory_writebacks.push(victim);
+        } else if let Some(victim) = llc_res.evicted_clean {
+            // Clean LLC victim: still back-invalidate, and if a private copy
+            // was dirty the data must go to memory.
+            if self.back_invalidate(victim) {
+                memory_writebacks.push(victim);
+            }
+        }
+        if llc_res.hit {
+            return HierarchyOutcome {
+                hit: Some(HitLevel::Llc),
+                latency,
+                memory_writebacks,
+            };
+        }
+
+        self.llc_misses += 1;
+        HierarchyOutcome {
+            hit: None,
+            latency,
+            memory_writebacks,
+        }
+    }
+
+    /// Invalidate `line` in every private cache; returns true if any private
+    /// copy was dirty.
+    fn back_invalidate(&mut self, line: LineAddr) -> bool {
+        let mut dirty = false;
+        for l1 in self.l1.iter_mut() {
+            if let Some(d) = l1.invalidate(line) {
+                dirty |= d;
+            }
+        }
+        for l2 in self.l2.iter_mut() {
+            if let Some(d) = l2.invalidate(line) {
+                dirty |= d;
+            }
+        }
+        dirty
+    }
+
+    /// Flush every line of a 4 KiB page from all levels, returning the dirty
+    /// lines that must be written back to memory. NUMA-style remapping
+    /// designs (HMA) must do this on every page migration to keep physical
+    /// addresses consistent; Banshee never needs it.
+    pub fn flush_page(&mut self, page: PageNum) -> Vec<LineAddr> {
+        let mut dirty_lines = Vec::new();
+        for l1 in self.l1.iter_mut() {
+            for (line, dirty) in l1.invalidate_page(page) {
+                if dirty {
+                    dirty_lines.push(line);
+                }
+            }
+        }
+        for l2 in self.l2.iter_mut() {
+            for (line, dirty) in l2.invalidate_page(page) {
+                if dirty {
+                    dirty_lines.push(line);
+                }
+            }
+        }
+        for (line, dirty) in self.llc.invalidate_page(page) {
+            if dirty {
+                dirty_lines.push(line);
+            }
+        }
+        dirty_lines.sort_unstable_by_key(|l| l.raw());
+        dirty_lines.dedup();
+        dirty_lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheHierarchy {
+        CacheHierarchy::new(HierarchyConfig {
+            cores: 2,
+            l1_size: MemSize::bytes(512),
+            l1_ways: 2,
+            l1_latency: 4,
+            l2_size: MemSize::bytes(1024),
+            l2_ways: 2,
+            l2_latency: 12,
+            llc_size: MemSize::bytes(4096),
+            llc_ways: 4,
+            llc_latency: 35,
+            ..HierarchyConfig::paper_default(2)
+        })
+    }
+
+    #[test]
+    fn paper_default_geometry() {
+        let h = CacheHierarchy::new(HierarchyConfig::paper_default(16));
+        assert_eq!(h.config().cores, 16);
+        assert_eq!(h.config().llc_size, MemSize::mib(8));
+        assert_eq!(h.config().llc_ways, 16);
+    }
+
+    #[test]
+    fn first_access_misses_everywhere_then_hits_l1() {
+        let mut h = tiny();
+        let line = LineAddr::new(1000);
+        let first = h.access(0, line, false);
+        assert!(first.is_llc_miss());
+        assert_eq!(
+            first.latency,
+            4 + 12 + 35,
+            "miss latency should accumulate all three levels"
+        );
+        let second = h.access(0, line, false);
+        assert_eq!(second.hit, Some(HitLevel::L1));
+        assert_eq!(second.latency, 4);
+    }
+
+    #[test]
+    fn other_core_hits_in_shared_llc() {
+        let mut h = tiny();
+        let line = LineAddr::new(77);
+        h.access(0, line, false);
+        let other = h.access(1, line, false);
+        assert_eq!(other.hit, Some(HitLevel::Llc));
+    }
+
+    #[test]
+    fn llc_miss_rate_accounts_only_llc_accesses() {
+        let mut h = tiny();
+        let line = LineAddr::new(5);
+        h.access(0, line, false); // LLC access + miss
+        h.access(0, line, false); // L1 hit, LLC untouched
+        assert_eq!(h.llc_miss_count(), 1);
+        assert!((h.llc_miss_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dirty_data_eventually_reaches_memory_writeback() {
+        let mut h = tiny();
+        // Write a line, then stream enough other lines through to force it
+        // out of every level.
+        let dirty = LineAddr::new(0);
+        h.access(0, dirty, true);
+        let mut seen_writeback = false;
+        for i in 1..5000u64 {
+            let out = h.access(0, LineAddr::new(i * 64), false);
+            if out.memory_writebacks.contains(&dirty) {
+                seen_writeback = true;
+            }
+        }
+        assert!(seen_writeback, "dirty line was never written back to memory");
+    }
+
+    #[test]
+    fn flush_page_returns_dirty_lines_once() {
+        let mut h = tiny();
+        let page = PageNum::new(3);
+        h.access(0, page.line_at(0), true);
+        h.access(0, page.line_at(1), false);
+        h.access(1, page.line_at(2), true);
+        let dirty = h.flush_page(page);
+        assert!(dirty.contains(&page.line_at(0)));
+        assert!(dirty.contains(&page.line_at(2)));
+        assert!(!dirty.contains(&page.line_at(1)));
+        // After the flush nothing of the page hits anywhere.
+        let out = h.access(0, page.line_at(0), false);
+        assert!(out.is_llc_miss());
+    }
+
+    #[test]
+    #[should_panic]
+    fn core_index_checked() {
+        let mut h = tiny();
+        let _ = h.access(5, LineAddr::new(0), false);
+    }
+}

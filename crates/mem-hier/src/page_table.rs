@@ -1,0 +1,277 @@
+//! Page table, PTE extension bits and reverse mapping.
+//!
+//! Banshee (Section 3.2) extends each PTE/TLB entry with 3 bits of mapping
+//! information: a *cached* bit saying whether the page currently resides in
+//! the in-package DRAM cache, and *way* bits saying which way of its set it
+//! occupies. Crucially, the physical address of the page never changes when
+//! it is remapped — only these extension bits do — which is how Banshee
+//! sidesteps the address-consistency problem of NUMA-style PTE/TLB designs
+//! (TDC, HMA).
+//!
+//! Section 3.4 relies on the OS's *reverse mapping* (physical page → every
+//! PTE that maps it, regardless of aliasing) to apply tag-buffer entries to
+//! the page table when the buffer fills. [`PageTable`] implements both the
+//! forward walk (with first-touch physical frame allocation) and the reverse
+//! map, including alias support.
+
+use banshee_common::PageNum;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Page size class for a mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PageSize {
+    /// Regular 4 KiB page.
+    Base4K,
+    /// Large 2 MiB page (Section 4.3).
+    Large2M,
+}
+
+impl PageSize {
+    /// Size in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            PageSize::Base4K => banshee_common::PAGE_SIZE,
+            PageSize::Large2M => banshee_common::LARGE_PAGE_SIZE,
+        }
+    }
+}
+
+/// The PTE/TLB extension Banshee adds: 1 cached bit + way bits (2 bits for
+/// the default 4-way cache; widened automatically for higher associativity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash, Serialize, Deserialize)]
+pub struct PteMapInfo {
+    /// Whether the page is resident in the DRAM cache.
+    pub cached: bool,
+    /// Which way of its DRAM-cache set holds the page (meaningful only when
+    /// `cached` is true).
+    pub way: u8,
+}
+
+impl PteMapInfo {
+    /// A mapping meaning "not in the DRAM cache".
+    pub const NOT_CACHED: PteMapInfo = PteMapInfo {
+        cached: false,
+        way: 0,
+    };
+
+    /// A mapping meaning "cached in `way`".
+    pub fn cached_in(way: u8) -> Self {
+        PteMapInfo { cached: true, way }
+    }
+
+    /// Number of PTE bits this extension needs for a cache with `ways` ways
+    /// (1 cached bit + ceil(log2(ways)) way bits). The paper's default 4-way
+    /// configuration needs 3 bits.
+    pub fn bits_required(ways: usize) -> u32 {
+        let way_bits = if ways <= 1 {
+            0
+        } else {
+            (usize::BITS - (ways - 1).leading_zeros()) as u32
+        };
+        1 + way_bits
+    }
+}
+
+/// One page-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pte {
+    /// Physical page frame backing this virtual page.
+    pub ppage: PageNum,
+    /// Banshee's mapping-info extension bits.
+    pub info: PteMapInfo,
+    /// Page size of this mapping.
+    pub size: PageSize,
+}
+
+/// The OS page table for the whole (simulated) machine, plus the reverse map.
+///
+/// Virtual pages are identified by a flat `(asid, vpn)` pair collapsed into a
+/// single u64 by the caller (the simulator gives each core/program its own
+/// virtual address region), so one table serves all cores.
+#[derive(Debug, Clone, Default)]
+pub struct PageTable {
+    entries: HashMap<u64, Pte>,
+    /// Reverse mapping: physical page → virtual pages mapping to it.
+    reverse: HashMap<PageNum, Vec<u64>>,
+    /// Next physical frame to hand out on first touch.
+    next_frame: u64,
+    /// Number of PTE-extension updates applied (statistic for Section 3.4).
+    pte_updates: u64,
+}
+
+impl PageTable {
+    /// An empty page table allocating physical frames from 0 upward.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of mapped virtual pages.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is mapped.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total PTE mapping-info updates applied via [`PageTable::update_mapping`].
+    pub fn pte_update_count(&self) -> u64 {
+        self.pte_updates
+    }
+
+    /// Translate a virtual page, allocating a physical frame on first touch.
+    /// Large mappings allocate 512 consecutive 4 KiB frames so that the
+    /// physical large page is contiguous and aligned.
+    pub fn translate_or_map(&mut self, vpage: u64, size: PageSize) -> Pte {
+        if let Some(pte) = self.entries.get(&vpage) {
+            return *pte;
+        }
+        let frames = size.bytes() / banshee_common::PAGE_SIZE;
+        // Align the allocation to the mapping size.
+        let aligned = self.next_frame.div_ceil(frames) * frames;
+        self.next_frame = aligned + frames;
+        let pte = Pte {
+            ppage: PageNum::new(aligned),
+            info: PteMapInfo::NOT_CACHED,
+            size,
+        };
+        self.entries.insert(vpage, pte);
+        self.reverse.entry(pte.ppage).or_default().push(vpage);
+        pte
+    }
+
+    /// Translate without allocating. Returns `None` for unmapped pages.
+    pub fn translate(&self, vpage: u64) -> Option<Pte> {
+        self.entries.get(&vpage).copied()
+    }
+
+    /// Create an alias: map `alias_vpage` to the same physical page as
+    /// `existing_vpage`. Returns the shared PTE, or `None` if the original
+    /// mapping does not exist. This exercises the page-aliasing case that
+    /// TDC's inverted page table cannot handle but reverse mapping can
+    /// (Section 3.4).
+    pub fn alias(&mut self, existing_vpage: u64, alias_vpage: u64) -> Option<Pte> {
+        let pte = *self.entries.get(&existing_vpage)?;
+        self.entries.insert(alias_vpage, pte);
+        self.reverse.entry(pte.ppage).or_default().push(alias_vpage);
+        Some(pte)
+    }
+
+    /// All virtual pages mapping to `ppage` (the reverse mapping / rmap walk).
+    pub fn reverse_lookup(&self, ppage: PageNum) -> &[u64] {
+        self.reverse.get(&ppage).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Apply new DRAM-cache mapping info to every PTE that maps `ppage`,
+    /// using the reverse mapping. Returns how many PTEs were updated.
+    ///
+    /// This is the software routine of Section 3.4: for each tag-buffer
+    /// entry, find the PTEs through the reverse map and update their
+    /// cached/way bits.
+    pub fn update_mapping(&mut self, ppage: PageNum, info: PteMapInfo) -> usize {
+        let vpages: Vec<u64> = self.reverse_lookup(ppage).to_vec();
+        let mut updated = 0;
+        for v in vpages {
+            if let Some(pte) = self.entries.get_mut(&v) {
+                pte.info = info;
+                updated += 1;
+            }
+        }
+        self.pte_updates += updated as u64;
+        updated
+    }
+
+    /// Current mapping info for a physical page (from any one of its PTEs).
+    pub fn mapping_of(&self, ppage: PageNum) -> Option<PteMapInfo> {
+        let v = self.reverse_lookup(ppage).first()?;
+        self.entries.get(v).map(|p| p.info)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_required_matches_paper() {
+        // 4-way cache → 3 bits (1 cached + 2 way), as stated in Section 5.1.
+        assert_eq!(PteMapInfo::bits_required(4), 3);
+        assert_eq!(PteMapInfo::bits_required(1), 1);
+        assert_eq!(PteMapInfo::bits_required(2), 2);
+        assert_eq!(PteMapInfo::bits_required(8), 4);
+    }
+
+    #[test]
+    fn first_touch_allocates_distinct_frames() {
+        let mut pt = PageTable::new();
+        let a = pt.translate_or_map(100, PageSize::Base4K);
+        let b = pt.translate_or_map(200, PageSize::Base4K);
+        assert_ne!(a.ppage, b.ppage);
+        // Repeated translation is stable.
+        assert_eq!(pt.translate_or_map(100, PageSize::Base4K), a);
+        assert_eq!(pt.len(), 2);
+    }
+
+    #[test]
+    fn large_page_allocation_is_aligned() {
+        let mut pt = PageTable::new();
+        let _small = pt.translate_or_map(1, PageSize::Base4K);
+        let large = pt.translate_or_map(2, PageSize::Large2M);
+        let frames_per_large = banshee_common::LARGE_PAGE_SIZE / banshee_common::PAGE_SIZE;
+        assert_eq!(large.ppage.raw() % frames_per_large, 0);
+        assert_eq!(large.size, PageSize::Large2M);
+    }
+
+    #[test]
+    fn translate_without_map_returns_none() {
+        let pt = PageTable::new();
+        assert!(pt.translate(42).is_none());
+        assert!(pt.is_empty());
+    }
+
+    #[test]
+    fn reverse_mapping_tracks_all_aliases() {
+        let mut pt = PageTable::new();
+        let pte = pt.translate_or_map(10, PageSize::Base4K);
+        pt.alias(10, 20).unwrap();
+        pt.alias(10, 30).unwrap();
+        let rmap = pt.reverse_lookup(pte.ppage);
+        assert_eq!(rmap.len(), 3);
+        assert!(rmap.contains(&10) && rmap.contains(&20) && rmap.contains(&30));
+        assert!(pt.alias(999, 1000).is_none());
+    }
+
+    #[test]
+    fn update_mapping_reaches_every_alias() {
+        let mut pt = PageTable::new();
+        let pte = pt.translate_or_map(10, PageSize::Base4K);
+        pt.alias(10, 20).unwrap();
+        let updated = pt.update_mapping(pte.ppage, PteMapInfo::cached_in(3));
+        assert_eq!(updated, 2);
+        assert_eq!(pt.translate(10).unwrap().info, PteMapInfo::cached_in(3));
+        assert_eq!(pt.translate(20).unwrap().info, PteMapInfo::cached_in(3));
+        assert_eq!(pt.mapping_of(pte.ppage), Some(PteMapInfo::cached_in(3)));
+        assert_eq!(pt.pte_update_count(), 2);
+    }
+
+    #[test]
+    fn update_mapping_on_unmapped_page_is_noop() {
+        let mut pt = PageTable::new();
+        assert_eq!(pt.update_mapping(PageNum::new(77), PteMapInfo::cached_in(1)), 0);
+        assert_eq!(pt.pte_update_count(), 0);
+    }
+
+    #[test]
+    fn physical_address_is_stable_across_remapping() {
+        // The core Banshee property: updating the cached/way bits never moves
+        // the page to a different physical frame.
+        let mut pt = PageTable::new();
+        let before = pt.translate_or_map(5, PageSize::Base4K);
+        pt.update_mapping(before.ppage, PteMapInfo::cached_in(2));
+        let after = pt.translate(5).unwrap();
+        assert_eq!(before.ppage, after.ppage);
+        assert_ne!(before.info, after.info);
+    }
+}

@@ -1,0 +1,241 @@
+//! Per-core TLB carrying Banshee's PTE extension bits.
+//!
+//! The TLB is the reason lazy coherence is interesting: after the memory
+//! controller remaps a page, TLBs keep serving the *old* cached/way bits
+//! until a shootdown. Banshee tolerates this because every LLC miss checks
+//! the tag buffer at the memory controller, which always has the up-to-date
+//! mapping for recently remapped pages (Section 3.1). The TLB model here
+//! therefore deliberately returns stale [`PteMapInfo`] until
+//! [`Tlb::shootdown`] or a targeted [`Tlb::invalidate`] is called.
+
+use crate::page_table::{PageSize, PteMapInfo};
+use banshee_common::PageNum;
+
+/// One TLB entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbEntry {
+    /// Virtual page number.
+    pub vpage: u64,
+    /// Physical page frame.
+    pub ppage: PageNum,
+    /// The (possibly stale) DRAM-cache mapping bits.
+    pub info: PteMapInfo,
+    /// Page size of the mapping.
+    pub size: PageSize,
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    entry: TlbEntry,
+    touched: u64,
+}
+
+/// A fully-associative, LRU TLB with a fixed number of entries.
+///
+/// Real TLBs are set-associative, but associativity is irrelevant to the
+/// phenomena modelled here (staleness and shootdown cost); what matters is
+/// the entry count and hit/miss behaviour.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    slots: Vec<Slot>,
+    capacity: usize,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    shootdowns: u64,
+}
+
+impl Tlb {
+    /// A TLB with `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "TLB needs at least one entry");
+        Tlb {
+            slots: Vec::with_capacity(capacity),
+            capacity,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            shootdowns: 0,
+        }
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of full flushes (shootdowns) performed.
+    pub fn shootdowns(&self) -> u64 {
+        self.shootdowns
+    }
+
+    /// Number of currently resident entries.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Look up a virtual page. Returns the entry on a hit (updating LRU) or
+    /// `None` on a miss (the caller then walks the page table and calls
+    /// [`Tlb::fill`]).
+    pub fn lookup(&mut self, vpage: u64) -> Option<TlbEntry> {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(slot) = self.slots.iter_mut().find(|s| s.entry.vpage == vpage) {
+            slot.touched = clock;
+            self.hits += 1;
+            Some(slot.entry)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Insert (or overwrite) an entry, evicting the LRU entry if full.
+    pub fn fill(&mut self, entry: TlbEntry) {
+        self.clock += 1;
+        if let Some(slot) = self.slots.iter_mut().find(|s| s.entry.vpage == entry.vpage) {
+            slot.entry = entry;
+            slot.touched = self.clock;
+            return;
+        }
+        if self.slots.len() == self.capacity {
+            // Evict LRU.
+            let lru = self
+                .slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.touched)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            self.slots.swap_remove(lru);
+        }
+        self.slots.push(Slot {
+            entry,
+            touched: self.clock,
+        });
+    }
+
+    /// Update the mapping info of a resident entry in place (used by eager
+    /// coherence schemes like TDC's hardware TLB coherence). Returns true if
+    /// the entry was resident.
+    pub fn update_info(&mut self, vpage: u64, info: PteMapInfo) -> bool {
+        if let Some(slot) = self.slots.iter_mut().find(|s| s.entry.vpage == vpage) {
+            slot.entry.info = info;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove a single entry (targeted invalidation).
+    pub fn invalidate(&mut self, vpage: u64) -> bool {
+        let before = self.slots.len();
+        self.slots.retain(|s| s.entry.vpage != vpage);
+        before != self.slots.len()
+    }
+
+    /// Flush the whole TLB (a shootdown). The next access to every page will
+    /// re-walk the page table and pick up fresh mapping bits.
+    pub fn shootdown(&mut self) {
+        self.slots.clear();
+        self.shootdowns += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(vpage: u64, info: PteMapInfo) -> TlbEntry {
+        TlbEntry {
+            vpage,
+            ppage: PageNum::new(vpage + 1000),
+            info,
+            size: PageSize::Base4K,
+        }
+    }
+
+    #[test]
+    fn miss_fill_hit() {
+        let mut tlb = Tlb::new(4);
+        assert!(tlb.lookup(1).is_none());
+        tlb.fill(entry(1, PteMapInfo::NOT_CACHED));
+        let got = tlb.lookup(1).unwrap();
+        assert_eq!(got.ppage, PageNum::new(1001));
+        assert_eq!(tlb.hits(), 1);
+        assert_eq!(tlb.misses(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_lru() {
+        let mut tlb = Tlb::new(2);
+        tlb.fill(entry(1, PteMapInfo::NOT_CACHED));
+        tlb.fill(entry(2, PteMapInfo::NOT_CACHED));
+        tlb.lookup(1); // 2 becomes LRU
+        tlb.fill(entry(3, PteMapInfo::NOT_CACHED));
+        assert!(tlb.lookup(1).is_some());
+        assert!(tlb.lookup(2).is_none());
+        assert!(tlb.lookup(3).is_some());
+        assert_eq!(tlb.len(), 2);
+    }
+
+    #[test]
+    fn refill_overwrites_in_place() {
+        let mut tlb = Tlb::new(2);
+        tlb.fill(entry(1, PteMapInfo::NOT_CACHED));
+        tlb.fill(entry(1, PteMapInfo::cached_in(2)));
+        assert_eq!(tlb.len(), 1);
+        assert_eq!(tlb.lookup(1).unwrap().info, PteMapInfo::cached_in(2));
+    }
+
+    #[test]
+    fn stale_mapping_persists_until_shootdown() {
+        // This is the behaviour Banshee's lazy coherence depends on.
+        let mut tlb = Tlb::new(4);
+        tlb.fill(entry(7, PteMapInfo::NOT_CACHED));
+        // The DRAM cache remaps the page, but nobody tells the TLB...
+        let stale = tlb.lookup(7).unwrap();
+        assert_eq!(stale.info, PteMapInfo::NOT_CACHED);
+        // ...until a shootdown flushes it.
+        tlb.shootdown();
+        assert!(tlb.lookup(7).is_none());
+        assert_eq!(tlb.shootdowns(), 1);
+        assert!(tlb.is_empty());
+    }
+
+    #[test]
+    fn update_info_models_eager_coherence() {
+        let mut tlb = Tlb::new(4);
+        tlb.fill(entry(9, PteMapInfo::NOT_CACHED));
+        assert!(tlb.update_info(9, PteMapInfo::cached_in(1)));
+        assert_eq!(tlb.lookup(9).unwrap().info, PteMapInfo::cached_in(1));
+        assert!(!tlb.update_info(10, PteMapInfo::NOT_CACHED));
+    }
+
+    #[test]
+    fn targeted_invalidate() {
+        let mut tlb = Tlb::new(4);
+        tlb.fill(entry(1, PteMapInfo::NOT_CACHED));
+        tlb.fill(entry(2, PteMapInfo::NOT_CACHED));
+        assert!(tlb.invalidate(1));
+        assert!(!tlb.invalidate(1));
+        assert!(tlb.lookup(1).is_none());
+        assert!(tlb.lookup(2).is_some());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        let _ = Tlb::new(0);
+    }
+}

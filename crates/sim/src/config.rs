@@ -1,0 +1,198 @@
+//! Simulation configuration (the paper's Tables 2 and 3, plus scaling knobs
+//! for laptop-sized runs).
+
+use banshee::BansheeConfig;
+use banshee_common::{Cycle, MemSize};
+use banshee_dcache::{DCacheConfig, DramCacheDesign};
+use banshee_dram::DramConfig;
+use banshee_memhier::HierarchyConfig;
+
+/// Everything needed to run one simulation.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of cores (16 in Table 2).
+    pub cores: usize,
+    /// Which DRAM-cache design to simulate.
+    pub design: DramCacheDesign,
+    /// Shared DRAM-cache geometry (capacity, ways, footprint granularity).
+    pub dcache: DCacheConfig,
+    /// SRAM hierarchy geometry.
+    pub hierarchy: HierarchyConfig,
+    /// In-package DRAM device configuration.
+    pub in_dram: DramConfig,
+    /// Off-package DRAM device configuration.
+    pub off_dram: DramConfig,
+    /// Outstanding LLC misses a core tolerates before stalling (MLP window).
+    pub mlp_per_core: usize,
+    /// Per-core TLB entries.
+    pub tlb_entries: usize,
+    /// TLB miss (page-walk) latency in cycles.
+    pub tlb_miss_latency: Cycle,
+    /// Core issue width (instructions per cycle when not memory stalled).
+    pub issue_width: u32,
+    /// Interval (in total instructions) between controller `epoch()` calls
+    /// (used by HMA's software remapping and BATMAN's rebalancing).
+    pub epoch_instructions: u64,
+    /// Instructions (summed over cores) executed before measurement starts.
+    /// Warm-up fills the SRAM caches and the DRAM cache so that the measured
+    /// phase reflects steady-state behaviour, standing in for the paper's
+    /// 100-billion-instruction runs.
+    pub warmup_instructions: u64,
+    /// Total *measured* instructions (summed over cores) to simulate after
+    /// warm-up.
+    pub total_instructions: u64,
+    /// Cost charged when a batched page-table update is applied, in
+    /// microseconds (Table 3 default 20 µs; Table 5 sweeps 10/20/40 µs).
+    pub pte_update_cost_us: f64,
+    /// TLB shootdown cost for the initiating core (µs).
+    pub shootdown_initiator_us: f64,
+    /// TLB shootdown cost for every other core (µs).
+    pub shootdown_slave_us: f64,
+    /// Wrap the selected design with BATMAN bandwidth balancing
+    /// (Section 5.4.2).
+    pub use_batman: bool,
+    /// Run with 2 MiB large pages (Section 5.4.1): address translation and
+    /// the Banshee caching unit switch to 2 MiB granularity.
+    pub large_pages: bool,
+    /// Optional explicit Banshee configuration (otherwise derived from
+    /// `dcache`).
+    pub banshee: Option<BansheeConfig>,
+    /// RNG seed forwarded to stochastic components.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// The paper's full-scale configuration (Tables 2 and 3) for a design.
+    /// Slow: 1 GB DRAM cache and billions of instructions are not laptop
+    /// material; prefer [`SimConfig::scaled`] for experiments.
+    pub fn paper_default(design: DramCacheDesign) -> Self {
+        SimConfig {
+            cores: 16,
+            design,
+            dcache: DCacheConfig::paper_default(),
+            hierarchy: HierarchyConfig::paper_default(16),
+            in_dram: DramConfig::in_package_default(),
+            off_dram: DramConfig::off_package_default(),
+            mlp_per_core: 10,
+            tlb_entries: 64,
+            tlb_miss_latency: 50,
+            issue_width: 4,
+            epoch_instructions: 2_000_000,
+            warmup_instructions: 400_000_000,
+            total_instructions: 1_600_000_000,
+            pte_update_cost_us: 20.0,
+            shootdown_initiator_us: 4.0,
+            shootdown_slave_us: 1.0,
+            use_batman: false,
+            large_pages: false,
+            banshee: None,
+            seed: 1,
+        }
+    }
+
+    /// A scaled-down configuration that keeps the paper's *shape* (relative
+    /// cache sizes, bandwidth ratio, per-core MLP) while shrinking capacity
+    /// and instruction counts so a full figure sweep runs in minutes.
+    ///
+    /// `dram_cache_capacity` is the in-package capacity to model; the LLC is
+    /// scaled to 1/32 of it (the paper's 8 MiB : 1 GiB is 1/128, but a
+    /// too-small LLC under-uses the scaled traces).
+    pub fn scaled(design: DramCacheDesign, dram_cache_capacity: MemSize) -> Self {
+        let mut cfg = Self::paper_default(design);
+        cfg.dcache = DCacheConfig::scaled(dram_cache_capacity);
+        let llc = MemSize::bytes((dram_cache_capacity.as_bytes() / 32).max(256 * 1024));
+        cfg.hierarchy = HierarchyConfig {
+            llc_size: llc,
+            ..HierarchyConfig::paper_default(cfg.cores)
+        };
+        cfg.in_dram.capacity = dram_cache_capacity;
+        cfg.warmup_instructions = 6_000_000;
+        cfg.total_instructions = 10_000_000;
+        cfg.epoch_instructions = 500_000;
+        cfg
+    }
+
+    /// A tiny configuration for unit/integration tests (seconds, not
+    /// minutes).
+    pub fn test_default(design: DramCacheDesign) -> Self {
+        let mut cfg = Self::scaled(design, MemSize::mib(8));
+        cfg.cores = 4;
+        cfg.hierarchy = HierarchyConfig {
+            llc_size: MemSize::kib(256),
+            ..HierarchyConfig::paper_default(4)
+        };
+        cfg.warmup_instructions = 150_000;
+        cfg.total_instructions = 400_000;
+        cfg.epoch_instructions = 100_000;
+        cfg
+    }
+
+    /// Scale the in-package DRAM's bandwidth relative to off-package
+    /// (Figure 8c sweeps 2×/4×/8×) by adjusting the channel count.
+    pub fn with_dram_cache_bandwidth_ratio(mut self, ratio: usize) -> Self {
+        self.in_dram.channels = ratio.max(1);
+        self
+    }
+
+    /// Scale the in-package DRAM's access latency (Figure 8b sweeps 100%,
+    /// 66%, 50% of off-package latency).
+    pub fn with_dram_cache_latency_scale(mut self, scale: f64) -> Self {
+        self.in_dram.latency_scale = scale;
+        self
+    }
+
+    /// The Banshee configuration this run will use.
+    pub fn banshee_config(&self) -> BansheeConfig {
+        let base = self
+            .banshee
+            .clone()
+            .unwrap_or_else(|| BansheeConfig::from_dcache(&self.dcache));
+        if self.large_pages {
+            base.for_large_pages()
+        } else {
+            base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_table2() {
+        let c = SimConfig::paper_default(DramCacheDesign::Banshee);
+        assert_eq!(c.cores, 16);
+        assert_eq!(c.dcache.capacity, MemSize::gib(1));
+        assert_eq!(c.in_dram.channels, 4);
+        assert_eq!(c.off_dram.channels, 1);
+        assert_eq!(c.issue_width, 4);
+        assert!((c.pte_update_cost_us - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_keeps_relative_shape() {
+        let c = SimConfig::scaled(DramCacheDesign::Banshee, MemSize::mib(32));
+        assert_eq!(c.dcache.capacity, MemSize::mib(32));
+        assert!(c.hierarchy.llc_size.as_bytes() < c.dcache.capacity.as_bytes());
+        assert_eq!(c.dcache.ways, 4);
+        assert!(c.total_instructions < 100_000_000);
+    }
+
+    #[test]
+    fn figure8_knobs() {
+        let c = SimConfig::test_default(DramCacheDesign::Banshee)
+            .with_dram_cache_bandwidth_ratio(8)
+            .with_dram_cache_latency_scale(0.5);
+        assert_eq!(c.in_dram.channels, 8);
+        assert!((c.in_dram.latency_scale - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn banshee_config_derivation() {
+        let mut c = SimConfig::test_default(DramCacheDesign::Banshee);
+        assert_eq!(c.banshee_config().capacity, c.dcache.capacity);
+        c.large_pages = true;
+        assert_eq!(c.banshee_config().page_bytes, 2 * 1024 * 1024);
+    }
+}

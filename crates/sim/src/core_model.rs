@@ -1,0 +1,252 @@
+//! The per-core model: clock, instruction accounting, TLB and the MLP
+//! (memory-level-parallelism) window.
+//!
+//! The cores of Table 2 are 4-issue out-of-order machines running
+//! throughput workloads, which the paper characterizes as latency-tolerant
+//! but bandwidth-hungry. The model captures exactly that: a core retires
+//! non-memory instructions at the issue width, overlaps up to
+//! `mlp` outstanding LLC misses, and stalls only when the window is full.
+
+use banshee_common::{Addr, Cycle};
+use banshee_memhier::{PageSize, PteMapInfo, Tlb, TlbEntry};
+use banshee_workloads::TraceGenerator;
+use std::collections::VecDeque;
+
+/// One core's architectural state.
+pub struct CoreModel {
+    /// Core identifier.
+    pub id: usize,
+    /// Current cycle of this core.
+    pub clock: Cycle,
+    /// Instructions retired so far.
+    pub instructions: u64,
+    /// Completion times of in-flight LLC misses.
+    outstanding: VecDeque<Cycle>,
+    mlp: usize,
+    issue_width: u32,
+    /// The core's TLB.
+    pub tlb: Tlb,
+    /// The workload trace this core executes.
+    pub trace: Box<dyn TraceGenerator>,
+    /// Cycles lost waiting on a full MLP window (reported as a statistic).
+    pub stall_cycles: Cycle,
+}
+
+/// Result of a virtual-to-physical translation.
+#[derive(Debug, Clone, Copy)]
+pub struct Translation {
+    /// The physical address of the access.
+    pub paddr: Addr,
+    /// The (possibly stale) DRAM-cache mapping bits the TLB carried.
+    pub info: PteMapInfo,
+    /// Whether the translation came from a TLB hit.
+    pub tlb_hit: bool,
+}
+
+impl CoreModel {
+    /// Build a core with the given window sizes and trace.
+    pub fn new(
+        id: usize,
+        trace: Box<dyn TraceGenerator>,
+        tlb_entries: usize,
+        mlp: usize,
+        issue_width: u32,
+    ) -> Self {
+        CoreModel {
+            id,
+            clock: 0,
+            instructions: 0,
+            outstanding: VecDeque::with_capacity(mlp + 1),
+            mlp: mlp.max(1),
+            issue_width: issue_width.max(1),
+            tlb: Tlb::new(tlb_entries.max(1)),
+            trace,
+            stall_cycles: 0,
+        }
+    }
+
+    /// Account for the instructions preceding (and including) a memory
+    /// access: the core retires them at its issue width.
+    pub fn retire_instructions(&mut self, count: u64) {
+        self.instructions += count;
+        self.clock += count / self.issue_width as u64;
+    }
+
+    /// Translate a virtual address through the TLB. On a miss the caller
+    /// must walk the page table, call [`CoreModel::fill_tlb`], and charge the
+    /// walk latency.
+    pub fn translate(&mut self, vaddr: Addr, large_pages: bool) -> Option<Translation> {
+        let vpage = Self::vpage_of(vaddr, large_pages);
+        self.tlb.lookup(vpage).map(|entry| Translation {
+            paddr: Self::compose_paddr(&entry, vaddr),
+            info: entry.info,
+            tlb_hit: true,
+        })
+    }
+
+    /// Install a translation after a page walk and return it.
+    pub fn fill_tlb(&mut self, vaddr: Addr, entry: TlbEntry) -> Translation {
+        self.tlb.fill(entry);
+        Translation {
+            paddr: Self::compose_paddr(&entry, vaddr),
+            info: entry.info,
+            tlb_hit: false,
+        }
+    }
+
+    /// The virtual page key used for TLB/page-table indexing.
+    pub fn vpage_of(vaddr: Addr, large_pages: bool) -> u64 {
+        if large_pages {
+            vaddr.large_page()
+        } else {
+            vaddr.page().raw()
+        }
+    }
+
+    fn compose_paddr(entry: &TlbEntry, vaddr: Addr) -> Addr {
+        let offset_mask = match entry.size {
+            PageSize::Base4K => banshee_common::PAGE_SIZE - 1,
+            PageSize::Large2M => banshee_common::LARGE_PAGE_SIZE - 1,
+        };
+        Addr::new(entry.ppage.base_addr().raw() + (vaddr.raw() & offset_mask))
+    }
+
+    /// Record an LLC miss completing at `completion`. If the MLP window is
+    /// full the core stalls until the oldest outstanding miss completes.
+    pub fn issue_miss(&mut self, completion: Cycle) {
+        // Retire misses that already completed.
+        while let Some(&front) = self.outstanding.front() {
+            if front <= self.clock {
+                self.outstanding.pop_front();
+            } else {
+                break;
+            }
+        }
+        self.outstanding.push_back(completion);
+        if self.outstanding.len() > self.mlp {
+            let oldest = self.outstanding.pop_front().expect("window non-empty");
+            if oldest > self.clock {
+                self.stall_cycles += oldest - self.clock;
+                self.clock = oldest;
+            }
+        }
+    }
+
+    /// Advance the clock by a fixed amount (SRAM latency, OS work, ...).
+    pub fn advance(&mut self, cycles: Cycle) {
+        self.clock += cycles;
+    }
+
+    /// Number of misses currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.outstanding.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banshee_common::PageNum;
+    use banshee_workloads::{MemoryAccess, SyntheticParams, SyntheticTrace};
+
+    fn trace() -> Box<dyn TraceGenerator> {
+        Box::new(SyntheticTrace::new(
+            SyntheticParams::base("t", 1 << 20),
+            0,
+            1,
+        ))
+    }
+
+    fn core(mlp: usize) -> CoreModel {
+        CoreModel::new(0, trace(), 16, mlp, 4)
+    }
+
+    #[test]
+    fn instruction_retirement_at_issue_width() {
+        let mut c = core(4);
+        c.retire_instructions(40);
+        assert_eq!(c.instructions, 40);
+        assert_eq!(c.clock, 10);
+    }
+
+    #[test]
+    fn mlp_window_overlaps_misses_until_full() {
+        let mut c = core(2);
+        // Two misses fit in the window: the core does not stall.
+        c.issue_miss(1000);
+        c.issue_miss(1200);
+        assert_eq!(c.clock, 0);
+        assert_eq!(c.in_flight(), 2);
+        // The third miss forces a wait for the oldest (cycle 1000).
+        c.issue_miss(1400);
+        assert_eq!(c.clock, 1000);
+        assert_eq!(c.stall_cycles, 1000);
+    }
+
+    #[test]
+    fn completed_misses_leave_the_window() {
+        let mut c = core(2);
+        c.issue_miss(10);
+        c.advance(50);
+        // The first miss completed long ago; issuing two more must not stall.
+        c.issue_miss(100);
+        c.issue_miss(120);
+        assert_eq!(c.clock, 50);
+        assert_eq!(c.stall_cycles, 0);
+    }
+
+    #[test]
+    fn bigger_windows_tolerate_more_latency() {
+        let run = |mlp: usize| -> Cycle {
+            let mut c = core(mlp);
+            for i in 0..100u64 {
+                c.issue_miss(c.clock + 200 + i);
+                c.advance(10);
+            }
+            c.clock
+        };
+        assert!(run(8) < run(1), "more MLP should finish sooner");
+    }
+
+    #[test]
+    fn translation_round_trip() {
+        let mut c = core(4);
+        let vaddr = Addr::new(5 * 4096 + 128);
+        assert!(c.translate(vaddr, false).is_none());
+        let entry = TlbEntry {
+            vpage: CoreModel::vpage_of(vaddr, false),
+            ppage: PageNum::new(9),
+            info: PteMapInfo::cached_in(2),
+            size: PageSize::Base4K,
+        };
+        let t = c.fill_tlb(vaddr, entry);
+        assert_eq!(t.paddr, Addr::new(9 * 4096 + 128));
+        assert!(!t.tlb_hit);
+        let hit = c.translate(vaddr, false).unwrap();
+        assert!(hit.tlb_hit);
+        assert_eq!(hit.info, PteMapInfo::cached_in(2));
+        assert_eq!(hit.paddr, t.paddr);
+    }
+
+    #[test]
+    fn large_page_translation_uses_2mb_offsets() {
+        let mut c = core(4);
+        let vaddr = Addr::new(3 * 2 * 1024 * 1024 + 12345);
+        let entry = TlbEntry {
+            vpage: CoreModel::vpage_of(vaddr, true),
+            ppage: PageNum::new(512), // first 4 KiB frame of the large page
+            info: PteMapInfo::NOT_CACHED,
+            size: PageSize::Large2M,
+        };
+        let t = c.fill_tlb(vaddr, entry);
+        assert_eq!(t.paddr.raw(), 512 * 4096 + 12345);
+        assert_eq!(CoreModel::vpage_of(vaddr, true), 3);
+    }
+
+    #[test]
+    fn trace_is_pulled_through_the_core() {
+        let mut c = core(4);
+        let a: MemoryAccess = c.trace.next_access();
+        assert!(a.vaddr.raw() < (1 << 20));
+    }
+}

@@ -1,0 +1,141 @@
+//! Results of one simulation run.
+
+use banshee_common::{Cycle, DramKind, StatSet, TrafficClass, TrafficStats};
+use serde::{Deserialize, Serialize};
+
+/// Everything the experiment harness needs from one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Design label ("Banshee", "Alloy 0.1", ...).
+    pub design: String,
+    /// Workload label ("pagerank", "mcf", ...).
+    pub workload: String,
+    /// Number of cores simulated.
+    pub cores: usize,
+    /// Total instructions executed across all cores.
+    pub instructions: u64,
+    /// Cycles elapsed (maximum core clock at the end of the run).
+    pub cycles: Cycle,
+    /// DRAM-cache demand accesses (LLC misses routed through the design).
+    pub dram_cache_accesses: u64,
+    /// DRAM-cache demand misses.
+    pub dram_cache_misses: u64,
+    /// Raw DRAM traffic by (device, class).
+    pub traffic: TrafficStats,
+    /// LLC misses (all of which become DRAM-cache accesses).
+    pub llc_misses: u64,
+    /// Design-specific named counters.
+    pub stats: StatSet,
+}
+
+impl SimResult {
+    /// Aggregate instructions per cycle (all cores together).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Speedup of this run relative to a baseline run of the *same workload*
+    /// (the paper normalizes to NoCache).
+    pub fn speedup_over(&self, baseline: &SimResult) -> f64 {
+        if baseline.ipc() == 0.0 {
+            0.0
+        } else {
+            self.ipc() / baseline.ipc()
+        }
+    }
+
+    /// DRAM-cache miss rate (misses / demand accesses).
+    pub fn dram_cache_miss_rate(&self) -> f64 {
+        if self.dram_cache_accesses == 0 {
+            0.0
+        } else {
+            self.dram_cache_misses as f64 / self.dram_cache_accesses as f64
+        }
+    }
+
+    /// DRAM-cache misses per kilo-instruction (the red dots of Figure 4).
+    pub fn mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.dram_cache_misses as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// Bytes per instruction on one DRAM for one traffic class
+    /// (Figures 5, 6 and 9).
+    pub fn bytes_per_instr(&self, dram: DramKind, class: TrafficClass) -> f64 {
+        self.traffic.bytes_per_instr(dram, class, self.instructions)
+    }
+
+    /// Total bytes per instruction on one DRAM.
+    pub fn total_bytes_per_instr(&self, dram: DramKind) -> f64 {
+        self.traffic.total_bytes_per_instr(dram, self.instructions)
+    }
+
+    /// Full per-class breakdown for one DRAM in display order.
+    pub fn breakdown(&self, dram: DramKind) -> Vec<(TrafficClass, f64)> {
+        TrafficClass::ALL
+            .iter()
+            .map(|&c| (c, self.bytes_per_instr(dram, c)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(instructions: u64, cycles: Cycle) -> SimResult {
+        SimResult {
+            design: "test".into(),
+            workload: "wl".into(),
+            cores: 4,
+            instructions,
+            cycles,
+            dram_cache_accesses: 100,
+            dram_cache_misses: 25,
+            traffic: TrafficStats::new(),
+            llc_misses: 100,
+            stats: StatSet::new(),
+        }
+    }
+
+    #[test]
+    fn ipc_and_speedup() {
+        let fast = result(1000, 500);
+        let slow = result(1000, 1000);
+        assert!((fast.ipc() - 2.0).abs() < 1e-12);
+        assert!((fast.speedup_over(&slow) - 2.0).abs() < 1e-12);
+        assert!((slow.speedup_over(&fast) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn miss_rate_and_mpki() {
+        let r = result(10_000, 1);
+        assert!((r.dram_cache_miss_rate() - 0.25).abs() < 1e-12);
+        assert!((r.mpki() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traffic_breakdown_shapes() {
+        let mut r = result(100, 100);
+        r.traffic.add(DramKind::InPackage, TrafficClass::HitData, 6_400);
+        assert!((r.bytes_per_instr(DramKind::InPackage, TrafficClass::HitData) - 64.0).abs() < 1e-9);
+        assert_eq!(r.breakdown(DramKind::InPackage).len(), TrafficClass::ALL.len());
+        assert!((r.total_bytes_per_instr(DramKind::InPackage) - 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let r = result(0, 0);
+        assert_eq!(r.ipc(), 0.0);
+        assert_eq!(r.mpki(), 0.0);
+        let z = result(10, 10);
+        assert_eq!(z.speedup_over(&r), 0.0);
+    }
+}

@@ -1,0 +1,505 @@
+//! The full-system simulation loop.
+
+use crate::config::SimConfig;
+use crate::core_model::{CoreModel, Translation};
+use crate::factory::build_controller;
+use crate::result::SimResult;
+use banshee_common::{Addr, Cycle, PageNum, StatSet, XorShiftRng};
+use banshee_dcache::{AccessPlan, DramCacheController, MemRequest, SideEffect};
+use banshee_dram::DualDram;
+use banshee_memhier::{CacheHierarchy, HitLevel, PageSize, PageTable, TlbEntry};
+use banshee_workloads::Workload;
+
+/// Small fixed latencies of the on-chip path (partially hidden by the
+/// out-of-order core, hence smaller than the raw lookup latencies).
+const L2_HIT_PENALTY: Cycle = 2;
+const LLC_HIT_PENALTY: Cycle = 8;
+const MISS_ISSUE_PENALTY: Cycle = 2;
+
+/// The simulated machine: cores + SRAM hierarchy + page table + memory
+/// controllers (one [`DramCacheController`]) + the two DRAM devices.
+pub struct System {
+    config: SimConfig,
+    cores: Vec<CoreModel>,
+    hierarchy: CacheHierarchy,
+    page_table: PageTable,
+    controller: Box<dyn DramCacheController>,
+    dram: DualDram,
+    rng: XorShiftRng,
+    next_epoch_at: u64,
+    os_stats: StatSet,
+}
+
+impl System {
+    /// Build a system running `workload` under `config`.
+    pub fn new(config: SimConfig, workload: &Workload) -> Self {
+        let traces = workload.build_traces(config.cores);
+        let cores = traces
+            .into_iter()
+            .enumerate()
+            .map(|(id, trace)| {
+                CoreModel::new(
+                    id,
+                    trace,
+                    config.tlb_entries,
+                    config.mlp_per_core,
+                    config.issue_width,
+                )
+            })
+            .collect();
+        let hierarchy = CacheHierarchy::new(config.hierarchy.clone());
+        let controller = build_controller(&config);
+        let dram = DualDram::new(config.in_dram.clone(), config.off_dram.clone());
+        System {
+            cores,
+            hierarchy,
+            page_table: PageTable::new(),
+            controller,
+            dram,
+            rng: XorShiftRng::new(config.seed ^ 0x5151),
+            next_epoch_at: config.epoch_instructions,
+            os_stats: StatSet::new(),
+            config,
+        }
+    }
+
+    /// The workload-facing label of the simulated design.
+    pub fn design_name(&self) -> &str {
+        self.controller.name()
+    }
+
+    /// Run warm-up plus the configured measurement budget and collect the
+    /// result. Warm-up executes exactly like measurement (same workload, same
+    /// controller state evolution) but its traffic, miss and cycle counts are
+    /// excluded from the reported statistics.
+    pub fn run(mut self, workload_name: &str) -> SimResult {
+        let mut executed: u64 = 0;
+        let warmup = self.config.warmup_instructions;
+        let budget = self.config.total_instructions;
+        let mut baseline: Option<MeasurementBaseline> = None;
+
+        while executed < warmup + budget {
+            // Advance the core that is furthest behind in time.
+            let core_id = self
+                .cores
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, c)| c.clock)
+                .map(|(i, _)| i)
+                .expect("at least one core");
+            let retired = self.step_core(core_id);
+            executed += retired;
+
+            if baseline.is_none() && executed >= warmup {
+                baseline = Some(self.snapshot());
+            }
+
+            // Periodic controller maintenance (HMA remapping, BATMAN
+            // rebalancing).
+            if executed >= self.next_epoch_at {
+                self.next_epoch_at += self.config.epoch_instructions;
+                self.run_epoch();
+            }
+        }
+
+        let baseline = baseline.unwrap_or_else(MeasurementBaseline::default);
+        self.collect(workload_name, executed, baseline)
+    }
+
+    /// Capture the counters at the end of warm-up so they can be excluded
+    /// from the measured phase.
+    fn snapshot(&self) -> MeasurementBaseline {
+        let (accesses, misses) = self.controller.demand_stats();
+        MeasurementBaseline {
+            instructions: self.cores.iter().map(|c| c.instructions).sum(),
+            cycles: self.cores.iter().map(|c| c.clock).max().unwrap_or(0),
+            traffic: self.dram.combined_traffic(),
+            dram_cache_accesses: accesses,
+            dram_cache_misses: misses,
+            llc_misses: self.hierarchy.llc_miss_count(),
+        }
+    }
+
+    /// Execute one memory access (plus its leading instructions) on a core.
+    /// Returns the number of instructions retired.
+    fn step_core(&mut self, core_id: usize) -> u64 {
+        let access = self.cores[core_id].trace.next_access();
+        let retired = access.instructions();
+        self.cores[core_id].retire_instructions(retired);
+
+        // ---- Address translation ------------------------------------------------
+        let translation = self.translate(core_id, access.vaddr);
+        let paddr = translation.paddr;
+
+        // ---- SRAM hierarchy ------------------------------------------------------
+        let outcome = self
+            .hierarchy
+            .access(core_id, paddr.line(), access.write);
+        match outcome.hit {
+            Some(HitLevel::L1) => {}
+            Some(HitLevel::L2) => self.cores[core_id].advance(L2_HIT_PENALTY),
+            Some(HitLevel::Llc) => self.cores[core_id].advance(LLC_HIT_PENALTY),
+            None => {}
+        }
+
+        // LLC dirty evictions go to the memory controller as hint-less
+        // writeback requests.
+        let now = self.cores[core_id].clock;
+        for line in &outcome.memory_writebacks {
+            let mut req = MemRequest::writeback(line.base_addr(), core_id);
+            if self.config.large_pages {
+                req = req.on_large_page();
+            }
+            let plan = self.controller.access(&req, now);
+            self.execute_plan(plan, core_id, now, false);
+        }
+
+        // ---- Memory access -------------------------------------------------------
+        if outcome.is_llc_miss() {
+            let mut req = MemRequest::demand(paddr, core_id).with_hint(translation.info);
+            if access.write {
+                req = req.as_store();
+            }
+            if self.config.large_pages {
+                req = req.on_large_page();
+            }
+            let now = self.cores[core_id].clock;
+            let plan = self.controller.access(&req, now);
+            let completion = self.execute_plan(plan, core_id, now, true);
+            self.cores[core_id].advance(MISS_ISSUE_PENALTY);
+            self.cores[core_id].issue_miss(completion);
+        }
+
+        retired
+    }
+
+    /// Walk the TLB / page table for a virtual address.
+    fn translate(&mut self, core_id: usize, vaddr: Addr) -> Translation {
+        let large = self.config.large_pages;
+        if let Some(t) = self.cores[core_id].translate(vaddr, large) {
+            return t;
+        }
+        // TLB miss: charge the walk and install the PTE (with its current
+        // mapping-info extension bits).
+        self.cores[core_id].advance(self.config.tlb_miss_latency);
+        let vpage = CoreModel::vpage_of(vaddr, large);
+        let size = if large {
+            PageSize::Large2M
+        } else {
+            PageSize::Base4K
+        };
+        let pte = self.page_table.translate_or_map(vpage, size);
+        self.cores[core_id].fill_tlb(
+            vaddr,
+            TlbEntry {
+                vpage,
+                ppage: pte.ppage,
+                info: pte.info,
+                size,
+            },
+        )
+    }
+
+    /// Issue a plan's DRAM operations and apply its side effects. Returns
+    /// the completion cycle of the critical path (or `now` if it is empty).
+    fn execute_plan(
+        &mut self,
+        plan: AccessPlan,
+        core_id: usize,
+        now: Cycle,
+        _demand: bool,
+    ) -> Cycle {
+        let mut t = now + plan.extra_latency;
+        for op in &plan.critical {
+            let outcome = self
+                .dram
+                .device_mut(op.dram)
+                .access(t, op.addr, op.bytes, op.class);
+            t = outcome.finish;
+        }
+        // Background work starts once the critical path has resolved (e.g.
+        // a fill begins after the demand data arrived) and only consumes
+        // bandwidth.
+        for op in &plan.background {
+            self.dram
+                .device_mut(op.dram)
+                .access(t, op.addr, op.bytes, op.class);
+        }
+        if !plan.side_effects.is_empty() {
+            self.apply_side_effects(plan.side_effects, core_id, t);
+        }
+        t
+    }
+
+    /// Apply OS-level side effects requested by the controller.
+    fn apply_side_effects(&mut self, effects: Vec<SideEffect>, core_id: usize, now: Cycle) {
+        let cpu = banshee_common::CyclesPerSec::ghz(2.7);
+        for effect in effects {
+            match effect {
+                SideEffect::OsWork { cycles } => {
+                    self.os_stats.add("os_work_cycles", cycles);
+                    self.cores[core_id].advance(cycles);
+                }
+                SideEffect::StallAllCores { cycles } => {
+                    self.os_stats.add("stall_all_cycles", cycles);
+                    for c in self.cores.iter_mut() {
+                        c.advance(cycles);
+                    }
+                }
+                SideEffect::UpdatePageTable { updates } => {
+                    self.os_stats.inc("pte_batch_updates");
+                    self.os_stats.add("pte_entries_updated", updates.len() as u64);
+                    for (unit, info) in updates {
+                        let ppage = self.unit_to_ppage(unit);
+                        self.page_table.update_mapping(ppage, info);
+                    }
+                    // The software routine runs on one randomly chosen core
+                    // (Section 3.4); Table 5 sweeps this cost.
+                    let victim =
+                        self.rng.next_below(self.cores.len() as u64) as usize;
+                    let cost = cpu.cycles_in_us(self.config.pte_update_cost_us);
+                    self.cores[victim].advance(cost);
+                }
+                SideEffect::TlbShootdown => {
+                    self.os_stats.inc("tlb_shootdowns");
+                    let initiator =
+                        self.rng.next_below(self.cores.len() as u64) as usize;
+                    let init_cost = cpu.cycles_in_us(self.config.shootdown_initiator_us);
+                    let slave_cost = cpu.cycles_in_us(self.config.shootdown_slave_us);
+                    for (i, core) in self.cores.iter_mut().enumerate() {
+                        core.tlb.shootdown();
+                        core.advance(if i == initiator { init_cost } else { slave_cost });
+                    }
+                }
+                SideEffect::FlushPage { page } => {
+                    self.os_stats.inc("page_flushes");
+                    let ppage = self.unit_to_ppage(page);
+                    let dirty_lines = self.hierarchy.flush_page(ppage);
+                    for line in dirty_lines {
+                        let req = MemRequest::writeback(line.base_addr(), core_id);
+                        let plan = self.controller.access(&req, now);
+                        // Flush-triggered writebacks are plain background
+                        // traffic; nested side effects (there are none in
+                        // practice) are applied recursively.
+                        self.execute_plan(plan, core_id, now, false);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Convert the caching-unit numbers carried in side effects to 4 KiB
+    /// physical page numbers (identical for 4 KiB runs; the first frame of
+    /// the large page for 2 MiB runs).
+    fn unit_to_ppage(&self, unit: PageNum) -> PageNum {
+        if self.config.large_pages {
+            PageNum::new(
+                unit.raw() * (banshee_common::LARGE_PAGE_SIZE / banshee_common::PAGE_SIZE),
+            )
+        } else {
+            unit
+        }
+    }
+
+    /// Run the periodic controller hook.
+    fn run_epoch(&mut self) {
+        let now = self.cores.iter().map(|c| c.clock).max().unwrap_or(0);
+        if let Some(plan) = self.controller.epoch(now) {
+            // Charge epoch work to a random core (the OS picks one).
+            let core = self.rng.next_below(self.cores.len() as u64) as usize;
+            self.execute_plan(plan, core, now, false);
+        }
+    }
+
+    /// Gather the final statistics for the measured (post-warm-up) phase.
+    fn collect(
+        self,
+        workload_name: &str,
+        executed_instructions: u64,
+        baseline: MeasurementBaseline,
+    ) -> SimResult {
+        let cycles = self.cores.iter().map(|c| c.clock).max().unwrap_or(0);
+        let (accesses, misses) = self.controller.demand_stats();
+        let mut stats = self.controller.stats();
+        stats.merge(&self.os_stats);
+        let stall: u64 = self.cores.iter().map(|c| c.stall_cycles).sum();
+        stats.add("core_stall_cycles", stall);
+        let tlb_misses: u64 = self.cores.iter().map(|c| c.tlb.misses()).sum();
+        stats.add("tlb_misses", tlb_misses);
+        stats.add("pte_updates_applied", self.page_table.pte_update_count());
+        stats.add(
+            "in_dram_row_hit_pct",
+            (self.dram.in_package.row_hit_rate() * 100.0) as u64,
+        );
+
+        SimResult {
+            design: self.controller.name().to_string(),
+            workload: workload_name.to_string(),
+            cores: self.config.cores,
+            instructions: executed_instructions.saturating_sub(baseline.instructions),
+            cycles: cycles.saturating_sub(baseline.cycles),
+            dram_cache_accesses: accesses.saturating_sub(baseline.dram_cache_accesses),
+            dram_cache_misses: misses.saturating_sub(baseline.dram_cache_misses),
+            traffic: self.dram.combined_traffic().since(&baseline.traffic),
+            llc_misses: self
+                .hierarchy
+                .llc_miss_count()
+                .saturating_sub(baseline.llc_misses),
+            stats,
+        }
+    }
+}
+
+/// Counter values at the end of warm-up, subtracted from the end-of-run
+/// values so the result covers only the measured phase.
+#[derive(Debug, Clone, Default)]
+struct MeasurementBaseline {
+    instructions: u64,
+    cycles: Cycle,
+    traffic: banshee_common::TrafficStats,
+    dram_cache_accesses: u64,
+    dram_cache_misses: u64,
+    llc_misses: u64,
+}
+
+/// Convenience: run one (design, workload) pair under a configuration.
+pub fn run_one(config: SimConfig, workload: &Workload) -> SimResult {
+    let name = workload.name();
+    System::new(config, workload).run(&name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banshee_common::{DramKind, MemSize, TrafficClass};
+    use banshee_dcache::DramCacheDesign;
+    use banshee_workloads::{SpecProgram, WorkloadKind};
+
+    fn workload() -> Workload {
+        Workload::new(WorkloadKind::Spec(SpecProgram::Mcf), 16 << 20, 3)
+    }
+
+    fn run(design: DramCacheDesign) -> SimResult {
+        run_one(SimConfig::test_default(design), &workload())
+    }
+
+    #[test]
+    fn nocache_uses_only_off_package_dram() {
+        let r = run(DramCacheDesign::NoCache);
+        assert!(r.instructions >= 400_000);
+        assert!(r.cycles > 0);
+        assert_eq!(r.traffic.total(DramKind::InPackage), 0);
+        assert!(r.traffic.total(DramKind::OffPackage) > 0);
+    }
+
+    #[test]
+    fn cacheonly_uses_only_in_package_dram() {
+        let r = run(DramCacheDesign::CacheOnly);
+        assert_eq!(r.traffic.total(DramKind::OffPackage), 0);
+        assert!(r.traffic.total(DramKind::InPackage) > 0);
+        assert_eq!(r.dram_cache_misses, 0);
+    }
+
+    #[test]
+    fn cacheonly_outperforms_nocache() {
+        let no = run(DramCacheDesign::NoCache);
+        let only = run(DramCacheDesign::CacheOnly);
+        assert!(
+            only.speedup_over(&no) > 1.2,
+            "CacheOnly should comfortably beat NoCache: {}",
+            only.speedup_over(&no)
+        );
+    }
+
+    #[test]
+    fn banshee_runs_and_produces_hits() {
+        let r = run(DramCacheDesign::Banshee);
+        assert!(r.dram_cache_accesses > 0);
+        assert!(r.traffic.total(DramKind::InPackage) > 0);
+        assert!(r.dram_cache_miss_rate() < 1.0, "some accesses should hit");
+        assert!(r.stats.get("banshee_replacements") > 0);
+    }
+
+    #[test]
+    fn alloy_pays_tag_traffic_banshee_does_not() {
+        let alloy = run(DramCacheDesign::Alloy {
+            fill_probability: 0.1,
+        });
+        let banshee = run(DramCacheDesign::Banshee);
+        let alloy_tag = alloy.bytes_per_instr(DramKind::InPackage, TrafficClass::Tag);
+        let banshee_tag = banshee.bytes_per_instr(DramKind::InPackage, TrafficClass::Tag);
+        assert!(alloy_tag > 0.0);
+        assert!(
+            banshee_tag < alloy_tag * 0.2,
+            "Banshee tag traffic {banshee_tag} should be far below Alloy {alloy_tag}"
+        );
+    }
+
+    #[test]
+    fn unison_replacement_traffic_exceeds_banshee() {
+        let unison = run(DramCacheDesign::Unison);
+        let banshee = run(DramCacheDesign::Banshee);
+        let u = unison.bytes_per_instr(DramKind::InPackage, TrafficClass::Replacement)
+            + unison.bytes_per_instr(DramKind::OffPackage, TrafficClass::Replacement);
+        let b = banshee.bytes_per_instr(DramKind::InPackage, TrafficClass::Replacement)
+            + banshee.bytes_per_instr(DramKind::OffPackage, TrafficClass::Replacement);
+        assert!(
+            b < u,
+            "Banshee replacement bytes/instr ({b:.3}) should be below Unison ({u:.3})"
+        );
+    }
+
+    #[test]
+    fn banshee_triggers_lazy_coherence() {
+        // A workload with enough hot pages to cause replacements will
+        // eventually fill the tag buffer and trigger PTE updates.
+        let mut cfg = SimConfig::test_default(DramCacheDesign::Banshee);
+        cfg.total_instructions = 1_500_000;
+        let r = run_one(cfg, &workload());
+        assert!(
+            r.stats.get("banshee_tag_buffer_flushes") > 0,
+            "expected at least one tag-buffer flush; stats: {:?}",
+            r.stats
+        );
+        assert!(r.stats.get("tlb_shootdowns") > 0);
+        assert!(r.stats.get("pte_entries_updated") > 0);
+    }
+
+    #[test]
+    fn hma_epochs_migrate_pages() {
+        let r = run(DramCacheDesign::Hma);
+        assert!(r.stats.get("hma_intervals") > 0);
+        // Migration requires stalls of all cores.
+        if r.stats.get("hma_migrations_in") > 0 {
+            assert!(r.stats.get("stall_all_cycles") > 0);
+        }
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let a = run(DramCacheDesign::Banshee);
+        let b = run(DramCacheDesign::Banshee);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.dram_cache_misses, b.dram_cache_misses);
+        assert_eq!(a.traffic, b.traffic);
+    }
+
+    #[test]
+    fn large_page_mode_runs() {
+        let mut cfg = SimConfig::test_default(DramCacheDesign::Banshee);
+        cfg.large_pages = true;
+        cfg.dcache.capacity = MemSize::mib(8);
+        let r = run_one(cfg, &workload());
+        assert!(r.instructions > 0);
+        assert!(r.traffic.grand_total() > 0);
+    }
+
+    #[test]
+    fn batman_wrapper_runs() {
+        let mut cfg = SimConfig::test_default(DramCacheDesign::Banshee);
+        cfg.use_batman = true;
+        let r = run_one(cfg, &workload());
+        assert!(r.design.contains("BATMAN"));
+        assert!(r.instructions > 0);
+    }
+}

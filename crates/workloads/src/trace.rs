@@ -1,0 +1,70 @@
+//! The trace abstraction every workload produces.
+
+use banshee_common::Addr;
+
+/// One memory access in a core's instruction stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryAccess {
+    /// Virtual address of the access (byte granularity).
+    pub vaddr: Addr,
+    /// True for stores.
+    pub write: bool,
+    /// Number of non-memory instructions executed since the previous memory
+    /// access (the generator's way of expressing memory intensity).
+    pub inst_gap: u32,
+}
+
+impl MemoryAccess {
+    /// Convenience constructor for a load.
+    pub fn load(vaddr: Addr, inst_gap: u32) -> Self {
+        MemoryAccess {
+            vaddr,
+            write: false,
+            inst_gap,
+        }
+    }
+
+    /// Convenience constructor for a store.
+    pub fn store(vaddr: Addr, inst_gap: u32) -> Self {
+        MemoryAccess {
+            vaddr,
+            write: true,
+            inst_gap,
+        }
+    }
+
+    /// Instructions this access accounts for (the gap plus the access
+    /// itself).
+    pub fn instructions(&self) -> u64 {
+        self.inst_gap as u64 + 1
+    }
+}
+
+/// An infinite, deterministic stream of memory accesses for one core.
+pub trait TraceGenerator: Send {
+    /// Produce the next access. Generators never terminate; the simulator
+    /// decides when to stop.
+    fn next_access(&mut self) -> MemoryAccess;
+
+    /// Short benchmark name ("lbm", "pagerank", ...).
+    fn name(&self) -> &str;
+
+    /// The total virtual footprint this generator touches, in bytes
+    /// (used for reporting and sanity checks).
+    fn footprint_bytes(&self) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_constructors() {
+        let l = MemoryAccess::load(Addr::new(0x100), 7);
+        assert!(!l.write);
+        assert_eq!(l.instructions(), 8);
+        let s = MemoryAccess::store(Addr::new(0x200), 0);
+        assert!(s.write);
+        assert_eq!(s.instructions(), 1);
+    }
+}

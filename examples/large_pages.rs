@@ -1,0 +1,66 @@
+//! Large (2 MiB) page support (Section 4.3 / 5.4.1).
+//!
+//! Traditional page-granularity DRAM caches cannot afford large pages: a
+//! policy that replaces on every miss would move 2 MiB per miss. Banshee's
+//! bandwidth-aware replacement makes them practical — this example runs the
+//! same graph workload with 4 KiB and 2 MiB caching granularity and compares
+//! IPC, miss rate and replacement traffic.
+//!
+//! ```text
+//! cargo run --release --example large_pages
+//! ```
+
+use banshee_repro::common::{DramKind, MemSize, TrafficClass};
+use banshee_repro::dcache::DramCacheDesign;
+use banshee_repro::sim::{run_one, SimConfig};
+use banshee_repro::workloads::{GraphKernel, Workload, WorkloadKind};
+
+fn main() {
+    let capacity = MemSize::mib(32);
+    let workload = Workload::new(
+        WorkloadKind::Graph(GraphKernel::PageRank),
+        4 * capacity.as_bytes(),
+        11,
+    );
+
+    println!("workload: pagerank, DRAM cache {capacity}, footprint 4x\n");
+    println!(
+        "{:<18} {:>8} {:>11} {:>22}",
+        "granularity", "IPC", "miss rate", "replacement B/instr"
+    );
+
+    let mut base_ipc = 0.0;
+    for (label, large) in [("4 KiB pages", false), ("2 MiB large pages", true)] {
+        let mut config = SimConfig::scaled(DramCacheDesign::Banshee, capacity);
+        config.total_instructions = 2_000_000;
+        config.warmup_instructions = 2_000_000;
+        config.large_pages = large;
+        if large {
+            // The paper models perfect TLBs for this study so that only the
+            // DRAM-subsystem effect shows.
+            config.tlb_miss_latency = 0;
+        }
+        let r = run_one(config, &workload);
+        let repl = r.bytes_per_instr(DramKind::InPackage, TrafficClass::Replacement)
+            + r.bytes_per_instr(DramKind::OffPackage, TrafficClass::Replacement);
+        println!(
+            "{:<18} {:>8.3} {:>10.1}% {:>22.2}",
+            label,
+            r.ipc(),
+            r.dram_cache_miss_rate() * 100.0,
+            repl
+        );
+        if !large {
+            base_ipc = r.ipc();
+        } else if base_ipc > 0.0 {
+            println!(
+                "\nlarge-page speedup over 4 KiB pages: {:.2}x (paper reports ~1.04x on average)",
+                r.ipc() / base_ipc
+            );
+        }
+    }
+
+    println!("\nThe sampling coefficient drops to 0.001 in large-page mode so that the");
+    println!("5-bit frequency counters do not saturate on 32768-line pages, and the");
+    println!("replacement threshold scales with the page size (Section 4.3).");
+}

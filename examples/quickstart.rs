@@ -1,0 +1,63 @@
+//! Quickstart: simulate Banshee and the NoCache baseline on one workload and
+//! print the headline numbers.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use banshee_repro::prelude::*;
+use banshee_repro::workloads::SpecProgram;
+
+fn main() {
+    // A scaled-down machine: 32 MiB of in-package DRAM used as a cache, the
+    // paper's 4-way page-granularity geometry, 16 cores.
+    let capacity = MemSize::mib(32);
+
+    // The workload: every core runs a copy of an mcf-like pointer-chasing
+    // program whose total footprint is 4x the DRAM cache.
+    let workload = banshee_repro::workloads::Workload::new(
+        WorkloadKind::Spec(SpecProgram::Mcf),
+        4 * capacity.as_bytes(),
+        42,
+    );
+
+    println!("workload: {} (footprint 4x the DRAM cache)", workload.name());
+    println!("{:<12} {:>8} {:>10} {:>12} {:>12}", "design", "IPC", "miss rate", "in-pkg B/instr", "off-pkg B/instr");
+
+    let mut baseline_ipc = None;
+    for design in [
+        banshee_repro::dcache::DramCacheDesign::NoCache,
+        banshee_repro::dcache::DramCacheDesign::Alloy { fill_probability: 0.1 },
+        banshee_repro::dcache::DramCacheDesign::Banshee,
+        banshee_repro::dcache::DramCacheDesign::CacheOnly,
+    ] {
+        let mut config = SimConfig::scaled(design, capacity);
+        config.total_instructions = 3_000_000;
+        config.warmup_instructions = 2_000_000;
+        let result = banshee_repro::sim::run_one(config, &workload);
+        let ipc = result.ipc();
+        if design == banshee_repro::dcache::DramCacheDesign::NoCache {
+            baseline_ipc = Some(ipc);
+        }
+        println!(
+            "{:<12} {:>8.3} {:>9.1}% {:>14.2} {:>15.2}",
+            result.design,
+            ipc,
+            result.dram_cache_miss_rate() * 100.0,
+            result.total_bytes_per_instr(DramKind::InPackage),
+            result.total_bytes_per_instr(DramKind::OffPackage),
+        );
+        if let Some(base) = baseline_ipc {
+            if base > 0.0 && result.design != "NoCache" {
+                println!("{:<12} speedup over NoCache: {:.2}x", "", ipc / base);
+            }
+        }
+    }
+
+    println!();
+    println!("Next steps:");
+    println!("  cargo run --release -p banshee-bench --bin experiments -- all --quick");
+    println!("  (regenerates every table and figure of the paper; see EXPERIMENTS.md)");
+}

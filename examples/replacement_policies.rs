@@ -1,0 +1,103 @@
+//! Where Banshee's benefit comes from: a policy-level walkthrough of the
+//! bandwidth-aware, sampled frequency-based replacement (Figure 7 in
+//! miniature), driving the controllers directly rather than through the
+//! full-system simulator.
+//!
+//! The example feeds the same synthetic access stream — a hot working set
+//! plus a cold streaming sweep — to four controllers (Banshee, its LRU and
+//! no-sampling ablations, and Alloy Cache) and prints how many bytes each
+//! moved per DRAM and per traffic class.
+//!
+//! ```text
+//! cargo run --release --example replacement_policies
+//! ```
+
+use banshee_repro::common::{Addr, DramKind, MemSize, TrafficClass, XorShiftRng, ZipfSampler};
+use banshee_repro::core::{BansheeConfig, BansheeController, BansheeVariant};
+use banshee_repro::dcache::{alloy::AlloyCache, DCacheConfig, DramCacheController, MemRequest};
+
+/// Generate the access stream: 70% of accesses go to a Zipf-distributed hot
+/// set of pages, 30% stream through a large cold region.
+fn stream(n: usize) -> Vec<(Addr, bool)> {
+    let mut rng = XorShiftRng::new(99);
+    let hot = ZipfSampler::new(2_000, 1.0);
+    let mut out = Vec::with_capacity(n);
+    let mut cold_cursor: u64 = 0;
+    for i in 0..n {
+        let write = i % 5 == 0;
+        if rng.chance(0.7) {
+            let page = hot.sample(&mut rng) as u64;
+            let line = rng.next_below(64);
+            out.push((Addr::new(page * 4096 + line * 64), write));
+        } else {
+            cold_cursor += 64;
+            out.push((Addr::new((1 << 32) + cold_cursor), write));
+        }
+    }
+    out
+}
+
+fn drive(name: &str, ctrl: &mut dyn DramCacheController, accesses: &[(Addr, bool)]) {
+    let mut in_bytes = [0u64; 6];
+    let mut off_total = 0u64;
+    for (i, &(addr, write)) in accesses.iter().enumerate() {
+        let hint = ctrl.current_mapping(addr.page());
+        let mut req = MemRequest::demand(addr, 0).with_hint(hint);
+        if write {
+            req = req.as_store();
+        }
+        let plan = ctrl.access(&req, i as u64);
+        for op in plan.critical.iter().chain(plan.background.iter()) {
+            match op.dram {
+                DramKind::InPackage => in_bytes[op.class.index()] += op.bytes,
+                DramKind::OffPackage => off_total += op.bytes,
+            }
+        }
+    }
+    let per_access = |v: u64| v as f64 / accesses.len() as f64;
+    println!(
+        "{:<24} miss rate {:>5.1}%  | in-pkg B/access: hit {:>5.1} tag {:>4.1} counter {:>4.1} replace {:>6.1} | off-pkg B/access {:>6.1}",
+        name,
+        ctrl.miss_rate() * 100.0,
+        per_access(in_bytes[TrafficClass::HitData.index()]),
+        per_access(in_bytes[TrafficClass::Tag.index()]),
+        per_access(in_bytes[TrafficClass::Counter.index()]),
+        per_access(in_bytes[TrafficClass::Replacement.index()]),
+        per_access(off_total),
+    );
+}
+
+fn main() {
+    let accesses = stream(400_000);
+    let dcfg = DCacheConfig::scaled(MemSize::mib(4));
+
+    println!("access stream: 70% Zipf hot set (2000 pages), 30% cold streaming\n");
+
+    let mut banshee = BansheeController::with_variant(
+        BansheeConfig::from_dcache(&dcfg),
+        BansheeVariant::Standard,
+    );
+    drive("Banshee", &mut banshee, &accesses);
+
+    let mut no_sample = BansheeController::with_variant(
+        BansheeConfig::from_dcache(&dcfg),
+        BansheeVariant::FbrNoSample,
+    );
+    drive("Banshee FBR no sample", &mut no_sample, &accesses);
+
+    let mut lru = BansheeController::with_variant(
+        BansheeConfig::from_dcache(&dcfg),
+        BansheeVariant::Lru,
+    );
+    drive("Banshee LRU", &mut lru, &accesses);
+
+    let mut alloy = AlloyCache::new(&dcfg, 0.1);
+    drive("Alloy 0.1", &mut alloy, &accesses);
+
+    println!();
+    println!("Things to notice (the Figure 7 story):");
+    println!(" * Banshee LRU replaces on every miss: its replacement bytes dwarf everyone else's.");
+    println!(" * FBR without sampling has Banshee's low replacement traffic but pays counter");
+    println!("   (metadata) bytes on every access.");
+    println!(" * Full Banshee keeps both small; Alloy pays a 32B tag on every single access.");
+}

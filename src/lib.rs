@@ -1,0 +1,29 @@
+//! Facade crate for the Banshee reproduction workspace.
+//!
+//! Re-exports the public API of every workspace crate so that examples and
+//! downstream users can depend on a single crate:
+//!
+//! ```rust
+//! use banshee_repro::prelude::*;
+//! ```
+//!
+//! See the `README.md` for a quickstart and `DESIGN.md` for the system
+//! inventory.
+
+pub use banshee as core;
+pub use banshee_bench as bench;
+pub use banshee_common as common;
+pub use banshee_dcache as dcache;
+pub use banshee_dram as dram;
+pub use banshee_memhier as memhier;
+pub use banshee_sim as sim;
+pub use banshee_workloads as workloads;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use banshee::{BansheeConfig, BansheeController};
+    pub use banshee_common::{Addr, DramKind, MemSize, PageNum, TrafficClass};
+    pub use banshee_dcache::{DramCacheController, DramCacheDesign};
+    pub use banshee_sim::{SimConfig, SimResult, System};
+    pub use banshee_workloads::{Workload, WorkloadKind};
+}

@@ -1,0 +1,214 @@
+//! Cross-crate integration tests: full-system simulations exercising the
+//! workload generators, the SRAM hierarchy, the page table/TLBs, the DRAM
+//! model and every DRAM-cache design together.
+
+use banshee_repro::common::{DramKind, TrafficClass};
+use banshee_repro::dcache::DramCacheDesign;
+use banshee_repro::sim::{run_one, SimConfig, SimResult};
+use banshee_repro::workloads::{GraphKernel, SpecProgram, Workload, WorkloadKind};
+
+fn small_config(design: DramCacheDesign) -> SimConfig {
+    SimConfig::test_default(design)
+}
+
+fn workload(kind: WorkloadKind) -> Workload {
+    Workload::new(kind, 16 << 20, 5)
+}
+
+fn run(design: DramCacheDesign, kind: WorkloadKind) -> SimResult {
+    run_one(small_config(design), &workload(kind))
+}
+
+#[test]
+fn every_design_completes_on_a_graph_workload() {
+    for design in [
+        DramCacheDesign::NoCache,
+        DramCacheDesign::CacheOnly,
+        DramCacheDesign::Alloy { fill_probability: 1.0 },
+        DramCacheDesign::Alloy { fill_probability: 0.1 },
+        DramCacheDesign::Unison,
+        DramCacheDesign::Tdc,
+        DramCacheDesign::Hma,
+        DramCacheDesign::Banshee,
+        DramCacheDesign::BansheeLru,
+        DramCacheDesign::BansheeFbrNoSample,
+    ] {
+        let r = run(design, WorkloadKind::Graph(GraphKernel::PageRank));
+        assert!(r.instructions >= 400_000, "{}: too few instructions", r.design);
+        assert!(r.cycles > 0, "{}: no cycles", r.design);
+        assert!(r.traffic.grand_total() > 0, "{}: no DRAM traffic", r.design);
+    }
+}
+
+#[test]
+fn speedup_ordering_matches_the_paper_shape() {
+    // On a bandwidth-bound pointer-chasing workload the paper's ordering is:
+    // NoCache <= page-granularity replace-on-miss designs or Alloy <= Banshee
+    // <= CacheOnly (Figure 4). We check the coarse shape: Banshee beats
+    // NoCache, and CacheOnly beats NoCache by at least as much as Banshee's
+    // floor.
+    let kind = WorkloadKind::Spec(SpecProgram::Mcf);
+    let nocache = run(DramCacheDesign::NoCache, kind);
+    let banshee = run(DramCacheDesign::Banshee, kind);
+    let cacheonly = run(DramCacheDesign::CacheOnly, kind);
+    let banshee_speedup = banshee.speedup_over(&nocache);
+    let cacheonly_speedup = cacheonly.speedup_over(&nocache);
+    assert!(
+        banshee_speedup > 1.0,
+        "Banshee should outperform NoCache (got {banshee_speedup:.2}x)"
+    );
+    assert!(
+        cacheonly_speedup > 1.0,
+        "CacheOnly should outperform NoCache (got {cacheonly_speedup:.2}x)"
+    );
+}
+
+#[test]
+fn banshee_moves_fewer_in_package_bytes_than_alloy_and_unison() {
+    // The headline of Figure 5: Banshee's in-package traffic is far below
+    // the tag-based designs because hits are 64 B and misses cost nothing
+    // in-package.
+    let kind = WorkloadKind::Graph(GraphKernel::Graph500);
+    let banshee = run(DramCacheDesign::Banshee, kind);
+    let alloy = run(DramCacheDesign::Alloy { fill_probability: 0.1 }, kind);
+    let unison = run(DramCacheDesign::Unison, kind);
+    let bpi = |r: &SimResult| r.total_bytes_per_instr(DramKind::InPackage);
+    assert!(
+        bpi(&banshee) < bpi(&alloy),
+        "Banshee {:.2} should be below Alloy {:.2}",
+        bpi(&banshee),
+        bpi(&alloy)
+    );
+    assert!(
+        bpi(&banshee) < bpi(&unison),
+        "Banshee {:.2} should be below Unison {:.2}",
+        bpi(&banshee),
+        bpi(&unison)
+    );
+}
+
+#[test]
+fn banshee_has_no_tag_traffic_on_the_demand_path() {
+    let r = run(DramCacheDesign::Banshee, WorkloadKind::Spec(SpecProgram::Omnetpp));
+    let tag = r.bytes_per_instr(DramKind::InPackage, TrafficClass::Tag);
+    let hit = r.bytes_per_instr(DramKind::InPackage, TrafficClass::HitData);
+    // Tag probes only happen for hint-less dirty evictions that miss the tag
+    // buffer, so tag bytes must be a small fraction of hit bytes.
+    assert!(
+        tag < hit * 0.5 + 0.5,
+        "unexpectedly high tag traffic: tag {tag:.3} vs hit {hit:.3}"
+    );
+}
+
+#[test]
+fn streaming_workload_punishes_replace_on_every_miss() {
+    // lbm-like streaming: Unison/TDC replace on every miss and move far more
+    // replacement bytes than Banshee (which declines to cache cold pages).
+    let kind = WorkloadKind::Spec(SpecProgram::Lbm);
+    let banshee = run(DramCacheDesign::Banshee, kind);
+    let unison = run(DramCacheDesign::Unison, kind);
+    let repl = |r: &SimResult| {
+        r.bytes_per_instr(DramKind::InPackage, TrafficClass::Replacement)
+            + r.bytes_per_instr(DramKind::OffPackage, TrafficClass::Replacement)
+    };
+    assert!(
+        repl(&banshee) < repl(&unison),
+        "Banshee replacement {:.3} should be below Unison {:.3}",
+        repl(&banshee),
+        repl(&unison)
+    );
+}
+
+#[test]
+fn mixes_run_all_table4_programs_together() {
+    use banshee_repro::workloads::SpecMix;
+    for mix in SpecMix::ALL {
+        let r = run(DramCacheDesign::Banshee, WorkloadKind::Mix(mix));
+        assert!(r.instructions > 0);
+        assert!(r.dram_cache_accesses > 0);
+    }
+}
+
+#[test]
+fn lazy_coherence_fires_and_is_cheap() {
+    let mut cfg = small_config(DramCacheDesign::Banshee);
+    cfg.total_instructions = 1_200_000;
+    // A small tag buffer makes the batched coherence rounds frequent enough
+    // to observe within a short run (the mechanics are identical to the
+    // full-size buffer, the flushes just happen sooner).
+    cfg.banshee = Some(banshee_repro::core::BansheeConfig {
+        tag_buffer_entries: 64,
+        memory_controllers: 1,
+        ..banshee_repro::core::BansheeConfig::from_dcache(&cfg.dcache)
+    });
+    let r = run_one(cfg, &workload(WorkloadKind::Spec(SpecProgram::Mcf)));
+    // The tag buffer must have filled at least once on a cache with this
+    // much churn, triggering batched PTE updates and a TLB shootdown.
+    assert!(r.stats.get("banshee_tag_buffer_flushes") >= 1);
+    assert!(r.stats.get("tlb_shootdowns") >= 1);
+    assert!(r.stats.get("pte_entries_updated") > 0);
+    // And the total OS work is a tiny fraction of the run.
+    let os_cycles = r.stats.get("os_work_cycles") + r.stats.get("stall_all_cycles");
+    assert!(
+        (os_cycles as f64) < 0.2 * r.cycles as f64,
+        "lazy coherence should be cheap: {os_cycles} of {} cycles",
+        r.cycles
+    );
+}
+
+#[test]
+fn results_are_reproducible_across_runs() {
+    let kind = WorkloadKind::Graph(GraphKernel::Sgd);
+    let a = run(DramCacheDesign::Banshee, kind);
+    let b = run(DramCacheDesign::Banshee, kind);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.instructions, b.instructions);
+    assert_eq!(a.dram_cache_misses, b.dram_cache_misses);
+    assert_eq!(a.traffic, b.traffic);
+}
+
+#[test]
+fn batman_keeps_banshee_functional() {
+    let mut cfg = small_config(DramCacheDesign::Banshee);
+    cfg.use_batman = true;
+    let r = run_one(cfg, &workload(WorkloadKind::Graph(GraphKernel::PageRank)));
+    assert!(r.design.contains("BATMAN"));
+    assert!(r.traffic.grand_total() > 0);
+}
+
+#[test]
+fn large_pages_reduce_page_table_pressure() {
+    let kind = WorkloadKind::Graph(GraphKernel::PageRank);
+    let mut small = small_config(DramCacheDesign::Banshee);
+    small.total_instructions = 600_000;
+    let base = run_one(small, &workload(kind));
+
+    let mut lp = small_config(DramCacheDesign::Banshee);
+    lp.total_instructions = 600_000;
+    lp.large_pages = true;
+    let large = run_one(lp, &workload(kind));
+
+    assert!(
+        large.stats.get("tlb_misses") < base.stats.get("tlb_misses"),
+        "2 MiB mappings should cut TLB misses: {} vs {}",
+        large.stats.get("tlb_misses"),
+        base.stats.get("tlb_misses")
+    );
+}
+
+#[test]
+fn traffic_accounting_is_internally_consistent() {
+    let r = run(DramCacheDesign::Banshee, WorkloadKind::Spec(SpecProgram::Soplex));
+    // Per-class bytes sum to the device totals.
+    for dram in [DramKind::InPackage, DramKind::OffPackage] {
+        let sum: u64 = TrafficClass::ALL
+            .iter()
+            .map(|&c| r.traffic.bytes(dram, c))
+            .sum();
+        assert_eq!(sum, r.traffic.total(dram));
+    }
+    // Misses never exceed accesses; MPKI is consistent with the raw counts.
+    assert!(r.dram_cache_misses <= r.dram_cache_accesses);
+    let expected_mpki = r.dram_cache_misses as f64 * 1000.0 / r.instructions as f64;
+    assert!((r.mpki() - expected_mpki).abs() < 1e-9);
+}

@@ -1,0 +1,135 @@
+//! Cross-crate property-based tests: invariants that must hold for any
+//! access stream, checked at the controller level (below the full-system
+//! simulator, so they can explore many more cases per second).
+
+use banshee_repro::common::{Addr, DramKind, MemSize, PageNum};
+use banshee_repro::core::{BansheeConfig, BansheeController, BansheeVariant};
+use banshee_repro::dcache::{
+    alloy::AlloyCache, tdc::Tdc, unison::UnisonCache, DCacheConfig, DramCacheController,
+    MemRequest,
+};
+use proptest::prelude::*;
+
+/// Drive a controller with a stream of (page, line, write) accesses using
+/// ground-truth mapping hints, and return total bytes per DRAM.
+fn drive(
+    ctrl: &mut dyn DramCacheController,
+    stream: &[(u64, u64, bool)],
+) -> (u64, u64) {
+    let mut in_bytes = 0;
+    let mut off_bytes = 0;
+    for (i, &(page, line, write)) in stream.iter().enumerate() {
+        let addr = Addr::new(page * 4096 + (line % 64) * 64);
+        let hint = ctrl.current_mapping(addr.page());
+        let mut req = MemRequest::demand(addr, 0).with_hint(hint);
+        if write {
+            req = req.as_store();
+        }
+        let plan = ctrl.access(&req, i as u64);
+        in_bytes += plan.bytes_on(DramKind::InPackage);
+        off_bytes += plan.bytes_on(DramKind::OffPackage);
+        // Occasionally mix in a hint-less dirty eviction, as the LLC would.
+        if i % 7 == 3 {
+            let wb = ctrl.access(&MemRequest::writeback(addr, 0), i as u64);
+            in_bytes += wb.bytes_on(DramKind::InPackage);
+            off_bytes += wb.bytes_on(DramKind::OffPackage);
+        }
+    }
+    (in_bytes, off_bytes)
+}
+
+fn access_stream() -> impl Strategy<Value = Vec<(u64, u64, bool)>> {
+    proptest::collection::vec((0u64..200, 0u64..64, any::<bool>()), 1..400)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The Banshee controller's miss-rate accounting is always consistent
+    /// and every plan it produces moves a sane number of bytes.
+    #[test]
+    fn banshee_accounting_consistent(stream in access_stream()) {
+        let cfg = BansheeConfig::from_dcache(&DCacheConfig::scaled(MemSize::kib(256)));
+        let mut ctrl = BansheeController::with_variant(cfg, BansheeVariant::FbrNoSample);
+        drive(&mut ctrl, &stream);
+        let (accesses, misses) = ctrl.demand_stats();
+        prop_assert_eq!(accesses, stream.len() as u64);
+        prop_assert!(misses <= accesses);
+        prop_assert!(ctrl.miss_rate() >= 0.0 && ctrl.miss_rate() <= 1.0);
+        // The controller never claims more resident pages than the cache
+        // can hold.
+        prop_assert!(ctrl.resident_pages() as u64 <= ctrl.config().capacity_pages());
+    }
+
+    /// Demand misses in Banshee never touch the in-package DRAM on the
+    /// critical path (Table 1's "miss traffic: 0B" property).
+    #[test]
+    fn banshee_misses_skip_in_package_dram(pages in proptest::collection::vec(0u64..10_000, 1..200)) {
+        let cfg = BansheeConfig::from_dcache(&DCacheConfig::scaled(MemSize::kib(256)));
+        let mut ctrl = BansheeController::new(cfg);
+        for (i, page) in pages.iter().enumerate() {
+            let addr = Addr::new(page * 4096);
+            let hint = ctrl.current_mapping(PageNum::new(*page));
+            let plan = ctrl.access(&MemRequest::demand(addr, 0).with_hint(hint), i as u64);
+            if !plan.dram_cache_hit {
+                let in_critical: u64 = plan
+                    .critical
+                    .iter()
+                    .filter(|op| op.dram == DramKind::InPackage)
+                    .map(|op| op.bytes)
+                    .sum();
+                prop_assert_eq!(in_critical, 0);
+            }
+        }
+    }
+
+    /// Alloy's per-access in-package traffic is always a multiple of the
+    /// 32-byte minimum transfer and at least 96 B for demand accesses.
+    #[test]
+    fn alloy_traffic_granularity(stream in access_stream()) {
+        let mut ctrl = AlloyCache::new(&DCacheConfig::scaled(MemSize::kib(256)), 1.0);
+        for (i, &(page, line, write)) in stream.iter().enumerate() {
+            let addr = Addr::new(page * 4096 + (line % 64) * 64);
+            let mut req = MemRequest::demand(addr, 0);
+            if write {
+                req = req.as_store();
+            }
+            let plan = ctrl.access(&req, i as u64);
+            let in_bytes = plan.bytes_on(DramKind::InPackage);
+            prop_assert!(in_bytes >= 96);
+            prop_assert_eq!(in_bytes % 32, 0);
+        }
+    }
+
+    /// TDC never holds more pages than its capacity, no matter the stream.
+    #[test]
+    fn tdc_capacity_invariant(stream in access_stream()) {
+        let cfg = DCacheConfig {
+            capacity: MemSize::kib(64),
+            ..DCacheConfig::paper_default()
+        };
+        let mut ctrl = Tdc::new(&cfg);
+        for (i, &(page, line, write)) in stream.iter().enumerate() {
+            let addr = Addr::new(page * 4096 + (line % 64) * 64);
+            let mut req = MemRequest::demand(addr, 0);
+            if write {
+                req = req.as_store();
+            }
+            ctrl.access(&req, i as u64);
+            prop_assert!(ctrl.resident_pages() as u64 <= cfg.capacity_pages());
+        }
+    }
+
+    /// Unison and Banshee agree on which accesses are demand accesses (both
+    /// count exactly one per demand request, none for writebacks).
+    #[test]
+    fn demand_counting_is_uniform(stream in access_stream()) {
+        let dcfg = DCacheConfig::scaled(MemSize::kib(256));
+        let mut unison = UnisonCache::new(&dcfg);
+        let mut banshee = BansheeController::from_dcache(&dcfg);
+        drive(&mut unison, &stream);
+        drive(&mut banshee, &stream);
+        prop_assert_eq!(unison.demand_stats().0, stream.len() as u64);
+        prop_assert_eq!(banshee.demand_stats().0, stream.len() as u64);
+    }
+}
