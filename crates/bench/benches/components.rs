@@ -24,7 +24,7 @@ fn bench_tag_buffer(c: &mut Criterion) {
         b.iter(|| {
             i = i.wrapping_add(1);
             black_box(tb.lookup(PageNum::new(i % 2048)));
-            if i % 64 == 0 {
+            if i.is_multiple_of(64) {
                 tb.drain();
             }
             tb.insert_clean(PageNum::new(i % 4096), PteMapInfo::NOT_CACHED);
@@ -51,7 +51,7 @@ fn bench_sram_cache(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i = i.wrapping_add(0x9E37);
-            black_box(llc.access(LineAddr::new(i % (1 << 20)), i % 7 == 0));
+            black_box(llc.access(LineAddr::new(i % (1 << 20)), i.is_multiple_of(7)));
         });
     });
 }
@@ -65,7 +65,12 @@ fn bench_dram_channel(c: &mut Criterion) {
         let mut now = 0u64;
         b.iter(|| {
             now += 4;
-            black_box(dev.access(now, Addr::new((now * 64) % (1 << 30)), 64, TrafficClass::HitData));
+            black_box(dev.access(
+                now,
+                Addr::new((now * 64) % (1 << 30)),
+                64,
+                TrafficClass::HitData,
+            ));
         });
     });
 }

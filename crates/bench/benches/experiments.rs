@@ -60,7 +60,11 @@ fn bench_experiments(c: &mut Criterion) {
     });
 
     group.bench_function("fig9_sampling_sweep", |b| {
-        b.iter(|| experiments::fig9::run(&runner, &workloads[..1]).points.len())
+        b.iter(|| {
+            experiments::fig9::run(&runner, &workloads[..1])
+                .points
+                .len()
+        })
     });
 
     group.bench_function("table1_per_access_behaviour", |b| {

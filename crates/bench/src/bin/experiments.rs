@@ -3,12 +3,13 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p banshee-bench --bin experiments -- all
-//! cargo run --release -p banshee-bench --bin experiments -- fig4 fig5 --quick
+//! cargo run --release -p banshee_bench --bin experiments -- all
+//! cargo run --release -p banshee_bench --bin experiments -- fig4 fig5 --quick
 //! ```
 //!
-//! Flags: `--quick` (smaller runs), `--smoke` (tiny sanity runs).
-//! Output: tables on stdout + JSON under `target/experiments/`.
+//! Flags: `--quick` (smaller runs), `--smoke` (tiny sanity runs),
+//! `--help` (print usage). Output: tables on stdout + JSON under
+//! `target/experiments/`.
 
 use banshee_bench::experiments::{self, run_main_matrix, scale_from_flags, EXPERIMENT_NAMES};
 use banshee_bench::runner::Runner;
@@ -20,13 +21,41 @@ fn print_all(tables: Vec<Table>) {
     }
 }
 
+fn print_usage() {
+    println!("usage: experiments [EXPERIMENT ...] [--quick | --smoke]");
+    println!();
+    println!("Regenerates the paper's tables and figures. With no experiment");
+    println!("names, runs everything (`all`).");
+    println!();
+    println!("experiments: {}", EXPERIMENT_NAMES.join(", "));
+    println!();
+    println!("flags:");
+    println!("  --quick   smaller runs (faster, lower fidelity)");
+    println!("  --smoke   tiny sanity runs (seconds, shapes only)");
+    println!("  --help    print this message and exit");
+    println!();
+    println!("Tables are printed to stdout; raw numbers are written as JSON");
+    println!("under target/experiments/.");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_usage();
+        return;
+    }
+    if let Some(flag) = args
+        .iter()
+        .find(|a| a.starts_with('-') && *a != "--quick" && *a != "--smoke")
+    {
+        eprintln!("unknown flag '{flag}'; valid flags: --quick, --smoke, --help");
+        std::process::exit(2);
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let smoke = args.iter().any(|a| a == "--smoke");
     let mut selected: Vec<String> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
+        .filter(|a| !a.starts_with('-'))
         .cloned()
         .collect();
     if selected.is_empty() {
@@ -70,15 +99,24 @@ fn main() {
     }
     if want("fig7") {
         eprintln!("[fig7] replacement-policy ablation ...");
-        print_all(experiments::fig7::report(&runner, &experiments::full_suite()));
+        print_all(experiments::fig7::report(
+            &runner,
+            &experiments::full_suite(),
+        ));
     }
     if want("fig8") {
         eprintln!("[fig8] latency/bandwidth sweep ...");
-        print_all(experiments::fig8::report(&runner, &experiments::sweep_suite()));
+        print_all(experiments::fig8::report(
+            &runner,
+            &experiments::sweep_suite(),
+        ));
     }
     if want("fig9") {
         eprintln!("[fig9] sampling-coefficient sweep ...");
-        print_all(experiments::fig9::report(&runner, &experiments::sweep_suite()));
+        print_all(experiments::fig9::report(
+            &runner,
+            &experiments::sweep_suite(),
+        ));
     }
     if want("table1") {
         eprintln!("[table1] per-access behaviour ...");
@@ -86,11 +124,17 @@ fn main() {
     }
     if want("table5") {
         eprintln!("[table5] page-table update overhead ...");
-        print_all(experiments::table5::report(&runner, &experiments::sweep_suite()));
+        print_all(experiments::table5::report(
+            &runner,
+            &experiments::sweep_suite(),
+        ));
     }
     if want("table6") {
         eprintln!("[table6] associativity sweep ...");
-        print_all(experiments::table6::report(&runner, &experiments::sweep_suite()));
+        print_all(experiments::table6::report(
+            &runner,
+            &experiments::sweep_suite(),
+        ));
     }
     if want("large_pages") {
         eprintln!("[large_pages] 2 MiB pages on graph workloads ...");
@@ -101,7 +145,10 @@ fn main() {
     }
     if want("batman") {
         eprintln!("[batman] bandwidth balancing ...");
-        print_all(experiments::batman::report(&runner, &experiments::sweep_suite()));
+        print_all(experiments::batman::report(
+            &runner,
+            &experiments::sweep_suite(),
+        ));
     }
     eprintln!(
         "done; JSON written under {}",

@@ -132,7 +132,10 @@ mod tests {
             &crate::experiments::sweep_suite()[..2],
         );
         let fig = build(&matrix);
-        assert_eq!(fig.points.len(), matrix.workloads().len() * matrix.designs().len());
+        assert_eq!(
+            fig.points.len(),
+            matrix.workloads().len() * matrix.designs().len()
+        );
         assert_eq!(fig.geomean_speedup.len(), matrix.designs().len());
         // NoCache's speedup over itself is exactly 1.
         for p in fig.points.iter().filter(|p| p.design == "NoCache") {

@@ -81,8 +81,15 @@ pub fn report(matrix: &MatrixResults) -> Vec<Table> {
     let mut t = Table::new(
         "Figure 5: in-package DRAM traffic (bytes per instruction)",
         &[
-            "workload", "design", "HitData", "MissData", "Tag", "Counter", "Replacement",
-            "Writeback", "total",
+            "workload",
+            "design",
+            "HitData",
+            "MissData",
+            "Tag",
+            "Counter",
+            "Replacement",
+            "Writeback",
+            "total",
         ],
     );
     for bar in &fig.bars {

@@ -60,11 +60,7 @@ pub fn build(matrix: &MatrixResults) -> Fig6 {
 /// Print the figure and write its JSON.
 pub fn report(matrix: &MatrixResults) -> Vec<Table> {
     let fig = build(matrix);
-    let designs: Vec<String> = fig
-        .average
-        .iter()
-        .map(|(d, _)| d.clone())
-        .collect();
+    let designs: Vec<String> = fig.average.iter().map(|(d, _)| d.clone()).collect();
     let mut header: Vec<&str> = vec!["workload"];
     header.extend(designs.iter().map(|s| s.as_str()));
     let mut t = Table::new(

@@ -74,9 +74,7 @@ pub fn run(runner: &Runner, workloads: &[WorkloadKind]) -> Fig8 {
             let results: Vec<_> = workloads
                 .iter()
                 .map(|&w| {
-                    let cfg = runner
-                        .config(design)
-                        .with_dram_cache_latency_scale(scale);
+                    let cfg = runner.config(design).with_dram_cache_latency_scale(scale);
                     runner.run_with(cfg, w)
                 })
                 .collect();
@@ -166,7 +164,12 @@ mod tests {
                 .speedup
         };
         // More in-package bandwidth can only help (within noise).
-        assert!(pick("8X") >= pick("2X") * 0.95, "8X {} vs 2X {}", pick("8X"), pick("2X"));
+        assert!(
+            pick("8X") >= pick("2X") * 0.95,
+            "8X {} vs 2X {}",
+            pick("8X"),
+            pick("2X")
+        );
         assert_eq!(fig.latency.len(), 3 * lineup().len());
         assert_eq!(fig.bandwidth.len(), 3 * lineup().len());
     }

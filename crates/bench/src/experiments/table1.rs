@@ -50,13 +50,16 @@ fn measure(name: &str, controller: &mut dyn DramCacheController, warm_page: Page
         1_000,
     );
     // One cold miss far away.
-    let cold = PageNum::new(0xDEAD_00);
+    let cold = PageNum::new(0x00DE_AD00);
     let miss_plan = controller.access(
         &MemRequest::demand(cold.base_addr(), 0).with_hint(controller.current_mapping(cold)),
         2_000,
     );
     // One dirty eviction of a line that carries no TLB mapping hint.
-    let wb_plan = controller.access(&MemRequest::writeback(warm_page.line_at(1).base_addr(), 0), 3_000);
+    let wb_plan = controller.access(
+        &MemRequest::writeback(warm_page.line_at(1).base_addr(), 0),
+        3_000,
+    );
 
     Table1Row {
         design: name.to_string(),

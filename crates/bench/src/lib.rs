@@ -17,7 +17,7 @@
 //! Run everything with:
 //!
 //! ```text
-//! cargo run --release -p banshee-bench --bin experiments -- all
+//! cargo run --release -p banshee_bench --bin experiments -- all
 //! ```
 //!
 //! or a single experiment with e.g. `-- fig4`. Add `--quick` for a faster,

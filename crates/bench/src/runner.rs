@@ -94,8 +94,7 @@ impl Runner {
 
     /// The workload object for a suite entry at this scale.
     pub fn workload(&self, kind: WorkloadKind) -> Workload {
-        let footprint =
-            self.scale.dram_cache_capacity().as_bytes() * self.scale.footprint_factor();
+        let footprint = self.scale.dram_cache_capacity().as_bytes() * self.scale.footprint_factor();
         Workload::new(kind, footprint, self.seed)
     }
 
@@ -205,11 +204,7 @@ impl MatrixResults {
     pub fn all(&self) -> Vec<&SimResult> {
         self.workload_order
             .iter()
-            .flat_map(|w| {
-                self.design_order
-                    .iter()
-                    .filter_map(move |d| self.get(w, d))
-            })
+            .flat_map(|w| self.design_order.iter().filter_map(move |d| self.get(w, d)))
             .collect()
     }
 }
@@ -222,10 +217,7 @@ mod tests {
     #[test]
     fn smoke_matrix_runs_and_indexes() {
         let runner = Runner::new(ExperimentScale::Smoke);
-        let designs = [
-            DramCacheDesign::NoCache,
-            DramCacheDesign::Banshee,
-        ];
+        let designs = [DramCacheDesign::NoCache, DramCacheDesign::Banshee];
         let workloads = [WorkloadKind::Spec(SpecProgram::Gcc)];
         let m = runner.run_matrix(&designs, &workloads);
         assert_eq!(m.workloads().len(), 1);

@@ -94,8 +94,7 @@ pub fn output_dir() -> PathBuf {
 /// Write a serializable value as pretty JSON under `target/experiments/`.
 pub fn write_json<T: serde::Serialize>(name: &str, value: &T) -> std::io::Result<PathBuf> {
     let path = output_dir().join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(value)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::Other, e))?;
+    let json = serde_json::to_string_pretty(value).map_err(std::io::Error::other)?;
     std::fs::write(&path, json)?;
     Ok(path)
 }

@@ -52,11 +52,11 @@ impl MemSize {
 impl core::fmt::Display for MemSize {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         let b = self.0;
-        if b >= 1 << 30 && b % (1 << 30) == 0 {
+        if b >= 1 << 30 && b.is_multiple_of(1 << 30) {
             write!(f, "{} GiB", b >> 30)
-        } else if b >= 1 << 20 && b % (1 << 20) == 0 {
+        } else if b >= 1 << 20 && b.is_multiple_of(1 << 20) {
             write!(f, "{} MiB", b >> 20)
-        } else if b >= 1 << 10 && b % (1 << 10) == 0 {
+        } else if b >= 1 << 10 && b.is_multiple_of(1 << 10) {
             write!(f, "{} KiB", b >> 10)
         } else {
             write!(f, "{b} B")

@@ -132,7 +132,10 @@ impl ZipfSampler {
     /// Panics if `n == 0` or `s` is negative/not finite.
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "ZipfSampler needs at least one item");
-        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and >= 0");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "exponent must be finite and >= 0"
+        );
         let mut cumulative = Vec::with_capacity(n);
         let mut total = 0.0f64;
         for rank in 1..=n {
@@ -273,7 +276,10 @@ mod tests {
         }
         let min = *counts.iter().min().unwrap() as f64;
         let max = *counts.iter().max().unwrap() as f64;
-        assert!(max / min < 1.5, "uniform sampling too skewed: {min} vs {max}");
+        assert!(
+            max / min < 1.5,
+            "uniform sampling too skewed: {min} vs {max}"
+        );
     }
 
     #[test]

@@ -309,7 +309,10 @@ mod tests {
         b.add(DramKind::InPackage, TrafficClass::Replacement, 4096);
         b.add(DramKind::OffPackage, TrafficClass::Writeback, 64);
         a.merge(&b);
-        assert_eq!(a.bytes(DramKind::InPackage, TrafficClass::Replacement), 8192);
+        assert_eq!(
+            a.bytes(DramKind::InPackage, TrafficClass::Replacement),
+            8192
+        );
         assert_eq!(a.bytes(DramKind::OffPackage, TrafficClass::Writeback), 64);
     }
 
@@ -317,8 +320,14 @@ mod tests {
     fn bytes_per_instruction() {
         let mut t = TrafficStats::new();
         t.add(DramKind::InPackage, TrafficClass::HitData, 1000);
-        assert!((t.bytes_per_instr(DramKind::InPackage, TrafficClass::HitData, 500) - 2.0).abs() < 1e-12);
-        assert_eq!(t.bytes_per_instr(DramKind::InPackage, TrafficClass::HitData, 0), 0.0);
+        assert!(
+            (t.bytes_per_instr(DramKind::InPackage, TrafficClass::HitData, 500) - 2.0).abs()
+                < 1e-12
+        );
+        assert_eq!(
+            t.bytes_per_instr(DramKind::InPackage, TrafficClass::HitData, 0),
+            0.0
+        );
         assert!((t.total_bytes_per_instr(DramKind::InPackage, 250) - 4.0).abs() < 1e-12);
     }
 

@@ -135,7 +135,9 @@ mod tests {
         let mut c = LazyCoherence::new(&BansheeConfig::paper_default());
         let effects = c.flush(entries(5), 1000);
         assert_eq!(effects.len(), 2);
-        assert!(matches!(&effects[0], SideEffect::UpdatePageTable { updates } if updates.len() == 5));
+        assert!(
+            matches!(&effects[0], SideEffect::UpdatePageTable { updates } if updates.len() == 5)
+        );
         assert!(matches!(effects[1], SideEffect::TlbShootdown));
         assert_eq!(c.flushes(), 1);
         assert_eq!(c.pte_updates(), 5);

@@ -199,7 +199,10 @@ mod tests {
         assert_eq!(c.mc_of(5), 1);
         assert_eq!(c.mc_of(8), 0);
         let lp = BansheeConfig::paper_default().for_large_pages();
-        assert_eq!(lp.unit_of(banshee_common::Addr::new(2 * 1024 * 1024 * 3)), 3);
+        assert_eq!(
+            lp.unit_of(banshee_common::Addr::new(2 * 1024 * 1024 * 3)),
+            3
+        );
     }
 
     #[test]

@@ -371,7 +371,14 @@ impl BansheeController {
 
     /// The LRU-ablation replacement path: replace on every miss, victim is
     /// the least-recently-touched way of the set (Figure 7, "Banshee LRU").
-    fn lru_step(&mut self, req: &MemRequest, unit: u64, hit: bool, now: Cycle, plan: &mut AccessPlan) {
+    fn lru_step(
+        &mut self,
+        req: &MemRequest,
+        unit: u64,
+        hit: bool,
+        now: Cycle,
+        plan: &mut AccessPlan,
+    ) {
         let set = self.metadata.set_of(unit);
         // LRU metadata read-modify-write on every access (like Unison's LRU
         // bits, charged as tag traffic).
@@ -471,11 +478,8 @@ impl DramCacheController for BansheeController {
                     ));
                     plan.dram_cache_hit = true;
                 } else {
-                    plan.critical.push(DramOp::off_package(
-                        req.addr,
-                        64,
-                        TrafficClass::MissData,
-                    ));
+                    plan.critical
+                        .push(DramOp::off_package(req.addr, 64, TrafficClass::MissData));
                     // Remember the page-table mapping in the tag buffer so a
                     // later dirty eviction of this line avoids a tag probe
                     // (Section 3.3).
@@ -751,7 +755,10 @@ mod tests {
                 }
             }
         }
-        assert!(saw_update && saw_shootdown, "coherence round never happened");
+        assert!(
+            saw_update && saw_shootdown,
+            "coherence round never happened"
+        );
         assert!(c.coherence_rounds() >= 1);
         assert!(c.stats().get("banshee_pte_updates") > 0);
     }

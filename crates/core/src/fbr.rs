@@ -103,7 +103,7 @@ impl FrequencyReplacement {
         max_count: u32,
         force_sample: bool,
     ) -> Self {
-        assert!(sampling_coefficient >= 0.0 && sampling_coefficient <= 1.0);
+        assert!((0.0..=1.0).contains(&sampling_coefficient));
         assert!(max_count >= 1);
         FrequencyReplacement {
             sampling_coefficient,
@@ -299,7 +299,10 @@ mod tests {
         ));
         assert!(matches!(
             f.on_access(&mut s, 10, 1.0),
-            FbrDecision::Replace { way: 0, victim: None }
+            FbrDecision::Replace {
+                way: 0,
+                victim: None
+            }
         ));
         assert_eq!(s.find_cached(10), Some(0));
     }
@@ -321,20 +324,26 @@ mod tests {
         f.on_access(&mut s, 999, 1.0); // candidate, count = 1
         let mut promoted_at = None;
         for i in 2..=12u32 {
-            match f.on_access(&mut s, 999, 1.0) {
-                FbrDecision::Replace { .. } => {
-                    promoted_at = Some(i);
-                    break;
-                }
-                _ => {}
+            if let FbrDecision::Replace { .. } = f.on_access(&mut s, 999, 1.0) {
+                promoted_at = Some(i);
+                break;
             }
         }
         let at = promoted_at.expect("candidate should eventually be promoted");
         assert!(at as f64 > 5.0 + 3.0, "promoted too early, at count {at}");
         // The victim was demoted into the candidate array.
         assert_eq!(s.cached_occupancy(), 4);
-        assert!(s.find_candidate(s.candidates.iter().find(|e| e.valid && e.unit >= 100 && e.unit <= 103).map(|e| e.unit).unwrap_or(0)).is_some()
-            || s.candidate_occupancy() >= 1);
+        assert!(
+            s.find_candidate(
+                s.candidates
+                    .iter()
+                    .find(|e| e.valid && e.unit >= 100 && e.unit <= 103)
+                    .map(|e| e.unit)
+                    .unwrap_or(0)
+            )
+            .is_some()
+                || s.candidate_occupancy() >= 1
+        );
     }
 
     #[test]
@@ -446,7 +455,11 @@ mod tests {
     fn decision_traffic_flags() {
         assert!(!FbrDecision::NotSampled.sampled());
         assert!(FbrDecision::Updated { halved: false }.wrote_metadata());
-        assert!(FbrDecision::Replace { way: 0, victim: None }.wrote_metadata());
+        assert!(FbrDecision::Replace {
+            way: 0,
+            victim: None
+        }
+        .wrote_metadata());
         assert!(FbrDecision::CandidateInserted { slot: 0 }.wrote_metadata());
         assert!(!FbrDecision::CandidateRejected.wrote_metadata());
         assert!(FbrDecision::CandidateRejected.sampled());

@@ -61,9 +61,7 @@ impl CacheSetMetadata {
 
     /// The way holding `unit`, if resident.
     pub fn find_cached(&self, unit: u64) -> Option<usize> {
-        self.cached
-            .iter()
-            .position(|e| e.valid && e.unit == unit)
+        self.cached.iter().position(|e| e.valid && e.unit == unit)
     }
 
     /// The candidate slot tracking `unit`, if any.
@@ -123,7 +121,12 @@ impl CacheSetMetadata {
     /// Check the Figure 3 bit budget: `ways` cached entries of
     /// `tag_bits + counter_bits + 2` bits plus `candidates` entries of
     /// `tag_bits + counter_bits` bits must fit in 32 bytes.
-    pub fn fits_in_32_bytes(ways: usize, candidates: usize, tag_bits: u32, counter_bits: u32) -> bool {
+    pub fn fits_in_32_bytes(
+        ways: usize,
+        candidates: usize,
+        tag_bits: u32,
+        counter_bits: u32,
+    ) -> bool {
         let cached_bits = ways as u32 * (tag_bits + counter_bits + 2);
         let candidate_bits = candidates as u32 * (tag_bits + counter_bits);
         cached_bits + candidate_bits <= (SET_METADATA_BYTES * 8) as u32

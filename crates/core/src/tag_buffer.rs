@@ -87,7 +87,7 @@ impl TagBuffer {
     pub fn new(entries: usize, ways: usize, flush_threshold: f64) -> Self {
         assert!(entries > 0 && ways > 0, "tag buffer must have capacity");
         assert!(
-            entries % ways == 0,
+            entries.is_multiple_of(ways),
             "entry count must be a multiple of associativity"
         );
         assert!(
@@ -196,17 +196,14 @@ impl TagBuffer {
         // non-remap entries. Remap entries are never victims.
         let victim = {
             let set_slots = &self.sets[set];
-            set_slots
-                .iter()
-                .position(|s| !s.valid)
-                .or_else(|| {
-                    set_slots
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, s)| !s.remap)
-                        .min_by_key(|(_, s)| s.touched)
-                        .map(|(i, _)| i)
-                })
+            set_slots.iter().position(|s| !s.valid).or_else(|| {
+                set_slots
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| !s.remap)
+                    .min_by_key(|(_, s)| s.touched)
+                    .map(|(i, _)| i)
+            })
         };
         let Some(victim) = victim else {
             return InsertOutcome::SetFull;
@@ -375,7 +372,10 @@ mod tests {
                 accepted.push(i);
             }
         }
-        assert!(accepted.len() >= 8, "expected at least one full set's worth");
+        assert!(
+            accepted.len() >= 8,
+            "expected at least one full set's worth"
+        );
         for i in 100..200u64 {
             tb.insert_clean(PageNum::new(i), PteMapInfo::NOT_CACHED);
         }

@@ -133,11 +133,7 @@ impl DramCacheController for AlloyCache {
                 let mut plan = AccessPlan::empty()
                     .then(DramOp::in_package(tad_addr, 64, TrafficClass::MissData))
                     .then(DramOp::in_package(tad_addr, 32, TrafficClass::Tag))
-                    .then(DramOp::off_package(
-                        req.addr,
-                        64,
-                        TrafficClass::MissData,
-                    ));
+                    .then(DramOp::off_package(req.addr, 64, TrafficClass::MissData));
 
                 // Stochastic fill (BEAR).
                 if self.rng.chance(self.fill_probability) {

@@ -194,10 +194,10 @@ mod tests {
                 }
                 p.on_evict(page);
                 let pred = p.predicted_lines();
-                prop_assert!(pred >= 1 && pred <= 64);
+                prop_assert!((1..=64).contains(&pred));
                 // Predictions are multiples of the granularity except when
                 // capped at the full page.
-                prop_assert!(pred % gran == 0 || pred == 64);
+                prop_assert!(pred.is_multiple_of(gran) || pred == 64);
             }
         }
     }

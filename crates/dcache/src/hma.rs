@@ -141,11 +141,13 @@ impl DramCacheController for Hma {
             .cached
             .iter()
             .filter(|p| !want.contains(p))
-            .take(to_insert.len().max(
-                self.cached
-                    .len()
-                    .saturating_sub(self.capacity_pages as usize),
-            ))
+            .take(
+                to_insert.len().max(
+                    self.cached
+                        .len()
+                        .saturating_sub(self.capacity_pages as usize),
+                ),
+            )
             .copied()
             .collect();
 

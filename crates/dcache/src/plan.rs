@@ -259,7 +259,11 @@ mod tests {
         let plan = AccessPlan::empty()
             .then(DramOp::in_package(Addr::new(0), 64, TrafficClass::HitData))
             .then(DramOp::in_package(Addr::new(0), 32, TrafficClass::Tag))
-            .also(DramOp::off_package(Addr::new(0), 64, TrafficClass::Writeback))
+            .also(DramOp::off_package(
+                Addr::new(0),
+                64,
+                TrafficClass::Writeback,
+            ))
             .hit();
         assert_eq!(plan.critical.len(), 2);
         assert_eq!(plan.background.len(), 1);

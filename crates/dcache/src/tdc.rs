@@ -186,11 +186,13 @@ impl DramCacheController for Tdc {
                     frame.dirty_mask |= 1 << line_in_page;
                     let slot = frame.slot;
                     let addr = self.frame_addr(slot, req.addr.page_offset());
-                    AccessPlan::empty()
-                        .also(DramOp::in_package(addr, 64, TrafficClass::Writeback))
+                    AccessPlan::empty().also(DramOp::in_package(addr, 64, TrafficClass::Writeback))
                 } else {
-                    AccessPlan::empty()
-                        .also(DramOp::off_package(req.addr, 64, TrafficClass::Writeback))
+                    AccessPlan::empty().also(DramOp::off_package(
+                        req.addr,
+                        64,
+                        TrafficClass::Writeback,
+                    ))
                 }
             }
         }
@@ -241,7 +243,11 @@ mod tests {
         let hit = c.access(&MemRequest::demand(addr, 0), 0);
         assert!(hit.dram_cache_hit);
         assert_eq!(hit.bytes_on(DramKind::InPackage), 64);
-        assert_eq!(hit.bytes_of_class(TrafficClass::Tag), 0, "TDC has no tag traffic");
+        assert_eq!(
+            hit.bytes_of_class(TrafficClass::Tag),
+            0,
+            "TDC has no tag traffic"
+        );
     }
 
     #[test]
@@ -263,7 +269,10 @@ mod tests {
             c.access(&MemRequest::demand(Addr::new(p), 0), 0);
         }
         for &p in &pages {
-            assert!(c.access(&MemRequest::demand(Addr::new(p), 0), 0).dram_cache_hit);
+            assert!(
+                c.access(&MemRequest::demand(Addr::new(p), 0), 0)
+                    .dram_cache_hit
+            );
         }
         assert_eq!(c.resident_pages(), 4);
     }
@@ -287,7 +296,10 @@ mod tests {
     #[test]
     fn dirty_victim_written_back_on_eviction() {
         let mut c = Tdc::new(&tiny());
-        c.access(&MemRequest::demand(PageNum::new(0).base_addr(), 0).as_store(), 0);
+        c.access(
+            &MemRequest::demand(PageNum::new(0).base_addr(), 0).as_store(),
+            0,
+        );
         for p in 1..4u64 {
             c.access(&MemRequest::demand(PageNum::new(p).base_addr(), 0), 0);
         }

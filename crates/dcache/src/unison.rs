@@ -192,8 +192,8 @@ impl DramCacheController for UnisonCache {
             }
             RequestKind::Writeback => {
                 // Tag probe to find the line, then write it where it lives.
-                let mut plan = AccessPlan::empty()
-                    .also(DramOp::in_package(tag_addr, 32, TrafficClass::Tag));
+                let mut plan =
+                    AccessPlan::empty().also(DramOp::in_package(tag_addr, 32, TrafficClass::Tag));
                 if let Some(way) = resident {
                     let data_addr = self.data_addr(set, way, req.addr.page_offset());
                     self.sets[set][way].dirty_mask |= 1 << line_in_page;
@@ -217,7 +217,10 @@ impl DramCacheController for UnisonCache {
     fn stats(&self) -> StatSet {
         let mut s = StatSet::new();
         s.add("unison_fills", self.fills);
-        s.add("unison_dirty_lines_written_back", self.dirty_lines_written_back);
+        s.add(
+            "unison_dirty_lines_written_back",
+            self.dirty_lines_written_back,
+        );
         s.add(
             "unison_mean_footprint_lines",
             self.footprint.mean_footprint().round() as u64,
@@ -312,12 +315,14 @@ mod tests {
         c.access(&MemRequest::demand(PageNum::new(0).base_addr(), 0), 0);
         c.access(&MemRequest::demand(PageNum::new(5).base_addr(), 0), 0);
         // Page 0 still hits, page 1 misses.
-        assert!(c
-            .access(&MemRequest::demand(PageNum::new(0).base_addr(), 0), 0)
-            .dram_cache_hit);
-        assert!(!c
-            .access(&MemRequest::demand(PageNum::new(1).base_addr(), 0), 0)
-            .dram_cache_hit);
+        assert!(
+            c.access(&MemRequest::demand(PageNum::new(0).base_addr(), 0), 0)
+                .dram_cache_hit
+        );
+        assert!(
+            !c.access(&MemRequest::demand(PageNum::new(1).base_addr(), 0), 0)
+                .dram_cache_hit
+        );
     }
 
     #[test]

@@ -163,8 +163,16 @@ mod tests {
         let off = DramConfig::off_package_default();
         let inp = DramConfig::in_package_default();
         // Paper: 21 GB/s off-package, 85 GB/s in-package.
-        assert!((off.peak_bandwidth_gbps() - 21.3).abs() < 0.5, "{}", off.peak_bandwidth_gbps());
-        assert!((inp.peak_bandwidth_gbps() - 85.3).abs() < 2.0, "{}", inp.peak_bandwidth_gbps());
+        assert!(
+            (off.peak_bandwidth_gbps() - 21.3).abs() < 0.5,
+            "{}",
+            off.peak_bandwidth_gbps()
+        );
+        assert!(
+            (inp.peak_bandwidth_gbps() - 85.3).abs() < 2.0,
+            "{}",
+            inp.peak_bandwidth_gbps()
+        );
     }
 
     #[test]
@@ -185,7 +193,10 @@ mod tests {
         let t64 = c.transfer_cycles(64);
         let t4096 = c.transfer_cycles(4096);
         assert!(t64 >= 1);
-        assert!(t4096 > t64 * 32, "page transfer should dominate: {t64} vs {t4096}");
+        assert!(
+            t4096 > t64 * 32,
+            "page transfer should dominate: {t64} vs {t4096}"
+        );
     }
 
     #[test]

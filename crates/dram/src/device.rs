@@ -199,7 +199,10 @@ mod tests {
     fn traffic_is_rounded_and_attributed() {
         let mut dev = DramDevice::new(DramKind::InPackage, DramConfig::in_package_default());
         dev.access(0, Addr::new(0), 64 + 8, TrafficClass::Tag);
-        assert_eq!(dev.traffic().bytes(DramKind::InPackage, TrafficClass::Tag), 96);
+        assert_eq!(
+            dev.traffic().bytes(DramKind::InPackage, TrafficClass::Tag),
+            96
+        );
         assert_eq!(dev.access_count(), 1);
     }
 
@@ -246,7 +249,12 @@ mod tests {
         let mut loaded = DramDevice::new(DramKind::OffPackage, cfg);
         // Idle: accesses spaced far apart. Loaded: all at once.
         for i in 0..32u64 {
-            idle.access(i * 10_000, Addr::new(i * PAGE_SIZE), 64, TrafficClass::HitData);
+            idle.access(
+                i * 10_000,
+                Addr::new(i * PAGE_SIZE),
+                64,
+                TrafficClass::HitData,
+            );
             loaded.access(0, Addr::new(i * PAGE_SIZE), 64, TrafficClass::HitData);
         }
         assert!(loaded.mean_latency() > idle.mean_latency());
@@ -257,7 +265,8 @@ mod tests {
         let mut dev = DramDevice::new(DramKind::OffPackage, DramConfig::off_package_default());
         dev.record_untimed_traffic(4096, TrafficClass::Replacement);
         assert_eq!(
-            dev.traffic().bytes(DramKind::OffPackage, TrafficClass::Replacement),
+            dev.traffic()
+                .bytes(DramKind::OffPackage, TrafficClass::Replacement),
             4096
         );
         assert_eq!(dev.access_count(), 0);
@@ -266,8 +275,10 @@ mod tests {
     #[test]
     fn dual_dram_combined_traffic() {
         let mut d = DualDram::paper_default();
-        d.in_package.access(0, Addr::new(0), 64, TrafficClass::HitData);
-        d.off_package.access(0, Addr::new(0), 64, TrafficClass::MissData);
+        d.in_package
+            .access(0, Addr::new(0), 64, TrafficClass::HitData);
+        d.off_package
+            .access(0, Addr::new(0), 64, TrafficClass::MissData);
         let t = d.combined_traffic();
         assert_eq!(t.bytes(DramKind::InPackage, TrafficClass::HitData), 64);
         assert_eq!(t.bytes(DramKind::OffPackage, TrafficClass::MissData), 64);
@@ -281,6 +292,10 @@ mod tests {
         for i in 0..64u64 {
             dev.access(i, Addr::new(i * 64), 64, TrafficClass::HitData);
         }
-        assert!(dev.row_hit_rate() > 0.9, "row hit rate {}", dev.row_hit_rate());
+        assert!(
+            dev.row_hit_rate() > 0.9,
+            "row hit rate {}",
+            dev.row_hit_rate()
+        );
     }
 }

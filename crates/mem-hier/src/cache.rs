@@ -76,7 +76,7 @@ impl SetAssocCache {
         let lines = capacity_bytes / banshee_common::CACHE_LINE_SIZE;
         assert!(lines > 0, "cache must hold at least one line");
         assert!(
-            lines % ways as u64 == 0,
+            lines.is_multiple_of(ways as u64),
             "line count {lines} must be a multiple of ways {ways}"
         );
         let num_sets = (lines / ways as u64) as usize;

@@ -300,7 +300,6 @@ mod tests {
             llc_size: MemSize::bytes(4096),
             llc_ways: 4,
             llc_latency: 35,
-            ..HierarchyConfig::paper_default(2)
         })
     }
 
@@ -361,7 +360,10 @@ mod tests {
                 seen_writeback = true;
             }
         }
-        assert!(seen_writeback, "dirty line was never written back to memory");
+        assert!(
+            seen_writeback,
+            "dirty line was never written back to memory"
+        );
     }
 
     #[test]

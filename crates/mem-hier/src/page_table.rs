@@ -67,7 +67,7 @@ impl PteMapInfo {
         let way_bits = if ways <= 1 {
             0
         } else {
-            (usize::BITS - (ways - 1).leading_zeros()) as u32
+            usize::BITS - (ways - 1).leading_zeros()
         };
         1 + way_bits
     }
@@ -259,7 +259,10 @@ mod tests {
     #[test]
     fn update_mapping_on_unmapped_page_is_noop() {
         let mut pt = PageTable::new();
-        assert_eq!(pt.update_mapping(PageNum::new(77), PteMapInfo::cached_in(1)), 0);
+        assert_eq!(
+            pt.update_mapping(PageNum::new(77), PteMapInfo::cached_in(1)),
+            0
+        );
         assert_eq!(pt.pte_update_count(), 0);
     }
 

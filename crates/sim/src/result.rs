@@ -124,9 +124,15 @@ mod tests {
     #[test]
     fn traffic_breakdown_shapes() {
         let mut r = result(100, 100);
-        r.traffic.add(DramKind::InPackage, TrafficClass::HitData, 6_400);
-        assert!((r.bytes_per_instr(DramKind::InPackage, TrafficClass::HitData) - 64.0).abs() < 1e-9);
-        assert_eq!(r.breakdown(DramKind::InPackage).len(), TrafficClass::ALL.len());
+        r.traffic
+            .add(DramKind::InPackage, TrafficClass::HitData, 6_400);
+        assert!(
+            (r.bytes_per_instr(DramKind::InPackage, TrafficClass::HitData) - 64.0).abs() < 1e-9
+        );
+        assert_eq!(
+            r.breakdown(DramKind::InPackage).len(),
+            TrafficClass::ALL.len()
+        );
         assert!((r.total_bytes_per_instr(DramKind::InPackage) - 64.0).abs() < 1e-9);
     }
 

@@ -102,7 +102,7 @@ impl System {
             }
         }
 
-        let baseline = baseline.unwrap_or_else(MeasurementBaseline::default);
+        let baseline = baseline.unwrap_or_default();
         self.collect(workload_name, executed, baseline)
     }
 
@@ -132,9 +132,7 @@ impl System {
         let paddr = translation.paddr;
 
         // ---- SRAM hierarchy ------------------------------------------------------
-        let outcome = self
-            .hierarchy
-            .access(core_id, paddr.line(), access.write);
+        let outcome = self.hierarchy.access(core_id, paddr.line(), access.write);
         match outcome.hit {
             Some(HitLevel::L1) => {}
             Some(HitLevel::L2) => self.cores[core_id].advance(L2_HIT_PENALTY),
@@ -248,27 +246,30 @@ impl System {
                 }
                 SideEffect::UpdatePageTable { updates } => {
                     self.os_stats.inc("pte_batch_updates");
-                    self.os_stats.add("pte_entries_updated", updates.len() as u64);
+                    self.os_stats
+                        .add("pte_entries_updated", updates.len() as u64);
                     for (unit, info) in updates {
                         let ppage = self.unit_to_ppage(unit);
                         self.page_table.update_mapping(ppage, info);
                     }
                     // The software routine runs on one randomly chosen core
                     // (Section 3.4); Table 5 sweeps this cost.
-                    let victim =
-                        self.rng.next_below(self.cores.len() as u64) as usize;
+                    let victim = self.rng.next_below(self.cores.len() as u64) as usize;
                     let cost = cpu.cycles_in_us(self.config.pte_update_cost_us);
                     self.cores[victim].advance(cost);
                 }
                 SideEffect::TlbShootdown => {
                     self.os_stats.inc("tlb_shootdowns");
-                    let initiator =
-                        self.rng.next_below(self.cores.len() as u64) as usize;
+                    let initiator = self.rng.next_below(self.cores.len() as u64) as usize;
                     let init_cost = cpu.cycles_in_us(self.config.shootdown_initiator_us);
                     let slave_cost = cpu.cycles_in_us(self.config.shootdown_slave_us);
                     for (i, core) in self.cores.iter_mut().enumerate() {
                         core.tlb.shootdown();
-                        core.advance(if i == initiator { init_cost } else { slave_cost });
+                        core.advance(if i == initiator {
+                            init_cost
+                        } else {
+                            slave_cost
+                        });
                     }
                 }
                 SideEffect::FlushPage { page } => {
@@ -293,9 +294,7 @@ impl System {
     /// the large page for 2 MiB runs).
     fn unit_to_ppage(&self, unit: PageNum) -> PageNum {
         if self.config.large_pages {
-            PageNum::new(
-                unit.raw() * (banshee_common::LARGE_PAGE_SIZE / banshee_common::PAGE_SIZE),
-            )
+            PageNum::new(unit.raw() * (banshee_common::LARGE_PAGE_SIZE / banshee_common::PAGE_SIZE))
         } else {
             unit
         }

@@ -232,7 +232,10 @@ impl GraphKernelTrace {
                 // order is irregular), scan its adjacency, and touch the
                 // visited word of each target (a store roughly 1 time in 4).
                 let u = self.part_start
-                    + self.rng.next_below((self.part_end - self.part_start) as u64) as usize;
+                    + self
+                        .rng
+                        .next_below((self.part_end - self.part_start) as u64)
+                        as usize;
                 let edge_base = graph.offsets[u] as usize;
                 self.push(graph.vertex_addr(u), false);
                 for (i, &v) in graph.neighbours(u).iter().enumerate() {

@@ -103,9 +103,6 @@ mod tests {
 
     #[test]
     fn names() {
-        assert_eq!(
-            SpecMix::ALL.map(|m| m.name()),
-            ["mix1", "mix2", "mix3"]
-        );
+        assert_eq!(SpecMix::ALL.map(|m| m.name()), ["mix1", "mix2", "mix3"]);
     }
 }

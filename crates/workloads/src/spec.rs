@@ -92,8 +92,7 @@ impl SpecProgram {
     /// The two-region parameters for this program, given a per-core
     /// footprint budget in bytes.
     pub fn params(&self, footprint_budget: u64) -> SyntheticParams {
-        let footprint =
-            ((footprint_budget as f64 * self.footprint_factor()) as u64).max(2 * 4096);
+        let footprint = ((footprint_budget as f64 * self.footprint_factor()) as u64).max(2 * 4096);
         let mut p = SyntheticParams::base(self.name(), footprint);
         match self {
             SpecProgram::Lbm => {

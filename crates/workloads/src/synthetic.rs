@@ -78,7 +78,10 @@ impl SyntheticTrace {
     /// Create a generator over `[base, base + footprint)` with the given
     /// parameters and seed.
     pub fn new(params: SyntheticParams, base: u64, seed: u64) -> Self {
-        assert!(params.footprint_bytes >= 2 * PAGE_SIZE, "footprint too small");
+        assert!(
+            params.footprint_bytes >= 2 * PAGE_SIZE,
+            "footprint too small"
+        );
         let total_pages = params.footprint_bytes / PAGE_SIZE;
         let streaming_pages =
             ((total_pages as f64 * params.streaming_fraction) as u64).clamp(1, total_pages - 1);
@@ -247,7 +250,11 @@ mod tests {
         let mut prev = first;
         for _ in 0..32 {
             let next = t.next_access().vaddr.raw();
-            assert_eq!(next, prev + 64, "streaming accesses must be sequential lines");
+            assert_eq!(
+                next,
+                prev + 64,
+                "streaming accesses must be sequential lines"
+            );
             prev = next;
         }
     }
@@ -273,7 +280,10 @@ mod tests {
         };
         let h = sum_gap(SyntheticTrace::new(hungry, 0, 5));
         let l = sum_gap(SyntheticTrace::new(light, 0, 5));
-        assert!(l > 5 * h, "light workload should have many more instructions per access");
+        assert!(
+            l > 5 * h,
+            "light workload should have many more instructions per access"
+        );
     }
 
     #[test]

@@ -37,7 +37,10 @@ impl WorkloadKind {
 
     /// Only the graph kernels (used by the large-page study, Section 5.4.1).
     pub fn graph_suite() -> Vec<WorkloadKind> {
-        GraphKernel::ALL.iter().map(|&k| WorkloadKind::Graph(k)).collect()
+        GraphKernel::ALL
+            .iter()
+            .map(|&k| WorkloadKind::Graph(k))
+            .collect()
     }
 
     /// Display name as printed on the figure axes.

@@ -10,16 +10,23 @@
 //! cargo run --release --example graph_analytics
 //! ```
 
-use banshee_repro::common::{DramKind, MemSize};
+use banshee_repro::common::DramKind;
 use banshee_repro::dcache::DramCacheDesign;
 use banshee_repro::sim::{run_one, SimConfig};
 use banshee_repro::workloads::{GraphKernel, Workload, WorkloadKind};
 
+#[path = "common/mod.rs"]
+mod common;
+
 fn main() {
-    let capacity = MemSize::mib(32);
+    let budget = common::smoke_budget();
+    // The full-size machine, shrunk for CI smoke runs.
+    let capacity = common::example_capacity(budget);
     let designs = [
         DramCacheDesign::NoCache,
-        DramCacheDesign::Alloy { fill_probability: 0.1 },
+        DramCacheDesign::Alloy {
+            fill_probability: 0.1,
+        },
         DramCacheDesign::Banshee,
     ];
 
@@ -29,16 +36,12 @@ fn main() {
     );
 
     for kernel in GraphKernel::ALL {
-        let workload = Workload::new(
-            WorkloadKind::Graph(kernel),
-            4 * capacity.as_bytes(),
-            7,
-        );
+        let workload = Workload::new(WorkloadKind::Graph(kernel), 4 * capacity.as_bytes(), 7);
         let mut baseline = None;
         for design in designs {
             let mut config = SimConfig::scaled(design, capacity);
-            config.total_instructions = 2_000_000;
-            config.warmup_instructions = 2_000_000;
+            config.total_instructions = budget.unwrap_or(2_000_000);
+            config.warmup_instructions = config.total_instructions;
             let r = run_one(config, &workload);
             let speedup = match &baseline {
                 None => {

@@ -10,13 +10,18 @@
 //! cargo run --release --example large_pages
 //! ```
 
-use banshee_repro::common::{DramKind, MemSize, TrafficClass};
+use banshee_repro::common::{DramKind, TrafficClass};
 use banshee_repro::dcache::DramCacheDesign;
 use banshee_repro::sim::{run_one, SimConfig};
 use banshee_repro::workloads::{GraphKernel, Workload, WorkloadKind};
 
+#[path = "common/mod.rs"]
+mod common;
+
 fn main() {
-    let capacity = MemSize::mib(32);
+    let budget = common::smoke_budget();
+    // The full-size machine, shrunk for CI smoke runs.
+    let capacity = common::example_capacity(budget);
     let workload = Workload::new(
         WorkloadKind::Graph(GraphKernel::PageRank),
         4 * capacity.as_bytes(),
@@ -32,8 +37,8 @@ fn main() {
     let mut base_ipc = 0.0;
     for (label, large) in [("4 KiB pages", false), ("2 MiB large pages", true)] {
         let mut config = SimConfig::scaled(DramCacheDesign::Banshee, capacity);
-        config.total_instructions = 2_000_000;
-        config.warmup_instructions = 2_000_000;
+        config.total_instructions = budget.unwrap_or(2_000_000);
+        config.warmup_instructions = config.total_instructions;
         config.large_pages = large;
         if large {
             // The paper models perfect TLBs for this study so that only the

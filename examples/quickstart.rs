@@ -10,10 +10,15 @@
 use banshee_repro::prelude::*;
 use banshee_repro::workloads::SpecProgram;
 
+#[path = "common/mod.rs"]
+mod common;
+
 fn main() {
+    let budget = common::smoke_budget();
     // A scaled-down machine: 32 MiB of in-package DRAM used as a cache, the
-    // paper's 4-way page-granularity geometry, 16 cores.
-    let capacity = MemSize::mib(32);
+    // paper's 4-way page-granularity geometry, 16 cores (shrunk for CI
+    // smoke runs).
+    let capacity = common::example_capacity(budget);
 
     // The workload: every core runs a copy of an mcf-like pointer-chasing
     // program whose total footprint is 4x the DRAM cache.
@@ -23,19 +28,27 @@ fn main() {
         42,
     );
 
-    println!("workload: {} (footprint 4x the DRAM cache)", workload.name());
-    println!("{:<12} {:>8} {:>10} {:>12} {:>12}", "design", "IPC", "miss rate", "in-pkg B/instr", "off-pkg B/instr");
+    println!(
+        "workload: {} (footprint 4x the DRAM cache)",
+        workload.name()
+    );
+    println!(
+        "{:<12} {:>8} {:>10} {:>12} {:>12}",
+        "design", "IPC", "miss rate", "in-pkg B/instr", "off-pkg B/instr"
+    );
 
     let mut baseline_ipc = None;
     for design in [
         banshee_repro::dcache::DramCacheDesign::NoCache,
-        banshee_repro::dcache::DramCacheDesign::Alloy { fill_probability: 0.1 },
+        banshee_repro::dcache::DramCacheDesign::Alloy {
+            fill_probability: 0.1,
+        },
         banshee_repro::dcache::DramCacheDesign::Banshee,
         banshee_repro::dcache::DramCacheDesign::CacheOnly,
     ] {
         let mut config = SimConfig::scaled(design, capacity);
-        config.total_instructions = 3_000_000;
-        config.warmup_instructions = 2_000_000;
+        config.total_instructions = budget.unwrap_or(3_000_000);
+        config.warmup_instructions = config.total_instructions * 2 / 3;
         let result = banshee_repro::sim::run_one(config, &workload);
         let ipc = result.ipc();
         if design == banshee_repro::dcache::DramCacheDesign::NoCache {
@@ -58,6 +71,6 @@ fn main() {
 
     println!();
     println!("Next steps:");
-    println!("  cargo run --release -p banshee-bench --bin experiments -- all --quick");
+    println!("  cargo run --release -p banshee_bench --bin experiments -- all --quick");
     println!("  (regenerates every table and figure of the paper; see EXPERIMENTS.md)");
 }

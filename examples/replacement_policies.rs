@@ -67,8 +67,13 @@ fn drive(name: &str, ctrl: &mut dyn DramCacheController, accesses: &[(Addr, bool
     );
 }
 
+#[path = "common/mod.rs"]
+mod common;
+
 fn main() {
-    let accesses = stream(400_000);
+    // Stream length is overridable so CI can smoke-run the example quickly.
+    let n = common::smoke_budget().unwrap_or(400_000) as usize;
+    let accesses = stream(n);
     let dcfg = DCacheConfig::scaled(MemSize::mib(4));
 
     println!("access stream: 70% Zipf hot set (2000 pages), 30% cold streaming\n");
@@ -85,10 +90,8 @@ fn main() {
     );
     drive("Banshee FBR no sample", &mut no_sample, &accesses);
 
-    let mut lru = BansheeController::with_variant(
-        BansheeConfig::from_dcache(&dcfg),
-        BansheeVariant::Lru,
-    );
+    let mut lru =
+        BansheeController::with_variant(BansheeConfig::from_dcache(&dcfg), BansheeVariant::Lru);
     drive("Banshee LRU", &mut lru, &accesses);
 
     let mut alloy = AlloyCache::new(&dcfg, 0.1);

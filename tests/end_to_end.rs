@@ -24,8 +24,12 @@ fn every_design_completes_on_a_graph_workload() {
     for design in [
         DramCacheDesign::NoCache,
         DramCacheDesign::CacheOnly,
-        DramCacheDesign::Alloy { fill_probability: 1.0 },
-        DramCacheDesign::Alloy { fill_probability: 0.1 },
+        DramCacheDesign::Alloy {
+            fill_probability: 1.0,
+        },
+        DramCacheDesign::Alloy {
+            fill_probability: 0.1,
+        },
         DramCacheDesign::Unison,
         DramCacheDesign::Tdc,
         DramCacheDesign::Hma,
@@ -34,7 +38,11 @@ fn every_design_completes_on_a_graph_workload() {
         DramCacheDesign::BansheeFbrNoSample,
     ] {
         let r = run(design, WorkloadKind::Graph(GraphKernel::PageRank));
-        assert!(r.instructions >= 400_000, "{}: too few instructions", r.design);
+        assert!(
+            r.instructions >= 400_000,
+            "{}: too few instructions",
+            r.design
+        );
         assert!(r.cycles > 0, "{}: no cycles", r.design);
         assert!(r.traffic.grand_total() > 0, "{}: no DRAM traffic", r.design);
     }
@@ -70,7 +78,12 @@ fn banshee_moves_fewer_in_package_bytes_than_alloy_and_unison() {
     // in-package.
     let kind = WorkloadKind::Graph(GraphKernel::Graph500);
     let banshee = run(DramCacheDesign::Banshee, kind);
-    let alloy = run(DramCacheDesign::Alloy { fill_probability: 0.1 }, kind);
+    let alloy = run(
+        DramCacheDesign::Alloy {
+            fill_probability: 0.1,
+        },
+        kind,
+    );
     let unison = run(DramCacheDesign::Unison, kind);
     let bpi = |r: &SimResult| r.total_bytes_per_instr(DramKind::InPackage);
     assert!(
@@ -89,7 +102,10 @@ fn banshee_moves_fewer_in_package_bytes_than_alloy_and_unison() {
 
 #[test]
 fn banshee_has_no_tag_traffic_on_the_demand_path() {
-    let r = run(DramCacheDesign::Banshee, WorkloadKind::Spec(SpecProgram::Omnetpp));
+    let r = run(
+        DramCacheDesign::Banshee,
+        WorkloadKind::Spec(SpecProgram::Omnetpp),
+    );
     let tag = r.bytes_per_instr(DramKind::InPackage, TrafficClass::Tag);
     let hit = r.bytes_per_instr(DramKind::InPackage, TrafficClass::HitData);
     // Tag probes only happen for hint-less dirty evictions that miss the tag
@@ -198,7 +214,10 @@ fn large_pages_reduce_page_table_pressure() {
 
 #[test]
 fn traffic_accounting_is_internally_consistent() {
-    let r = run(DramCacheDesign::Banshee, WorkloadKind::Spec(SpecProgram::Soplex));
+    let r = run(
+        DramCacheDesign::Banshee,
+        WorkloadKind::Spec(SpecProgram::Soplex),
+    );
     // Per-class bytes sum to the device totals.
     for dram in [DramKind::InPackage, DramKind::OffPackage] {
         let sum: u64 = TrafficClass::ALL

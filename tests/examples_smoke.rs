@@ -1,0 +1,53 @@
+//! Smoke tests running every example at a CI-sized scale, so the examples
+//! can't silently rot as the library evolves.
+//!
+//! Each example honours `BANSHEE_EXAMPLE_INSTRUCTIONS`, which shrinks its
+//! instruction budget (or access-stream length) from the millions used for
+//! real output down to a few tens of thousands, keeping each run to seconds
+//! even in debug builds.
+
+use std::process::Command;
+
+/// Run one example via the same `cargo` that is running this test and assert
+/// it exits successfully.
+fn run_example(name: &str) {
+    let cargo = env!("CARGO");
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    let output = Command::new(cargo)
+        .args(["run", "--offline", "--example", name])
+        .current_dir(manifest_dir)
+        .env("BANSHEE_EXAMPLE_INSTRUCTIONS", "20000")
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example `{name}`: {e}"));
+    assert!(
+        output.status.success(),
+        "example `{name}` failed with {}:\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    assert!(
+        !output.stdout.is_empty(),
+        "example `{name}` exited 0 but printed nothing"
+    );
+}
+
+#[test]
+fn example_quickstart_runs() {
+    run_example("quickstart");
+}
+
+#[test]
+fn example_replacement_policies_runs() {
+    run_example("replacement_policies");
+}
+
+#[test]
+fn example_graph_analytics_runs() {
+    run_example("graph_analytics");
+}
+
+#[test]
+fn example_large_pages_runs() {
+    run_example("large_pages");
+}

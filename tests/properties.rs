@@ -5,17 +5,13 @@
 use banshee_repro::common::{Addr, DramKind, MemSize, PageNum};
 use banshee_repro::core::{BansheeConfig, BansheeController, BansheeVariant};
 use banshee_repro::dcache::{
-    alloy::AlloyCache, tdc::Tdc, unison::UnisonCache, DCacheConfig, DramCacheController,
-    MemRequest,
+    alloy::AlloyCache, tdc::Tdc, unison::UnisonCache, DCacheConfig, DramCacheController, MemRequest,
 };
 use proptest::prelude::*;
 
 /// Drive a controller with a stream of (page, line, write) accesses using
 /// ground-truth mapping hints, and return total bytes per DRAM.
-fn drive(
-    ctrl: &mut dyn DramCacheController,
-    stream: &[(u64, u64, bool)],
-) -> (u64, u64) {
+fn drive(ctrl: &mut dyn DramCacheController, stream: &[(u64, u64, bool)]) -> (u64, u64) {
     let mut in_bytes = 0;
     let mut off_bytes = 0;
     for (i, &(page, line, write)) in stream.iter().enumerate() {

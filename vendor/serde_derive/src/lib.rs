@@ -1,0 +1,276 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` with
+//! hand-rolled token parsing (no `syn`/`quote`, which are unavailable
+//! offline). Supported shapes — which cover everything in this workspace:
+//!
+//! * non-generic structs with named fields, tuple structs (newtype and
+//!   wider), unit structs;
+//! * non-generic enums with unit, tuple and struct variants (optionally with
+//!   explicit discriminants).
+//!
+//! `#[serde(...)]` attributes are not interpreted; generic types are
+//! rejected with a compile error naming this file.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` by lowering the value into a `serde::Value`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let name = &item.name;
+            let arms: Vec<String> = variants.iter().map(|v| serialize_arm(name, v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {} {{ \
+             fn to_value(&self) -> ::serde::Value {{ {} }} \
+         }}",
+        item.name, body
+    )
+    .parse()
+    .expect("serde_derive stand-in: generated Serialize impl failed to parse")
+}
+
+/// Derive the marker trait `serde::Deserialize<'de>`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {} {{}}", item.name)
+        .parse()
+        .expect("serde_derive stand-in: generated Deserialize impl failed to parse")
+}
+
+fn serialize_arm(enum_name: &str, variant: &Variant) -> String {
+    let v = &variant.name;
+    match &variant.shape {
+        VariantShape::Unit => format!(
+            "{enum_name}::{v} => \
+             ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+        ),
+        VariantShape::Tuple(1) => format!(
+            "{enum_name}::{v}(__f0) => ::serde::Value::Object(::std::vec![\
+                 (::std::string::String::from(\"{v}\"), \
+                  ::serde::Serialize::to_value(__f0))]),"
+        ),
+        VariantShape::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let items: Vec<String> = binds
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                .collect();
+            format!(
+                "{enum_name}::{v}({}) => ::serde::Value::Object(::std::vec![\
+                     (::std::string::String::from(\"{v}\"), \
+                      ::serde::Value::Array(::std::vec![{}]))]),",
+                binds.join(", "),
+                items.join(", ")
+            )
+        }
+        VariantShape::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{enum_name}::{v} {{ {} }} => ::serde::Value::Object(::std::vec![\
+                     (::std::string::String::from(\"{v}\"), \
+                      ::serde::Value::Object(::std::vec![{}]))]),",
+                fields.join(", "),
+                entries.join(", ")
+            )
+        }
+    }
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut tokens);
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive stand-in: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive stand-in: expected item name, got {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stand-in: generic type `{name}` is not supported");
+    }
+    let shape = match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde_derive stand-in: unsupported struct body {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive stand-in: expected enum body, got {other:?}"),
+        },
+        other => panic!("serde_derive stand-in: unsupported item kind `{other}`"),
+    };
+    Item { name, shape }
+}
+
+/// Skip leading `#[...]` attributes (incl. doc comments) and a visibility
+/// qualifier (`pub`, `pub(crate)`, ...).
+fn skip_attrs_and_vis(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                tokens.next();
+                if matches!(tokens.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    tokens.next(); // (crate) / (super) / (in path)
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Collect the field names of a named-field body, skipping types. Commas
+/// inside angle brackets (`BTreeMap<String, u64>`) are not field separators,
+/// so angle-bracket depth is tracked manually.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive stand-in: expected field name, got {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive stand-in: expected `:` after field, got {other:?}"),
+        }
+        fields.push(name);
+        skip_until_top_level_comma(&mut tokens);
+    }
+    fields
+}
+
+/// Count the fields of a tuple body by top-level commas.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut tokens = stream.into_iter().peekable();
+    let mut count = 0;
+    while tokens.peek().is_some() {
+        count += 1;
+        skip_until_top_level_comma(&mut tokens);
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive stand-in: expected variant name, got {other:?}"),
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                tokens.next();
+                VariantShape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        skip_until_top_level_comma(&mut tokens);
+    }
+    variants
+}
+
+/// Advance past the next comma that sits outside any `<...>` nesting,
+/// consuming it. Stops at end of stream.
+fn skip_until_top_level_comma(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle_depth = 0i32;
+    for tok in tokens {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
