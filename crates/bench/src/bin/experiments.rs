@@ -4,16 +4,47 @@
 //!
 //! ```text
 //! cargo run --release -p banshee_bench --bin experiments -- all
-//! cargo run --release -p banshee_bench --bin experiments -- fig4 fig5 --quick
+//! cargo run --release -p banshee_bench --bin experiments -- fig4 fig5 --quick --jobs 8
 //! ```
 //!
 //! Flags: `--quick` (smaller runs), `--smoke` (tiny sanity runs),
-//! `--help` (print usage). Output: tables on stdout + JSON under
-//! `target/experiments/`.
+//! `--jobs N` (worker threads; default: available parallelism),
+//! `--no-store` (disable the persistent result store), `--help`.
+//! Output: tables on stdout + JSON under `target/experiments/`, cell cache
+//! under `target/experiments/store/` (a re-run resumes from it), and a
+//! `run_summary.json` with per-experiment wall-clock times and scale
+//! metadata.
 
 use banshee_bench::experiments::{self, run_main_matrix, scale_from_flags, EXPERIMENT_NAMES};
 use banshee_bench::runner::Runner;
-use banshee_bench::table::Table;
+use banshee_bench::table::{output_dir, write_json, Table};
+use banshee_exec::JobPool;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Wall-clock time of one experiment block within a run.
+#[derive(Debug, Clone, Serialize)]
+struct ExperimentTiming {
+    name: String,
+    seconds: f64,
+}
+
+/// Metadata written to `target/experiments/run_summary.json` so per-PR
+/// trajectories (runtimes, cache behaviour) can be tracked.
+#[derive(Debug, Clone, Serialize)]
+struct RunSummary {
+    scale: String,
+    instructions_per_run: u64,
+    cores: usize,
+    jobs: usize,
+    store_enabled: bool,
+    started_unix_secs: u64,
+    total_seconds: f64,
+    cells_simulated: usize,
+    cells_from_store: usize,
+    simulation_seconds: f64,
+    experiments: Vec<ExperimentTiming>,
+}
 
 fn print_all(tables: Vec<Table>) {
     for t in tables {
@@ -22,7 +53,7 @@ fn print_all(tables: Vec<Table>) {
 }
 
 fn print_usage() {
-    println!("usage: experiments [EXPERIMENT ...] [--quick | --smoke]");
+    println!("usage: experiments [EXPERIMENT ...] [--quick | --smoke] [--jobs N] [--no-store]");
     println!();
     println!("Regenerates the paper's tables and figures. With no experiment");
     println!("names, runs everything (`all`).");
@@ -30,12 +61,57 @@ fn print_usage() {
     println!("experiments: {}", EXPERIMENT_NAMES.join(", "));
     println!();
     println!("flags:");
-    println!("  --quick   smaller runs (faster, lower fidelity)");
-    println!("  --smoke   tiny sanity runs (seconds, shapes only)");
-    println!("  --help    print this message and exit");
+    println!("  --quick     smaller runs (faster, lower fidelity)");
+    println!("  --smoke     tiny sanity runs (seconds, shapes only)");
+    println!("  --jobs N    run N simulations in parallel (default: available");
+    println!("              parallelism; results are identical at any N)");
+    println!("  --no-store  disable the persistent result store (by default,");
+    println!("              finished cells are cached under");
+    println!("              target/experiments/store/ and re-runs resume)");
+    println!("  --help      print this message and exit");
     println!();
     println!("Tables are printed to stdout; raw numbers are written as JSON");
-    println!("under target/experiments/.");
+    println!("under target/experiments/, and run_summary.json records scale,");
+    println!("wall-clock and cache metadata for the run.");
+}
+
+fn parse_args(args: &[String]) -> Result<(Vec<String>, bool, bool, usize, bool), String> {
+    let mut selected = Vec::new();
+    let mut quick = false;
+    let mut smoke = false;
+    let mut jobs = 0usize;
+    let mut no_store = false;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if arg == "--quick" {
+            quick = true;
+        } else if arg == "--smoke" {
+            smoke = true;
+        } else if arg == "--no-store" {
+            no_store = true;
+        } else if arg == "--jobs" {
+            i += 1;
+            let value = args
+                .get(i)
+                .ok_or_else(|| "--jobs requires a value".to_string())?;
+            jobs = value
+                .parse()
+                .map_err(|_| format!("invalid --jobs value '{value}'"))?;
+        } else if let Some(value) = arg.strip_prefix("--jobs=") {
+            jobs = value
+                .parse()
+                .map_err(|_| format!("invalid --jobs value '{value}'"))?;
+        } else if arg.starts_with('-') {
+            return Err(format!(
+                "unknown flag '{arg}'; valid flags: --quick, --smoke, --jobs N, --no-store, --help"
+            ));
+        } else {
+            selected.push(arg.clone());
+        }
+        i += 1;
+    }
+    Ok((selected, quick, smoke, jobs, no_store))
 }
 
 fn main() {
@@ -44,20 +120,13 @@ fn main() {
         print_usage();
         return;
     }
-    if let Some(flag) = args
-        .iter()
-        .find(|a| a.starts_with('-') && *a != "--quick" && *a != "--smoke")
-    {
-        eprintln!("unknown flag '{flag}'; valid flags: --quick, --smoke, --help");
-        std::process::exit(2);
-    }
-    let quick = args.iter().any(|a| a == "--quick");
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let mut selected: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with('-'))
-        .cloned()
-        .collect();
+    let (mut selected, quick, smoke, jobs, no_store) = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
     if selected.is_empty() {
         selected.push("all".to_string());
     }
@@ -74,84 +143,154 @@ fn main() {
     let want = |name: &str| all || selected.iter().any(|s| s == name);
 
     let scale = scale_from_flags(quick, smoke);
-    let runner = Runner::new(scale);
+    let effective_jobs = if jobs == 0 {
+        JobPool::available_workers()
+    } else {
+        jobs
+    };
+    let mut runner = Runner::new(scale).with_jobs(jobs).with_progress(true);
+    if !no_store {
+        runner = runner.with_store(output_dir().join("store"));
+    }
     eprintln!(
-        "running {} at {:?} scale ({} instructions per run, {} cores)",
+        "running {} at {:?} scale ({} instructions per run, {} cores) with {} worker{}{}",
         selected.join(", "),
         scale,
         scale.instructions(),
-        scale.cores()
+        scale.cores(),
+        effective_jobs,
+        if effective_jobs == 1 { "" } else { "s" },
+        if no_store {
+            ", result store disabled".to_string()
+        } else {
+            format!(", result store at {}", output_dir().join("store").display())
+        }
     );
+
+    let started = Instant::now();
+    let started_unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut timings: Vec<ExperimentTiming> = Vec::new();
+    let timed = |timings: &mut Vec<ExperimentTiming>, name: &str, run: &mut dyn FnMut()| {
+        let t0 = Instant::now();
+        run();
+        let seconds = t0.elapsed().as_secs_f64();
+        eprintln!("[{name}] finished in {seconds:.2}s");
+        timings.push(ExperimentTiming {
+            name: name.to_string(),
+            seconds,
+        });
+    };
 
     // Figures 4/5/6 share one designs × workloads matrix.
     if want("fig4") || want("fig5") || want("fig6") {
         eprintln!("[matrix] running the Figure 4/5/6 design x workload matrix ...");
-        let matrix = run_main_matrix(&runner);
-        if want("fig4") {
-            print_all(experiments::fig4::report(&matrix));
-        }
-        if want("fig5") {
-            print_all(experiments::fig5::report(&matrix));
-        }
-        if want("fig6") {
-            print_all(experiments::fig6::report(&matrix));
-        }
+        timed(&mut timings, "fig4_5_6", &mut || {
+            let matrix = run_main_matrix(&runner);
+            if want("fig4") {
+                print_all(experiments::fig4::report(&matrix));
+            }
+            if want("fig5") {
+                print_all(experiments::fig5::report(&matrix));
+            }
+            if want("fig6") {
+                print_all(experiments::fig6::report(&matrix));
+            }
+        });
     }
     if want("fig7") {
         eprintln!("[fig7] replacement-policy ablation ...");
-        print_all(experiments::fig7::report(
-            &runner,
-            &experiments::full_suite(),
-        ));
+        timed(&mut timings, "fig7", &mut || {
+            print_all(experiments::fig7::report(
+                &runner,
+                &experiments::full_suite(),
+            ));
+        });
     }
     if want("fig8") {
         eprintln!("[fig8] latency/bandwidth sweep ...");
-        print_all(experiments::fig8::report(
-            &runner,
-            &experiments::sweep_suite(),
-        ));
+        timed(&mut timings, "fig8", &mut || {
+            print_all(experiments::fig8::report(
+                &runner,
+                &experiments::sweep_suite(),
+            ));
+        });
     }
     if want("fig9") {
         eprintln!("[fig9] sampling-coefficient sweep ...");
-        print_all(experiments::fig9::report(
-            &runner,
-            &experiments::sweep_suite(),
-        ));
+        timed(&mut timings, "fig9", &mut || {
+            print_all(experiments::fig9::report(
+                &runner,
+                &experiments::sweep_suite(),
+            ));
+        });
     }
     if want("table1") {
         eprintln!("[table1] per-access behaviour ...");
-        print_all(experiments::table1::report());
+        timed(&mut timings, "table1", &mut || {
+            print_all(experiments::table1::report());
+        });
     }
     if want("table5") {
         eprintln!("[table5] page-table update overhead ...");
-        print_all(experiments::table5::report(
-            &runner,
-            &experiments::sweep_suite(),
-        ));
+        timed(&mut timings, "table5", &mut || {
+            print_all(experiments::table5::report(
+                &runner,
+                &experiments::sweep_suite(),
+            ));
+        });
     }
     if want("table6") {
         eprintln!("[table6] associativity sweep ...");
-        print_all(experiments::table6::report(
-            &runner,
-            &experiments::sweep_suite(),
-        ));
+        timed(&mut timings, "table6", &mut || {
+            print_all(experiments::table6::report(
+                &runner,
+                &experiments::sweep_suite(),
+            ));
+        });
     }
     if want("large_pages") {
         eprintln!("[large_pages] 2 MiB pages on graph workloads ...");
-        print_all(experiments::large_pages::report(
-            &runner,
-            &banshee_workloads::WorkloadKind::graph_suite(),
-        ));
+        timed(&mut timings, "large_pages", &mut || {
+            print_all(experiments::large_pages::report(
+                &runner,
+                &banshee_workloads::WorkloadKind::graph_suite(),
+            ));
+        });
     }
     if want("batman") {
         eprintln!("[batman] bandwidth balancing ...");
-        print_all(experiments::batman::report(
-            &runner,
-            &experiments::sweep_suite(),
-        ));
+        timed(&mut timings, "batman", &mut || {
+            print_all(experiments::batman::report(
+                &runner,
+                &experiments::sweep_suite(),
+            ));
+        });
+    }
+
+    let summary = RunSummary {
+        scale: scale.name().to_string(),
+        instructions_per_run: scale.instructions(),
+        cores: scale.cores(),
+        jobs: effective_jobs,
+        store_enabled: !no_store,
+        started_unix_secs,
+        total_seconds: started.elapsed().as_secs_f64(),
+        cells_simulated: runner.counters.simulated(),
+        cells_from_store: runner.counters.from_store(),
+        simulation_seconds: runner.counters.simulated_time().as_secs_f64(),
+        experiments: timings,
+    };
+    if let Err(err) = write_json("run_summary", &summary) {
+        eprintln!("warning: failed to write run_summary.json ({err})");
     }
     eprintln!(
-        "done; JSON written under {}",
-        banshee_bench::table::output_dir().display()
+        "done in {:.2}s ({} cells simulated, {} from store); JSON written under {}",
+        summary.total_seconds,
+        summary.cells_simulated,
+        summary.cells_from_store,
+        output_dir().display()
     );
 }

@@ -45,17 +45,25 @@ pub fn run(runner: &Runner, workloads: &[WorkloadKind]) -> Vec<BatmanRow> {
             (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp()
         }
     };
+    let cells: Vec<_> = lineup()
+        .into_iter()
+        .flat_map(|design| {
+            workloads.iter().flat_map(move |&w| {
+                let mut batman_cfg = runner.config(design);
+                batman_cfg.use_batman = true;
+                [(runner.config(design), w), (batman_cfg, w)]
+            })
+        })
+        .collect();
+    let mut results = runner.run_batch(cells).into_iter();
+
     let mut rows = Vec::new();
     for design in lineup() {
         let mut plain = Vec::new();
         let mut balanced = Vec::new();
-        for &w in workloads {
-            let r = runner.run(design, w);
-            plain.push(r.ipc());
-            let mut cfg = runner.config(design);
-            cfg.use_batman = true;
-            let rb = runner.run_with(cfg, w);
-            balanced.push(rb.ipc());
+        for _ in workloads {
+            plain.push(results.next().expect("plain cell").ipc());
+            balanced.push(results.next().expect("batman cell").ipc());
         }
         let p = geomean(&plain);
         let b = geomean(&balanced);

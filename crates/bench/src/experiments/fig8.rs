@@ -46,14 +46,48 @@ pub fn lineup() -> Vec<DramCacheDesign> {
 }
 
 /// Run both sweeps.
+///
+/// Every cell of both panels (plus the per-workload NoCache baselines) is
+/// submitted as one batch through the execution engine, then sliced back
+/// into (setting, design) groups in submission order.
 pub fn run(runner: &Runner, workloads: &[WorkloadKind]) -> Fig8 {
-    let mut fig = Fig8::default();
+    const LATENCIES: [(&str, f64); 3] = [("100%", 1.0), ("66%", 0.66), ("50%", 0.5)];
+    const BANDWIDTHS: [(&str, usize); 3] = [("8X", 8), ("4X", 4), ("2X", 2)];
 
+    let mut cells = Vec::new();
     // Baselines: NoCache at the default setting, one result per workload.
+    for &w in workloads {
+        cells.push((runner.config(DramCacheDesign::NoCache), w));
+    }
+    // Panel (b): latency scale 100% / 66% / 50%.
+    for (_, scale) in LATENCIES {
+        for design in lineup() {
+            for &w in workloads {
+                cells.push((
+                    runner.config(design).with_dram_cache_latency_scale(scale),
+                    w,
+                ));
+            }
+        }
+    }
+    // Panel (c): bandwidth ratio 8× / 4× / 2×.
+    for (_, channels) in BANDWIDTHS {
+        for design in lineup() {
+            for &w in workloads {
+                cells.push((
+                    runner
+                        .config(design)
+                        .with_dram_cache_bandwidth_ratio(channels),
+                    w,
+                ));
+            }
+        }
+    }
+
+    let mut results = runner.run_batch(cells).into_iter();
     let mut baseline = std::collections::HashMap::new();
     for &w in workloads {
-        let r = runner.run(DramCacheDesign::NoCache, w);
-        baseline.insert(w.name(), r);
+        baseline.insert(w.name(), results.next().expect("baseline cell"));
     }
     let geomean_speedup = |results: &[banshee_sim::SimResult]| -> f64 {
         let vals: Vec<f64> = results
@@ -68,40 +102,30 @@ pub fn run(runner: &Runner, workloads: &[WorkloadKind]) -> Fig8 {
         }
     };
 
-    // Panel (b): latency scale 100% / 66% / 50%.
-    for (label, scale) in [("100%", 1.0f64), ("66%", 0.66), ("50%", 0.5)] {
+    let mut fig = Fig8::default();
+    for (label, _) in LATENCIES {
         for design in lineup() {
-            let results: Vec<_> = workloads
+            let group: Vec<_> = workloads
                 .iter()
-                .map(|&w| {
-                    let cfg = runner.config(design).with_dram_cache_latency_scale(scale);
-                    runner.run_with(cfg, w)
-                })
+                .map(|_| results.next().expect("latency cell"))
                 .collect();
             fig.latency.push(Fig8Point {
                 design: design.label(),
                 setting: label.to_string(),
-                speedup: geomean_speedup(&results),
+                speedup: geomean_speedup(&group),
             });
         }
     }
-
-    // Panel (c): bandwidth ratio 8× / 4× / 2×.
-    for (label, channels) in [("8X", 8usize), ("4X", 4), ("2X", 2)] {
+    for (label, _) in BANDWIDTHS {
         for design in lineup() {
-            let results: Vec<_> = workloads
+            let group: Vec<_> = workloads
                 .iter()
-                .map(|&w| {
-                    let cfg = runner
-                        .config(design)
-                        .with_dram_cache_bandwidth_ratio(channels);
-                    runner.run_with(cfg, w)
-                })
+                .map(|_| results.next().expect("bandwidth cell"))
                 .collect();
             fig.bandwidth.push(Fig8Point {
                 design: design.label(),
                 setting: label.to_string(),
-                speedup: geomean_speedup(&results),
+                speedup: geomean_speedup(&group),
             });
         }
     }

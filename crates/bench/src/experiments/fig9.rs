@@ -38,19 +38,30 @@ pub struct Fig9 {
 /// The coefficients the paper sweeps.
 pub const COEFFICIENTS: [f64; 3] = [1.0, 0.1, 0.01];
 
-/// Run the sweep.
+/// Run the sweep. All (coefficient, workload) cells go through the
+/// execution engine as one batch.
 pub fn run(runner: &Runner, workloads: &[WorkloadKind]) -> Fig9 {
+    let cells: Vec<_> = COEFFICIENTS
+        .iter()
+        .flat_map(|&coeff| {
+            workloads.iter().map(move |&w| {
+                let mut cfg = runner.config(DramCacheDesign::Banshee);
+                cfg.banshee = Some(BansheeConfig {
+                    sampling_coefficient: coeff,
+                    ..BansheeConfig::from_dcache(&cfg.dcache)
+                });
+                (cfg, w)
+            })
+        })
+        .collect();
+    let mut results = runner.run_batch(cells).into_iter();
+
     let mut fig = Fig9::default();
     for &coeff in &COEFFICIENTS {
         let mut miss_rates = Vec::new();
         let mut per_class = vec![0.0f64; TrafficClass::ALL.len()];
-        for &w in workloads {
-            let mut cfg = runner.config(DramCacheDesign::Banshee);
-            cfg.banshee = Some(BansheeConfig {
-                sampling_coefficient: coeff,
-                ..BansheeConfig::from_dcache(&cfg.dcache)
-            });
-            let r = runner.run_with(cfg, w);
+        for _ in workloads {
+            let r = results.next().expect("sweep cell");
             miss_rates.push(r.dram_cache_miss_rate());
             for (i, &c) in TrafficClass::ALL.iter().enumerate() {
                 per_class[i] += r.bytes_per_instr(DramKind::InPackage, c);

@@ -26,18 +26,27 @@ pub struct LargePageRow {
 }
 
 /// Run the comparison over the graph suite (or any provided workloads).
+/// Both page-size variants of every workload go through the execution
+/// engine as one batch.
 pub fn run(runner: &Runner, workloads: &[WorkloadKind]) -> Vec<LargePageRow> {
+    let cells: Vec<_> = workloads
+        .iter()
+        .flat_map(|&w| {
+            let base_cfg = runner.config(DramCacheDesign::Banshee);
+            let mut lp_cfg = runner.config(DramCacheDesign::Banshee);
+            lp_cfg.large_pages = true;
+            // Perfect TLBs, as in the paper's large-page study: the
+            // comparison isolates the DRAM-subsystem effect.
+            lp_cfg.tlb_miss_latency = 0;
+            [(base_cfg, w), (lp_cfg, w)]
+        })
+        .collect();
+    let mut results = runner.run_batch(cells).into_iter();
+
     let mut rows = Vec::new();
     for &w in workloads {
-        let base_cfg = runner.config(DramCacheDesign::Banshee);
-        let base = runner.run_with(base_cfg, w);
-
-        let mut lp_cfg = runner.config(DramCacheDesign::Banshee);
-        lp_cfg.large_pages = true;
-        // Perfect TLBs, as in the paper's large-page study: the comparison
-        // isolates the DRAM-subsystem effect.
-        lp_cfg.tlb_miss_latency = 0;
-        let lp = runner.run_with(lp_cfg, w);
+        let base = results.next().expect("4 KiB cell");
+        let lp = results.next().expect("2 MiB cell");
 
         rows.push(LargePageRow {
             workload: w.name(),

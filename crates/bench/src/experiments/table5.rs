@@ -21,26 +21,37 @@ pub struct Table5Row {
 /// The update costs the paper sweeps.
 pub const COSTS_US: [f64; 3] = [10.0, 20.0, 40.0];
 
-/// Run the sweep.
+/// Run the sweep. The free-update baselines and every swept cost share one
+/// batch through the execution engine.
 pub fn run(runner: &Runner, workloads: &[WorkloadKind]) -> Vec<Table5Row> {
+    let mut cells = Vec::new();
     // Baseline: (effectively) free updates.
-    let mut free_ipc = std::collections::HashMap::new();
     for &w in workloads {
         let mut cfg = runner.config(DramCacheDesign::Banshee);
         cfg.pte_update_cost_us = 0.0;
         cfg.shootdown_initiator_us = 0.0;
         cfg.shootdown_slave_us = 0.0;
-        let r = runner.run_with(cfg, w);
-        free_ipc.insert(w.name(), r.ipc());
+        cells.push((cfg, w));
     }
-
-    let mut rows = Vec::new();
     for &cost in &COSTS_US {
-        let mut losses = Vec::new();
         for &w in workloads {
             let mut cfg = runner.config(DramCacheDesign::Banshee);
             cfg.pte_update_cost_us = cost;
-            let r = runner.run_with(cfg, w);
+            cells.push((cfg, w));
+        }
+    }
+    let mut results = runner.run_batch(cells).into_iter();
+
+    let mut free_ipc = std::collections::HashMap::new();
+    for &w in workloads {
+        let r = results.next().expect("baseline cell");
+        free_ipc.insert(w.name(), r.ipc());
+    }
+    let mut rows = Vec::new();
+    for &cost in &COSTS_US {
+        let mut losses = Vec::new();
+        for _ in workloads {
+            let r = results.next().expect("sweep cell");
             let free = free_ipc[&r.workload];
             let loss = if free > 0.0 {
                 (1.0 - r.ipc() / free).max(0.0)

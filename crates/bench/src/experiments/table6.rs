@@ -20,22 +20,31 @@ pub struct Table6Entry {
 /// The associativities the paper sweeps.
 pub const WAYS: [usize; 4] = [1, 2, 4, 8];
 
-/// Run the sweep.
+/// Run the sweep as one batch through the execution engine.
 pub fn run(runner: &Runner, workloads: &[WorkloadKind]) -> Vec<Table6Entry> {
+    let cells: Vec<_> = WAYS
+        .iter()
+        .flat_map(|&ways| {
+            workloads.iter().map(move |&w| {
+                let mut cfg = runner.config(DramCacheDesign::Banshee);
+                cfg.dcache.ways = ways;
+                cfg.banshee = Some(BansheeConfig {
+                    ways,
+                    cached_entries_per_set: ways,
+                    ..BansheeConfig::from_dcache(&cfg.dcache)
+                });
+                (cfg, w)
+            })
+        })
+        .collect();
+    let mut results = runner.run_batch(cells).into_iter();
+
     let mut out = Vec::new();
     for &ways in &WAYS {
-        let mut rates = Vec::new();
-        for &w in workloads {
-            let mut cfg = runner.config(DramCacheDesign::Banshee);
-            cfg.dcache.ways = ways;
-            cfg.banshee = Some(BansheeConfig {
-                ways,
-                cached_entries_per_set: ways,
-                ..BansheeConfig::from_dcache(&cfg.dcache)
-            });
-            let r = runner.run_with(cfg, w);
-            rates.push(r.dram_cache_miss_rate());
-        }
+        let rates: Vec<f64> = workloads
+            .iter()
+            .map(|_| results.next().expect("sweep cell").dram_cache_miss_rate())
+            .collect();
         out.push(Table6Entry {
             ways,
             miss_rate: rates.iter().sum::<f64>() / rates.len().max(1) as f64,

@@ -21,7 +21,9 @@
 //! ```
 //!
 //! or a single experiment with e.g. `-- fig4`. Add `--quick` for a faster,
-//! lower-fidelity pass.
+//! lower-fidelity pass, `--jobs N` to fan cells across worker threads
+//! (results are identical at any `N`), and `--no-store` to disable the
+//! persistent result store that lets re-runs and interrupted sweeps resume.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -30,5 +32,5 @@ pub mod experiments;
 pub mod runner;
 pub mod table;
 
-pub use runner::{ExperimentScale, MatrixResults, Runner};
+pub use runner::{CellReport, ExperimentScale, MatrixResults, Runner, RunnerCounters};
 pub use table::Table;

@@ -1,10 +1,24 @@
-//! Shared experiment runner: the workload suite × design matrix.
+//! Shared experiment runner: the workload suite × design matrix, executed
+//! through the `banshee_exec` engine.
+//!
+//! Every (config, workload) cell is an independent, deterministic
+//! simulation, so the runner fans batches across a [`JobPool`] and caches
+//! each cell's [`SimResult`] in a persistent [`ResultStore`] keyed by the
+//! full configuration. Parallel runs produce results identical
+//! cell-for-cell to sequential runs (the pool preserves input order), and
+//! interrupted sweeps resume by skipping cells the store already holds.
 
 use banshee_common::MemSize;
 use banshee_dcache::DramCacheDesign;
+use banshee_exec::{JobPool, ResultStore};
 use banshee_sim::{run_one, SimConfig, SimResult};
 use banshee_workloads::{Workload, WorkloadKind};
-use std::collections::HashMap;
+use serde::Deserialize;
+use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// How big an experiment run should be.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +72,73 @@ impl ExperimentScale {
             _ => 16,
         }
     }
+
+    /// Lower-case label used in JSON metadata ("smoke", "quick",
+    /// "standard").
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExperimentScale::Smoke => "smoke",
+            ExperimentScale::Quick => "quick",
+            ExperimentScale::Standard => "standard",
+        }
+    }
+}
+
+/// How one batched cell was satisfied (observed via
+/// [`Runner::run_batch_observed`]).
+#[derive(Debug, Clone)]
+pub struct CellReport {
+    /// Index of the cell in the submitted batch.
+    pub index: usize,
+    /// Workload label.
+    pub workload: String,
+    /// Design label.
+    pub design: String,
+    /// True if the result came from the persistent store rather than a
+    /// fresh simulation.
+    pub from_store: bool,
+    /// True if the cell's simulation panicked instead of producing a
+    /// result (the whole batch fails once every cell has finished).
+    pub panicked: bool,
+    /// Wall-clock time the cell took (zero for store hits).
+    pub duration: Duration,
+}
+
+/// Tallies of how a runner's cells were satisfied, shared across clones
+/// (the `experiments` binary reports them in `run_summary.json`).
+#[derive(Debug, Clone, Default)]
+pub struct RunnerCounters {
+    simulated: Arc<AtomicUsize>,
+    from_store: Arc<AtomicUsize>,
+    simulated_micros: Arc<AtomicU64>,
+}
+
+impl RunnerCounters {
+    /// Cells computed by running a simulation.
+    pub fn simulated(&self) -> usize {
+        self.simulated.load(Ordering::Relaxed)
+    }
+
+    /// Cells satisfied from the persistent result store.
+    pub fn from_store(&self) -> usize {
+        self.from_store.load(Ordering::Relaxed)
+    }
+
+    /// Total wall-clock time spent inside simulations, summed over cells
+    /// (under parallel execution this exceeds elapsed time).
+    pub fn simulated_time(&self) -> Duration {
+        Duration::from_micros(self.simulated_micros.load(Ordering::Relaxed))
+    }
+
+    fn record(&self, report: &CellReport) {
+        if report.from_store {
+            self.from_store.fetch_add(1, Ordering::Relaxed);
+        } else if !report.panicked {
+            self.simulated.fetch_add(1, Ordering::Relaxed);
+            self.simulated_micros
+                .fetch_add(report.duration.as_micros() as u64, Ordering::Relaxed);
+        }
+    }
 }
 
 /// Builds configurations and runs (workload, design) pairs.
@@ -68,12 +149,48 @@ pub struct Runner {
     /// RNG seed shared by every run (kept fixed so designs see identical
     /// traces).
     pub seed: u64,
+    /// Worker threads used for batched cells; `0` selects the host's
+    /// available parallelism.
+    pub jobs: usize,
+    /// Directory of the persistent result store; `None` disables caching
+    /// (every cell is recomputed).
+    pub store_dir: Option<PathBuf>,
+    /// Print per-cell progress and wall-clock times to stderr.
+    pub progress: bool,
+    /// Tallies of simulated vs. store-resumed cells (shared across clones).
+    pub counters: RunnerCounters,
 }
 
 impl Runner {
-    /// A runner at the given scale.
+    /// A runner at the given scale: host parallelism, no result store, no
+    /// progress output.
     pub fn new(scale: ExperimentScale) -> Self {
-        Runner { scale, seed: 42 }
+        Runner {
+            scale,
+            seed: 42,
+            jobs: 0,
+            store_dir: None,
+            progress: false,
+            counters: RunnerCounters::default(),
+        }
+    }
+
+    /// Use `jobs` worker threads (`0` = available parallelism).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Cache results persistently under `dir`.
+    pub fn with_store(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.store_dir = Some(dir.into());
+        self
+    }
+
+    /// Print per-cell progress to stderr.
+    pub fn with_progress(mut self, progress: bool) -> Self {
+        self.progress = progress;
+        self
     }
 
     /// The base configuration for a design at this scale.
@@ -98,6 +215,19 @@ impl Runner {
         Workload::new(kind, footprint, self.seed)
     }
 
+    /// The store key material for one cell: everything that affects its
+    /// result (full simulation config, workload identity, footprint, seed).
+    pub fn cell_key_material(&self, config: &SimConfig, kind: WorkloadKind) -> String {
+        let workload = self.workload(kind);
+        format!(
+            "banshee-cell-v1|workload={:?}|footprint={}|wseed={}|{}",
+            workload.kind,
+            workload.total_footprint_bytes,
+            workload.seed,
+            config.cache_key_material()
+        )
+    }
+
     /// Run one (design, workload) pair with the default configuration.
     pub fn run(&self, design: DramCacheDesign, kind: WorkloadKind) -> SimResult {
         self.run_with(self.config(design), kind)
@@ -105,7 +235,167 @@ impl Runner {
 
     /// Run one workload under an explicit configuration (for sweeps).
     pub fn run_with(&self, config: SimConfig, kind: WorkloadKind) -> SimResult {
-        run_one(config, &self.workload(kind))
+        self.run_batch(vec![(config, kind)])
+            .pop()
+            .expect("one cell in, one result out")
+    }
+
+    /// Run a batch of (config, workload) cells through the execution
+    /// engine. Results come back in input order; cells already present in
+    /// the result store are not re-simulated, and identical cells within
+    /// the batch are simulated once and share the result.
+    pub fn run_batch(&self, cells: Vec<(SimConfig, WorkloadKind)>) -> Vec<SimResult> {
+        self.run_batch_observed(cells, |_| {})
+    }
+
+    /// Like [`Runner::run_batch`], reporting each cell's outcome to
+    /// `observe` (store hits first, then simulated cells in completion
+    /// order; `observe` runs on worker threads). Duplicate cells are
+    /// reported once, for the copy that actually runs.
+    pub fn run_batch_observed<O>(
+        &self,
+        cells: Vec<(SimConfig, WorkloadKind)>,
+        observe: O,
+    ) -> Vec<SimResult>
+    where
+        O: Fn(&CellReport) + Sync,
+    {
+        let total = cells.len();
+        let store = self
+            .store_dir
+            .as_ref()
+            .and_then(|dir| match ResultStore::open(dir) {
+                Ok(store) => Some(store),
+                Err(err) => {
+                    eprintln!(
+                        "[exec] warning: result store at {} unavailable ({err}); recomputing",
+                        dir.display()
+                    );
+                    None
+                }
+            });
+
+        let materials: Vec<String> = cells
+            .iter()
+            .map(|(config, kind)| self.cell_key_material(config, *kind))
+            .collect();
+        let mut results: Vec<Option<SimResult>> = Vec::with_capacity(total);
+        results.resize_with(total, || None);
+        // `misses` are the cells that will actually be simulated; a cell
+        // identical to an earlier miss becomes that miss's duplicate
+        // instead (e.g. a sweep's default setting appearing in two panels).
+        let mut misses: Vec<usize> = Vec::new();
+        let mut miss_by_material: HashMap<&str, usize> = HashMap::new();
+        let mut duplicates: Vec<(usize, usize)> = Vec::new(); // (slot, misses idx)
+        let mut hits = 0usize;
+        for (index, (config, kind)) in cells.iter().enumerate() {
+            let cached = store.as_ref().and_then(|s| {
+                let value = s.get(&materials[index])?;
+                SimResult::deserialize_value(&value).ok()
+            });
+            match cached {
+                Some(result) => {
+                    let report = CellReport {
+                        index,
+                        workload: kind.name(),
+                        design: config.design.label(),
+                        from_store: true,
+                        panicked: false,
+                        duration: Duration::ZERO,
+                    };
+                    self.counters.record(&report);
+                    observe(&report);
+                    results[index] = Some(result);
+                    hits += 1;
+                }
+                None => match miss_by_material.entry(materials[index].as_str()) {
+                    std::collections::hash_map::Entry::Occupied(first) => {
+                        duplicates.push((index, *first.get()));
+                    }
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        slot.insert(misses.len());
+                        misses.push(index);
+                    }
+                },
+            }
+        }
+        if self.progress && hits > 0 {
+            eprintln!("[exec] {hits}/{total} cells already in the result store");
+        }
+        if misses.is_empty() && duplicates.is_empty() {
+            return results.into_iter().map(|r| r.unwrap()).collect();
+        }
+
+        let pool = JobPool::new(self.jobs);
+        let miss_cells: Vec<(SimConfig, WorkloadKind)> =
+            misses.iter().map(|&i| cells[i].clone()).collect();
+        let outputs = pool.run_with_progress(
+            miss_cells,
+            |index, (config, kind)| {
+                let result = run_one(config.clone(), &self.workload(*kind));
+                // Persist from the worker, as soon as the cell finishes:
+                // a sweep interrupted mid-batch resumes from every
+                // completed cell, not just completed batches.
+                if let Some(store) = &store {
+                    let material = &materials[misses[index]];
+                    if let Err(err) = store.put(material, &serde::Serialize::to_value(&result)) {
+                        eprintln!("[exec] warning: failed to cache a cell ({err})");
+                    }
+                }
+                result
+            },
+            |completion| {
+                let (config, kind) = &cells[misses[completion.index]];
+                let report = CellReport {
+                    index: misses[completion.index],
+                    workload: kind.name(),
+                    design: config.design.label(),
+                    from_store: false,
+                    panicked: completion.panicked,
+                    duration: completion.duration,
+                };
+                if self.progress {
+                    eprintln!(
+                        "[exec] {}/{} {} x {} ({:.2}s){}",
+                        completion.completed,
+                        completion.total,
+                        report.workload,
+                        report.design,
+                        completion.duration.as_secs_f64(),
+                        if completion.panicked { " PANICKED" } else { "" },
+                    );
+                }
+                self.counters.record(&report);
+                observe(&report);
+            },
+        );
+
+        let mut panics = Vec::new();
+        for (&slot, output) in misses.iter().zip(outputs) {
+            match output.result {
+                Ok(result) => results[slot] = Some(result),
+                Err(panic) => panics.push(format!(
+                    "{} x {}: {}",
+                    cells[slot].1.name(),
+                    cells[slot].0.design.label(),
+                    panic.message
+                )),
+            }
+        }
+        for &(slot, miss_idx) in &duplicates {
+            results[slot] = results[misses[miss_idx]].clone();
+        }
+        // Completed cells are already cached, so a re-run after the panic is
+        // fixed resumes instead of starting over.
+        if !panics.is_empty() {
+            panic!(
+                "{} of {} cells panicked: {}",
+                panics.len(),
+                total,
+                panics.join("; ")
+            );
+        }
+        results.into_iter().map(|r| r.unwrap()).collect()
     }
 
     /// Run the full designs × workloads matrix.
@@ -114,12 +404,21 @@ impl Runner {
         designs: &[DramCacheDesign],
         workloads: &[WorkloadKind],
     ) -> MatrixResults {
+        let cells: Vec<(SimConfig, WorkloadKind)> = workloads
+            .iter()
+            .flat_map(|&kind| {
+                designs
+                    .iter()
+                    .map(move |&design| (self.config(design), kind))
+            })
+            .collect();
+        let labels: Vec<(String, String)> = cells
+            .iter()
+            .map(|(config, kind)| (kind.name(), config.design.label()))
+            .collect();
         let mut results = MatrixResults::default();
-        for &kind in workloads {
-            for &design in designs {
-                let r = self.run(design, kind);
-                results.insert(kind.name(), design.label(), r);
-            }
+        for ((workload, design), r) in labels.into_iter().zip(self.run_batch(cells)) {
+            results.insert(workload, design, r);
         }
         results
     }
@@ -131,16 +430,18 @@ impl Runner {
 pub struct MatrixResults {
     results: HashMap<(String, String), SimResult>,
     workload_order: Vec<String>,
+    workload_set: HashSet<String>,
     design_order: Vec<String>,
+    design_set: HashSet<String>,
 }
 
 impl MatrixResults {
     /// Store one result.
     pub fn insert(&mut self, workload: String, design: String, result: SimResult) {
-        if !self.workload_order.contains(&workload) {
+        if self.workload_set.insert(workload.clone()) {
             self.workload_order.push(workload.clone());
         }
-        if !self.design_order.contains(&design) {
+        if self.design_set.insert(design.clone()) {
             self.design_order.push(design.clone());
         }
         self.results.insert((workload, design), result);
@@ -238,6 +539,7 @@ mod tests {
             ExperimentScale::Quick.dram_cache_capacity()
                 <= ExperimentScale::Standard.dram_cache_capacity()
         );
+        assert_eq!(ExperimentScale::Quick.name(), "quick");
     }
 
     #[test]
@@ -247,5 +549,39 @@ mod tests {
         assert_eq!(cfg.cores, 4);
         assert_eq!(cfg.total_instructions, 300_000);
         assert_eq!(cfg.dcache.capacity, MemSize::mib(8));
+    }
+
+    #[test]
+    fn matrix_insert_deduplicates_order_labels() {
+        let runner = Runner::new(ExperimentScale::Smoke);
+        let r = runner.run(
+            DramCacheDesign::NoCache,
+            WorkloadKind::Spec(SpecProgram::Gcc),
+        );
+        let mut m = MatrixResults::default();
+        for _ in 0..3 {
+            m.insert("gcc".into(), "NoCache".into(), r.clone());
+        }
+        m.insert("gcc".into(), "Banshee".into(), r.clone());
+        assert_eq!(m.workloads(), ["gcc".to_string()]);
+        assert_eq!(m.designs(), ["NoCache".to_string(), "Banshee".to_string()]);
+    }
+
+    #[test]
+    fn cell_key_material_distinguishes_cells() {
+        let runner = Runner::new(ExperimentScale::Smoke);
+        let cfg = runner.config(DramCacheDesign::Banshee);
+        let a = runner.cell_key_material(&cfg, WorkloadKind::Spec(SpecProgram::Gcc));
+        let b = runner.cell_key_material(&cfg, WorkloadKind::Spec(SpecProgram::Mcf));
+        let c = runner.cell_key_material(
+            &runner.config(DramCacheDesign::Tdc),
+            WorkloadKind::Spec(SpecProgram::Gcc),
+        );
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(
+            a,
+            runner.cell_key_material(&cfg, WorkloadKind::Spec(SpecProgram::Gcc))
+        );
     }
 }

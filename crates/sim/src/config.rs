@@ -141,6 +141,25 @@ impl SimConfig {
         self
     }
 
+    /// Behavioural revision of the simulator model. **Bump this whenever a
+    /// change alters simulation *results* without changing any `SimConfig`
+    /// field** (e.g. fixing a design's cost model): it is folded into
+    /// [`SimConfig::cache_key_material`], so bumping it invalidates every
+    /// persisted result-store entry computed by the old model.
+    pub const MODEL_REVISION: u32 = 1;
+
+    /// A canonical, human-readable description of every input that affects
+    /// the simulation outcome, used by result stores to key cached results.
+    ///
+    /// Built from [`SimConfig::MODEL_REVISION`] plus the derived `Debug`
+    /// representation, which covers all fields: any configuration change
+    /// (including newly added fields) changes the material, so a stale
+    /// cache entry can never be returned for a different configuration —
+    /// and code changes that keep the config shape must bump the revision.
+    pub fn cache_key_material(&self) -> String {
+        format!("model-rev={}|{self:?}", Self::MODEL_REVISION)
+    }
+
     /// The Banshee configuration this run will use.
     pub fn banshee_config(&self) -> BansheeConfig {
         let base = self
@@ -186,6 +205,22 @@ mod tests {
             .with_dram_cache_latency_scale(0.5);
         assert_eq!(c.in_dram.channels, 8);
         assert!((c.in_dram.latency_scale - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_key_material_tracks_every_field() {
+        let base = SimConfig::test_default(DramCacheDesign::Banshee);
+        let mut other_seed = base.clone();
+        other_seed.seed += 1;
+        let mut other_knob = base.clone();
+        other_knob.pte_update_cost_us += 1.0;
+        assert_eq!(base.cache_key_material(), base.clone().cache_key_material());
+        assert_ne!(base.cache_key_material(), other_seed.cache_key_material());
+        assert_ne!(base.cache_key_material(), other_knob.cache_key_material());
+        assert_ne!(
+            base.cache_key_material(),
+            SimConfig::test_default(DramCacheDesign::Tdc).cache_key_material()
+        );
     }
 
     #[test]

@@ -137,6 +137,25 @@ mod tests {
     }
 
     #[test]
+    fn json_round_trip_is_exact() {
+        let mut r = result(123_456, 78_910);
+        r.traffic
+            .add(DramKind::InPackage, TrafficClass::HitData, 4096);
+        r.traffic
+            .add(DramKind::OffPackage, TrafficClass::Writeback, 64);
+        r.stats.add("tag_buffer_flushes", 3);
+        r.stats.add("tlb_shootdowns", 17);
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: SimResult = serde_json::from_str(&json).unwrap();
+        // Byte-identical re-serialization is what lets the result store
+        // return cached cells indistinguishable from fresh runs.
+        assert_eq!(serde_json::to_string_pretty(&back).unwrap(), json);
+        assert_eq!(back.instructions, r.instructions);
+        assert_eq!(back.traffic, r.traffic);
+        assert_eq!(back.stats.get("tlb_shootdowns"), 17);
+    }
+
+    #[test]
     fn zero_division_guards() {
         let r = result(0, 0);
         assert_eq!(r.ipc(), 0.0);

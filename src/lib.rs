@@ -15,6 +15,7 @@ pub use banshee_bench as bench;
 pub use banshee_common as common;
 pub use banshee_dcache as dcache;
 pub use banshee_dram as dram;
+pub use banshee_exec as exec;
 pub use banshee_memhier as memhier;
 pub use banshee_sim as sim;
 pub use banshee_workloads as workloads;
@@ -24,6 +25,7 @@ pub mod prelude {
     pub use banshee::{BansheeConfig, BansheeController};
     pub use banshee_common::{Addr, DramKind, MemSize, PageNum, TrafficClass};
     pub use banshee_dcache::{DramCacheController, DramCacheDesign};
+    pub use banshee_exec::{JobPool, ResultStore};
     pub use banshee_sim::{SimConfig, SimResult, System};
     pub use banshee_workloads::{Workload, WorkloadKind};
 }

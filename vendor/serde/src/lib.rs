@@ -3,10 +3,12 @@
 //! Provides the surface this workspace uses: the [`Serialize`] and
 //! [`Deserialize`] traits plus their derive macros. Instead of the real
 //! serde's visitor architecture, [`Serialize`] lowers a value into a
-//! JSON-shaped [`Value`] tree which `serde_json` then pretty-prints. The
-//! derives are generated without `syn`/`quote` (see `serde_derive`), so the
-//! supported shape is plain non-generic structs and enums without
-//! `#[serde(...)]` attributes — exactly what this workspace contains.
+//! JSON-shaped [`Value`] tree which `serde_json` then pretty-prints, and
+//! [`Deserialize`] rebuilds a value from such a tree (parsed by
+//! `serde_json::from_str`). The derives are generated without `syn`/`quote`
+//! (see `serde_derive`), so the supported shape is plain non-generic structs
+//! and enums without `#[serde(...)]` attributes — exactly what this
+//! workspace contains.
 
 pub use serde_derive::{Deserialize, Serialize};
 
@@ -31,17 +33,86 @@ pub enum Value {
     Object(Vec<(String, Value)>),
 }
 
+impl Value {
+    /// A short name for the value's variant, used in decode errors.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) => "uint",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Look up a field of an object, failing with a decode error if `self`
+    /// is not an object or the field is missing.
+    pub fn field(&self, name: &str) -> Result<&Value, DecodeError> {
+        match self {
+            Value::Object(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| DecodeError::new(format!("missing field `{name}`"))),
+            other => Err(DecodeError::new(format!(
+                "expected object with field `{name}`, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// View `self` as an array of exactly `len` elements.
+    pub fn array_of(&self, len: usize) -> Result<&[Value], DecodeError> {
+        match self {
+            Value::Array(items) if items.len() == len => Ok(items),
+            Value::Array(items) => Err(DecodeError::new(format!(
+                "expected array of {len} elements, got {}",
+                items.len()
+            ))),
+            other => Err(DecodeError::new(format!(
+                "expected array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+/// Error produced when a [`Value`] tree does not match the shape a
+/// [`Deserialize`] implementation expects.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeError(String);
+
+impl DecodeError {
+    /// A decode error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        DecodeError(message.into())
+    }
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
 /// Serialization into a [`Value`] tree.
 pub trait Serialize {
     /// Lower `self` into a [`Value`].
     fn to_value(&self) -> Value;
 }
 
-/// Marker trait matching the real serde's `Deserialize<'de>` signature.
-///
-/// The workspace derives it for config/result types but never actually
-/// deserializes, so the stand-in carries no methods.
-pub trait Deserialize<'de>: Sized {}
+/// Deserialization from a [`Value`] tree, matching the real serde's
+/// `Deserialize<'de>` signature closely enough for the workspace's derives
+/// and `serde_json::from_str` calls to swap over to the real crates.
+pub trait Deserialize<'de>: Sized {
+    /// Rebuild `Self` from a [`Value`].
+    fn deserialize_value(value: &Value) -> Result<Self, DecodeError>;
+}
 
 macro_rules! impl_serialize_uint {
     ($($t:ty),*) => {$(
@@ -170,3 +241,255 @@ impl_serialize_tuple!(A: 0);
 impl_serialize_tuple!(A: 0, B: 1);
 impl_serialize_tuple!(A: 0, B: 1, C: 2);
 impl_serialize_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize_value(value: &Value) -> Result<Self, DecodeError> {
+        Ok(value.clone())
+    }
+}
+
+fn decode_u64(value: &Value) -> Result<u64, DecodeError> {
+    match value {
+        Value::UInt(n) => Ok(*n),
+        Value::Int(n) if *n >= 0 => Ok(*n as u64),
+        other => Err(DecodeError::new(format!(
+            "expected unsigned integer, got {}",
+            other.kind()
+        ))),
+    }
+}
+
+fn decode_i64(value: &Value) -> Result<i64, DecodeError> {
+    match value {
+        Value::Int(n) => Ok(*n),
+        Value::UInt(n) if *n <= i64::MAX as u64 => Ok(*n as i64),
+        other => Err(DecodeError::new(format!(
+            "expected signed integer, got {}",
+            other.kind()
+        ))),
+    }
+}
+
+macro_rules! impl_deserialize_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, DecodeError> {
+                let n = decode_u64(value)?;
+                <$t>::try_from(n)
+                    .map_err(|_| DecodeError::new(format!("{n} out of range for {}",
+                        stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, DecodeError> {
+                let n = decode_i64(value)?;
+                <$t>::try_from(n)
+                    .map_err(|_| DecodeError::new(format!("{n} out of range for {}",
+                        stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_deserialize_uint!(u8, u16, u32, u64, usize);
+impl_deserialize_int!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize_value(value: &Value) -> Result<Self, DecodeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DecodeError::new(format!(
+                "expected bool, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize_value(value: &Value) -> Result<Self, DecodeError> {
+        match value {
+            Value::Float(x) => Ok(*x),
+            Value::UInt(n) => Ok(*n as f64),
+            Value::Int(n) => Ok(*n as f64),
+            other => Err(DecodeError::new(format!(
+                "expected number, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize_value(value: &Value) -> Result<Self, DecodeError> {
+        f64::deserialize_value(value).map(|x| x as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize_value(value: &Value) -> Result<Self, DecodeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DecodeError::new(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize_value(value: &Value) -> Result<Self, DecodeError> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DecodeError::new(format!(
+                "expected single-character string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, DecodeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, DecodeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(DecodeError::new(format!(
+                "expected array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize_value(value: &Value) -> Result<Self, DecodeError> {
+        let items = value.array_of(N)?;
+        let decoded: Vec<T> = items
+            .iter()
+            .map(T::deserialize_value)
+            .collect::<Result<Vec<T>, DecodeError>>()?;
+        decoded
+            .try_into()
+            .map_err(|_| DecodeError::new("array length changed during decode"))
+    }
+}
+
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for std::collections::BTreeMap<String, V> {
+    fn deserialize_value(value: &Value) -> Result<Self, DecodeError> {
+        match value {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::deserialize_value(v)?)))
+                .collect(),
+            other => Err(DecodeError::new(format!(
+                "expected object, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for std::collections::HashMap<String, V> {
+    fn deserialize_value(value: &Value) -> Result<Self, DecodeError> {
+        match value {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::deserialize_value(v)?)))
+                .collect(),
+            other => Err(DecodeError::new(format!(
+                "expected object, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($len:expr, $($name:ident : $idx:tt),+) => {
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize_value(value: &Value) -> Result<Self, DecodeError> {
+                let items = value.array_of($len)?;
+                Ok(($($name::deserialize_value(&items[$idx])?,)+))
+            }
+        }
+    };
+}
+
+impl_deserialize_tuple!(1, A: 0);
+impl_deserialize_tuple!(2, A: 0, B: 1);
+impl_deserialize_tuple!(3, A: 0, B: 1, C: 2);
+impl_deserialize_tuple!(4, A: 0, B: 1, C: 2, D: 3);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(u64::deserialize_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::deserialize_value(&(-7i32).to_value()).unwrap(), -7);
+        assert_eq!(f64::deserialize_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::deserialize_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::deserialize_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(
+            Option::<u64>::deserialize_value(&Value::Null).unwrap(),
+            None
+        );
+        assert_eq!(
+            Vec::<u64>::deserialize_value(&vec![1u64, 2].to_value()).unwrap(),
+            vec![1, 2]
+        );
+        assert_eq!(
+            <[u64; 3]>::deserialize_value(&[1u64, 2, 3].to_value()).unwrap(),
+            [1, 2, 3]
+        );
+        assert_eq!(
+            <(String, u64)>::deserialize_value(&("a".to_string(), 9u64).to_value()).unwrap(),
+            ("a".to_string(), 9)
+        );
+    }
+
+    #[test]
+    fn range_and_shape_errors() {
+        assert!(u8::deserialize_value(&Value::UInt(300)).is_err());
+        assert!(u64::deserialize_value(&Value::Int(-1)).is_err());
+        assert!(bool::deserialize_value(&Value::UInt(1)).is_err());
+        assert!(Value::Null.field("x").is_err());
+        assert!(Value::Object(vec![]).field("x").is_err());
+        assert!(Value::Array(vec![Value::Null]).array_of(2).is_err());
+    }
+
+    #[test]
+    fn maps_round_trip() {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("a".to_string(), 1u64);
+        m.insert("b".to_string(), 2u64);
+        let back =
+            std::collections::BTreeMap::<String, u64>::deserialize_value(&m.to_value()).unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -58,13 +58,134 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     .expect("serde_derive stand-in: generated Serialize impl failed to parse")
 }
 
-/// Derive the marker trait `serde::Deserialize<'de>`.
+/// Derive `serde::Deserialize` by rebuilding the value from a
+/// `serde::Value` tree (the mirror image of the `Serialize` derive).
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    format!("impl<'de> ::serde::Deserialize<'de> for {} {{}}", item.name)
-        .parse()
-        .expect("serde_derive stand-in: generated Deserialize impl failed to parse")
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize_value(\
+                         __value.field(\"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(\
+             ::serde::Deserialize::deserialize_value(__value)?))"
+        ),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = __value.array_of({n})?; \
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => deserialize_enum_body(name, variants),
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{ \
+             fn deserialize_value(__value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DecodeError> {{ {body} }} \
+         }}"
+    )
+    .parse()
+    .expect("serde_derive stand-in: generated Deserialize impl failed to parse")
+}
+
+/// The match over `Value::Str` (unit variants) and single-entry
+/// `Value::Object` (tuple and struct variants) the enum decoder performs.
+fn deserialize_enum_body(enum_name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.shape, VariantShape::Unit))
+        .map(|v| {
+            format!(
+                "\"{v}\" => ::std::result::Result::Ok({enum_name}::{v}),",
+                v = v.name
+            )
+        })
+        .collect();
+    let payload_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let name = &v.name;
+            let build = match &v.shape {
+                VariantShape::Unit => return None,
+                VariantShape::Tuple(1) => format!(
+                    "::std::result::Result::Ok({enum_name}::{name}(\
+                     ::serde::Deserialize::deserialize_value(__inner)?))"
+                ),
+                VariantShape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::deserialize_value(&__items[{i}])?"))
+                        .collect();
+                    format!(
+                        "let __items = __inner.array_of({n})?; \
+                         ::std::result::Result::Ok({enum_name}::{name}({}))",
+                        items.join(", ")
+                    )
+                }
+                VariantShape::Struct(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::deserialize_value(\
+                                 __inner.field(\"{f}\")?)?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "::std::result::Result::Ok({enum_name}::{name} {{ {} }})",
+                        inits.join(", ")
+                    )
+                }
+            };
+            Some(format!("\"{name}\" => {{ {build} }}"))
+        })
+        .collect();
+    // `__inner` would be an unused binding for unit-only enums.
+    let inner_pat = if payload_arms.is_empty() {
+        "(__tag, _)"
+    } else {
+        "(__tag, __inner)"
+    };
+    format!(
+        "match __value {{ \
+             ::serde::Value::Str(__tag) => match __tag.as_str() {{ \
+                 {units} \
+                 __other => ::std::result::Result::Err(::serde::DecodeError::new(\
+                     ::std::format!(\"unknown variant `{{__other}}` for {enum_name}\"))), \
+             }}, \
+             ::serde::Value::Object(__entries) if __entries.len() == 1 => {{ \
+                 let {inner_pat} = &__entries[0]; \
+                 match __tag.as_str() {{ \
+                     {payloads} \
+                     __other => ::std::result::Result::Err(::serde::DecodeError::new(\
+                         ::std::format!(\"unknown variant `{{__other}}` for {enum_name}\"))), \
+                 }} \
+             }}, \
+             __other => ::std::result::Result::Err(::serde::DecodeError::new(\
+                 ::std::format!(\"expected {enum_name} variant, got {{}}\", __other.kind()))), \
+         }}",
+        units = unit_arms.join(" "),
+        payloads = payload_arms.join(" ")
+    )
 }
 
 fn serialize_arm(enum_name: &str, variant: &Variant) -> String {

@@ -1,10 +1,10 @@
-//! Offline stand-in for `serde_json`: JSON pretty-printing over the `serde`
-//! stand-in's [`serde::Value`] tree.
+//! Offline stand-in for `serde_json`: JSON pretty-printing and parsing over
+//! the `serde` stand-in's [`serde::Value`] tree.
 
-use serde::{Serialize, Value};
+use serde::{Deserialize, Serialize, Value};
 use std::fmt;
 
-/// Serialization error. The stand-in can only fail on non-finite floats.
+/// Serialization or parse error.
 #[derive(Debug)]
 pub struct Error(String);
 
@@ -27,6 +27,284 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     // The indented form is valid compact-enough JSON for the stand-in.
     to_string_pretty(value)
+}
+
+/// Deserialize a value of type `T` from a JSON string.
+pub fn from_str<'de, T: Deserialize<'de>>(s: &str) -> Result<T, Error> {
+    let value = parse_value(s)?;
+    T::deserialize_value(&value).map_err(|e| Error(e.to_string()))
+}
+
+/// Parse a JSON string into a [`serde::Value`] tree. Object key order is
+/// preserved; numbers become `UInt`, `Int` or `Float` depending on sign and
+/// the presence of a fraction/exponent.
+pub fn parse_value(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!(
+            "trailing characters at byte {} of JSON input",
+            p.pos
+        )));
+    }
+    Ok(value)
+}
+
+/// Nesting depth past which parsing fails instead of risking a stack
+/// overflow (callers like the result store rely on malformed input being a
+/// recoverable error, never an abort).
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {} of JSON input", self.pos))
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{text}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err("nesting deeper than the supported maximum"));
+        }
+        self.depth += 1;
+        let value = match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        };
+        self.depth -= 1;
+        value
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let first = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&first) {
+                                // High surrogate: a \uXXXX low surrogate must
+                                // follow.
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 1;
+                                let second = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&second) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let combined =
+                                    0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+                                char::from_u32(combined)
+                                    .ok_or_else(|| self.err("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(first)
+                                    .ok_or_else(|| self.err("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                            // hex4 leaves pos past the digits; skip the +1
+                            // below.
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(first) => {
+                    // Consume one UTF-8 scalar (input is a &str, so bytes
+                    // are valid UTF-8); decode only its own bytes, not the
+                    // whole remaining input.
+                    let width = match first {
+                        b if b < 0x80 => 1,
+                        b if b < 0xE0 => 2,
+                        b if b < 0xF0 => 3,
+                        _ => 4,
+                    };
+                    let scalar = &self.bytes[self.pos..self.pos + width];
+                    let s = std::str::from_utf8(scalar)
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                    self.pos += width;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let digits = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let n = u32::from_str_radix(digits, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(n)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut float = false;
+        if self.peek() == Some(b'.') {
+            float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if float {
+            let x: f64 = text.parse().map_err(|_| self.err("invalid number"))?;
+            if !x.is_finite() {
+                return Err(self.err("non-finite number"));
+            }
+            Ok(Value::Float(x))
+        } else if let Some(digits) = text.strip_prefix('-') {
+            if digits.is_empty() {
+                return Err(self.err("invalid number"));
+            }
+            let n: i64 = text.parse().map_err(|_| self.err("integer out of range"))?;
+            Ok(Value::Int(n))
+        } else {
+            if text.is_empty() {
+                return Err(self.err("invalid number"));
+            }
+            let n: u64 = text.parse().map_err(|_| self.err("integer out of range"))?;
+            Ok(Value::UInt(n))
+        }
+    }
 }
 
 fn write_value(out: &mut String, value: &Value, indent: usize) -> Result<(), Error> {
@@ -129,5 +407,93 @@ mod tests {
         assert!(s.contains("\"name\": \"banshee\""));
         assert!(s.contains("\"ipc\": 1.0"));
         assert!(s.starts_with('{') && s.ends_with('}'));
+    }
+
+    #[test]
+    fn parse_round_trips_value_trees() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::Str("ban\"she\ne \u{1F600}".into())),
+            ("ipc".into(), Value::Float(1.25)),
+            ("count".into(), Value::UInt(u64::MAX)),
+            ("delta".into(), Value::Int(-42)),
+            ("flag".into(), Value::Bool(true)),
+            ("none".into(), Value::Null),
+            (
+                "items".into(),
+                Value::Array(vec![Value::UInt(1), Value::Object(vec![])]),
+            ),
+            ("empty".into(), Value::Array(vec![])),
+        ]);
+        let text = to_string_pretty(&v).unwrap();
+        let back = parse_value(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parse_shortest_float_repr_round_trips_exactly() {
+        for x in [0.1f64, 1.0 / 3.0, 2.5e-8, -1234.5678, 1e300] {
+            let text = to_string_pretty(&x).unwrap();
+            let back = parse_value(&text).unwrap();
+            assert_eq!(back, Value::Float(x), "float {x} must round-trip");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "tru",
+            "\"unterminated",
+            "1.2.3",
+            "01a",
+            "[1] junk",
+            "nan",
+        ] {
+            assert!(parse_value(bad).is_err(), "input {bad:?} must fail");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_an_error_not_a_stack_overflow() {
+        let deep = "[".repeat(100_000);
+        assert!(parse_value(&deep).is_err());
+        // Moderate nesting still parses.
+        let ok = format!("{}1{}", "[".repeat(64), "]".repeat(64));
+        assert!(parse_value(&ok).is_ok());
+    }
+
+    #[test]
+    fn long_strings_parse_quickly() {
+        // Regression guard for the O(n^2) per-char UTF-8 revalidation: a
+        // 1 MB string (with multi-byte chars) must round-trip in well under
+        // a second even in debug builds.
+        let body = "étude ".repeat(150_000);
+        let json = to_string_pretty(&body).unwrap();
+        let start = std::time::Instant::now();
+        let back = parse_value(&json).unwrap();
+        assert_eq!(back, Value::Str(body));
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "string parsing took {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn parse_unicode_escapes() {
+        let v = parse_value("\"\\u0041\\ud83d\\ude00\\n\"").unwrap();
+        assert_eq!(v, Value::Str("A\u{1F600}\n".into()));
+    }
+
+    #[test]
+    fn from_str_decodes_typed_values() {
+        let v: Vec<u64> = from_str("[1, 2, 3]").unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        let pair: (String, f64) = from_str("[\"x\", 2.5]").unwrap();
+        assert_eq!(pair, ("x".to_string(), 2.5));
+        assert!(from_str::<Vec<u64>>("[-1]").is_err());
     }
 }
