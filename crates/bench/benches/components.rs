@@ -105,12 +105,16 @@ fn bench_banshee_controller(c: &mut Criterion) {
     c.bench_function("banshee_controller_access", |b| {
         let cfg = DCacheConfig::scaled(banshee_common::MemSize::mib(16));
         let mut ctrl = banshee::BansheeController::from_dcache(&cfg);
+        // One reused sink, exactly as the system simulator drives it.
+        let mut sink = banshee_dcache::PlanSink::new();
         let mut i = 0u64;
         b.iter(|| {
             i = i.wrapping_add(1);
             let addr = Addr::new((i % 100_000) * 64);
             let hint = ctrl.current_mapping(addr.page());
-            black_box(ctrl.access(&MemRequest::demand(addr, 0).with_hint(hint), i));
+            sink.reset();
+            ctrl.access(&MemRequest::demand(addr, 0).with_hint(hint), i, &mut sink);
+            black_box(sink.op_count());
         });
     });
 }

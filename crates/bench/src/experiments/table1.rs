@@ -35,28 +35,31 @@ pub struct Table1Row {
 /// Build a row by driving a controller through a canned sequence.
 fn measure(name: &str, controller: &mut dyn DramCacheController, warm_page: PageNum) -> Table1Row {
     use banshee_common::TrafficClass;
+    use banshee_dcache::PlanSink;
     // Warm the page so that a subsequent access is a hit (designs that never
     // hit, e.g. NoCache, simply keep reporting miss traffic).
+    let mut sink = PlanSink::new();
     for i in 0..128u64 {
         let addr = warm_page.line_at(i % 64).base_addr();
         let hint = controller.current_mapping(warm_page);
-        controller.access(&MemRequest::demand(addr, 0).with_hint(hint), i);
+        sink.reset();
+        controller.access(&MemRequest::demand(addr, 0).with_hint(hint), i, &mut sink);
     }
 
     // One hit (or at least a steady-state access) to the warm page.
     let hint = controller.current_mapping(warm_page);
-    let hit_plan = controller.access(
+    let hit_plan = controller.access_collected(
         &MemRequest::demand(warm_page.line_at(0).base_addr(), 0).with_hint(hint),
         1_000,
     );
     // One cold miss far away.
     let cold = PageNum::new(0x00DE_AD00);
-    let miss_plan = controller.access(
+    let miss_plan = controller.access_collected(
         &MemRequest::demand(cold.base_addr(), 0).with_hint(controller.current_mapping(cold)),
         2_000,
     );
     // One dirty eviction of a line that carries no TLB mapping hint.
-    let wb_plan = controller.access(
+    let wb_plan = controller.access_collected(
         &MemRequest::writeback(warm_page.line_at(1).base_addr(), 0),
         3_000,
     );

@@ -1,0 +1,79 @@
+//! Golden no-behavior-change test: one quick-scale cell per design, with
+//! the full `SimResult` JSON compared against a committed fixture.
+//!
+//! The `--jobs` determinism tests prove parallel == sequential *within one
+//! build*; this test pins the results themselves, so a refactor that is
+//! supposed to be behavior-preserving (PlanSink, cache-layout or hashing
+//! changes) cannot silently drift the model. If a change is *meant* to
+//! alter simulated results, bump `SimConfig::MODEL_REVISION` and regenerate
+//! the fixture:
+//!
+//! ```text
+//! BANSHEE_UPDATE_GOLDEN=1 cargo test --release -p banshee_bench --test golden
+//! ```
+
+use banshee_bench::runner::{ExperimentScale, Runner};
+use banshee_dcache::DramCacheDesign;
+use banshee_workloads::{SpecProgram, WorkloadKind};
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/golden_quick.json"
+);
+
+/// Every design the factory can build, including the Figure 7 ablations and
+/// the designs no experiment module currently exercises (HMA).
+fn all_designs() -> Vec<DramCacheDesign> {
+    vec![
+        DramCacheDesign::NoCache,
+        DramCacheDesign::CacheOnly,
+        DramCacheDesign::Alloy {
+            fill_probability: 1.0,
+        },
+        DramCacheDesign::Alloy {
+            fill_probability: 0.1,
+        },
+        DramCacheDesign::Unison,
+        DramCacheDesign::Tdc,
+        DramCacheDesign::Hma,
+        DramCacheDesign::Banshee,
+        DramCacheDesign::BansheeLru,
+        DramCacheDesign::BansheeFbrNoSample,
+    ]
+}
+
+#[test]
+fn quick_scale_results_match_committed_fixture() {
+    // No result store: every cell is computed fresh by this build.
+    let runner = Runner::new(ExperimentScale::Quick);
+    let kind = WorkloadKind::Spec(SpecProgram::Mcf);
+    let cells: Vec<_> = all_designs()
+        .into_iter()
+        .map(|design| (runner.config(design), kind))
+        .collect();
+    let results = runner.run_batch(cells);
+    let value = serde::Value::Array(
+        results
+            .iter()
+            .map(|r| serde::Serialize::to_value(r))
+            .collect(),
+    );
+    let json = serde_json::to_string_pretty(&value).expect("results serialize") + "\n";
+
+    if std::env::var("BANSHEE_UPDATE_GOLDEN").is_ok() {
+        std::fs::write(FIXTURE, &json).expect("write golden fixture");
+        eprintln!("golden fixture regenerated at {FIXTURE}");
+        return;
+    }
+
+    let expected = std::fs::read_to_string(FIXTURE).expect(
+        "golden fixture missing — regenerate with \
+         BANSHEE_UPDATE_GOLDEN=1 cargo test --release -p banshee_bench --test golden",
+    );
+    assert_eq!(
+        json, expected,
+        "simulated results drifted from the committed fixture; if this \
+         change is intentional, bump SimConfig::MODEL_REVISION and \
+         regenerate the fixture (see this test's module docs)"
+    );
+}

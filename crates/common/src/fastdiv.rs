@@ -1,0 +1,84 @@
+//! Exact fast division/remainder by a runtime-fixed divisor.
+//!
+//! Cache-geometry math (`line % num_sets`, `line / num_sets`,
+//! `addr / page_bytes`) runs several times per simulated access, and the
+//! divisors are fixed at construction time — almost always powers of two.
+//! A hardware 64-bit divide costs tens of cycles; [`FastDivMod`] replaces it
+//! with a mask/shift when the divisor is a power of two and falls back to
+//! the real `%`/`/` otherwise, so results are **bit-identical** for every
+//! divisor.
+
+/// Divide/remainder by a fixed divisor, specialized at construction.
+#[derive(Debug, Clone, Copy)]
+pub struct FastDivMod {
+    n: u64,
+    /// `log2(n)` when `n` is a power of two, `u32::MAX` otherwise.
+    shift: u32,
+}
+
+impl FastDivMod {
+    /// Prepare division by `n`.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn new(n: u64) -> Self {
+        assert!(n > 0, "divisor must be non-zero");
+        FastDivMod {
+            n,
+            shift: if n.is_power_of_two() {
+                n.trailing_zeros()
+            } else {
+                u32::MAX
+            },
+        }
+    }
+
+    /// The divisor.
+    #[inline]
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// `x % n`.
+    #[inline]
+    pub fn rem(&self, x: u64) -> u64 {
+        if self.shift != u32::MAX {
+            x & (self.n - 1)
+        } else {
+            x % self.n
+        }
+    }
+
+    /// `x / n`.
+    #[inline]
+    pub fn div(&self, x: u64) -> u64 {
+        if self.shift != u32::MAX {
+            x >> self.shift
+        } else {
+            x / self.n
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_hardware_div_for_pow2_and_not() {
+        for n in [1u64, 2, 3, 4, 7, 64, 100, 512, 65_536, 1 << 40] {
+            let f = FastDivMod::new(n);
+            assert_eq!(f.n(), n);
+            for x in [0u64, 1, n - 1, n, n + 1, 12_345_678_901, u64::MAX] {
+                assert_eq!(f.rem(x), x % n, "rem mismatch for x={x} n={n}");
+                assert_eq!(f.div(x), x / n, "div mismatch for x={x} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_divisor_rejected() {
+        let _ = FastDivMod::new(0);
+    }
+}

@@ -5,6 +5,10 @@
 //!
 //! * [`addr`] — physical/virtual address newtypes and cache-geometry helpers
 //!   (line, page and large-page arithmetic).
+//! * [`hash`] — the deterministic FNV-1a hasher ([`FnvHashMap`] /
+//!   [`FnvHashSet`]) used for every simulator-internal map: faster than
+//!   SipHash on the small keys the hot path uses, and reproducible across
+//!   processes (no random seed).
 //! * [`rng`] — a small deterministic pseudo-random number generator plus a
 //!   Zipf sampler, used both by the synthetic workload generators and by the
 //!   stochastic pieces of the cache-replacement policies (sampling-based
@@ -24,11 +28,15 @@
 
 pub mod addr;
 pub mod config;
+pub mod fastdiv;
+pub mod hash;
 pub mod rng;
 pub mod stats;
 
 pub use addr::{Addr, LineAddr, PageNum, CACHE_LINE_SIZE, LARGE_PAGE_SIZE, PAGE_SIZE};
 pub use config::{CyclesPerSec, MemSize};
+pub use fastdiv::FastDivMod;
+pub use hash::{fnv1a64, FnvHashMap, FnvHashSet, FnvHasher};
 pub use rng::{SplitMix64, XorShiftRng, ZipfSampler};
 pub use stats::{Counter, DramKind, StatSet, TrafficClass, TrafficStats};
 

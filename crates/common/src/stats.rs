@@ -8,6 +8,7 @@
 //! byte counts.
 
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 
 /// Which DRAM an operation targets.
@@ -217,9 +218,15 @@ impl Counter {
 /// A loose bag of named counters, used for per-design bookkeeping that does
 /// not warrant a dedicated struct field (e.g. "tag_buffer_flushes",
 /// "tlb_shootdowns", "footprint_lines_fetched").
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// Counter names are `&'static str` at every recording call site (they are
+/// all literals), so [`StatSet::add`] / [`StatSet::inc`] never allocate on
+/// the hot path: keys are stored as `Cow::Borrowed`. Owned keys only appear
+/// when a set is rebuilt from JSON (deserialization), which is off the
+/// simulation path. Serialization is unchanged: a name-sorted JSON object.
+#[derive(Debug, Clone, Default)]
 pub struct StatSet {
-    counters: BTreeMap<String, u64>,
+    counters: BTreeMap<Cow<'static, str>, u64>,
 }
 
 impl StatSet {
@@ -228,13 +235,14 @@ impl StatSet {
         Self::default()
     }
 
-    /// Add `n` to counter `name`, creating it if needed.
-    pub fn add(&mut self, name: &str, n: u64) {
-        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    /// Add `n` to counter `name`, creating it if needed (allocation-free:
+    /// the literal is borrowed, not copied).
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(Cow::Borrowed(name)).or_insert(0) += n;
     }
 
     /// Increment counter `name` by one.
-    pub fn inc(&mut self, name: &str) {
+    pub fn inc(&mut self, name: &'static str) {
         self.add(name, 1);
     }
 
@@ -245,7 +253,7 @@ impl StatSet {
 
     /// Iterate over (name, value) pairs in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+        self.counters.iter().map(|(k, v)| (k.as_ref(), *v))
     }
 
     /// Merge another set into this one (summing matching counters).
@@ -263,6 +271,41 @@ impl StatSet {
     /// True if no counters have been recorded.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty()
+    }
+}
+
+// Manual serde impls (the derive would need map impls for `Cow` keys). The
+// JSON shape matches what the former derived impl produced for a
+// `BTreeMap<String, u64>` field, so persisted results remain readable and
+// re-serialization stays byte-identical.
+impl Serialize for StatSet {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![(
+            "counters".to_string(),
+            serde::Value::Object(
+                self.counters
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.to_value()))
+                    .collect(),
+            ),
+        )])
+    }
+}
+
+impl<'de> Deserialize<'de> for StatSet {
+    fn deserialize_value(value: &serde::Value) -> Result<Self, serde::DecodeError> {
+        match value.field("counters")? {
+            serde::Value::Object(entries) => Ok(StatSet {
+                counters: entries
+                    .iter()
+                    .map(|(k, v)| Ok((Cow::Owned(k.clone()), u64::deserialize_value(v)?)))
+                    .collect::<Result<_, serde::DecodeError>>()?,
+            }),
+            other => Err(serde::DecodeError::new(format!(
+                "expected counters object, got {}",
+                other.kind()
+            ))),
+        }
     }
 }
 
@@ -357,6 +400,35 @@ mod tests {
         s.merge(&other);
         assert_eq!(s.get("tlb_shootdowns"), 6);
         assert_eq!(s.get("new_counter"), 7);
+    }
+
+    #[test]
+    fn statset_serde_shape_is_stable() {
+        use serde::{Deserialize, Serialize, Value};
+        let mut s = StatSet::new();
+        s.add("tlb_shootdowns", 2);
+        s.add("banshee_replacements", 7);
+        // Shape: {"counters": {...}} with name-sorted keys, exactly what the
+        // former derived impl over BTreeMap<String, u64> emitted.
+        let v = s.to_value();
+        let expected = Value::Object(vec![(
+            "counters".to_string(),
+            Value::Object(vec![
+                ("banshee_replacements".to_string(), Value::UInt(7)),
+                ("tlb_shootdowns".to_string(), Value::UInt(2)),
+            ]),
+        )]);
+        assert_eq!(v, expected);
+        // Round trip preserves values and re-serializes identically.
+        let back = StatSet::deserialize_value(&v).unwrap();
+        assert_eq!(back.get("tlb_shootdowns"), 2);
+        assert_eq!(back.get("banshee_replacements"), 7);
+        assert_eq!(back.to_value(), v);
+        // A deserialized (owned-key) set merges back into a borrowed-key set.
+        let mut merged = StatSet::new();
+        merged.add("tlb_shootdowns", 1);
+        merged.merge(&back);
+        assert_eq!(merged.get("tlb_shootdowns"), 3);
     }
 
     #[test]

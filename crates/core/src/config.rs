@@ -124,16 +124,45 @@ impl BansheeConfig {
             .unwrap_or(self.lines_per_page() as f64 * self.sampling_coefficient / 2.0)
     }
 
+    // The three per-access address helpers below inline the power-of-two
+    // mask/shift specialization instead of storing a `FastDivMod`: this
+    // struct's derived `Debug` form is part of `SimConfig`'s store key
+    // material, so adding precomputed fields would invalidate every
+    // persisted result. The arithmetic is identical either way.
+
     /// Convert the caching-unit number of an address (page number for 4 KiB
-    /// granularity, large-page number for 2 MiB granularity).
+    /// granularity, large-page number for 2 MiB granularity). Runs on every
+    /// controller access, so the (always power-of-two) granularity divides
+    /// by shift.
+    #[inline]
     pub fn unit_of(&self, addr: banshee_common::Addr) -> u64 {
-        addr.raw() / self.page_bytes
+        if self.page_bytes.is_power_of_two() {
+            addr.raw() >> self.page_bytes.trailing_zeros()
+        } else {
+            addr.raw() / self.page_bytes
+        }
+    }
+
+    /// Byte offset of an address within its caching unit.
+    #[inline]
+    pub fn unit_offset(&self, addr: banshee_common::Addr) -> u64 {
+        if self.page_bytes.is_power_of_two() {
+            addr.raw() & (self.page_bytes - 1)
+        } else {
+            addr.raw() % self.page_bytes
+        }
     }
 
     /// The memory controller an address maps to (static page-granularity
     /// interleaving, Section 2).
+    #[inline]
     pub fn mc_of(&self, unit: u64) -> usize {
-        (unit % self.memory_controllers as u64) as usize
+        let n = self.memory_controllers as u64;
+        if n.is_power_of_two() {
+            (unit & (n - 1)) as usize
+        } else {
+            (unit % n) as usize
+        }
     }
 }
 

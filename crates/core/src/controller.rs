@@ -25,12 +25,14 @@ use crate::config::BansheeConfig;
 use crate::fbr::{FbrDecision, FrequencyReplacement};
 use crate::metadata::{MetadataEntry, MetadataTable, SET_METADATA_BYTES};
 use crate::tag_buffer::TagBuffer;
-use banshee_common::{Addr, Cycle, PageNum, StatSet, TrafficClass, XorShiftRng, CACHE_LINE_SIZE};
+use banshee_common::{
+    Addr, Cycle, FnvHashMap, FnvHashSet, PageNum, StatSet, TrafficClass, XorShiftRng,
+    CACHE_LINE_SIZE,
+};
 use banshee_dcache::{
-    AccessPlan, DCacheConfig, DemandStats, DramCacheController, DramOp, MemRequest, RequestKind,
+    DCacheConfig, DemandStats, DramCacheController, DramOp, MemRequest, PlanSink, RequestKind,
 };
 use banshee_memhier::PteMapInfo;
-use std::collections::{HashMap, HashSet};
 
 /// Which flavour of the controller to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,7 +66,7 @@ impl BansheeVariant {
 #[derive(Debug, Clone, Default)]
 struct ResidentPage {
     way: u8,
-    dirty_lines: HashSet<u32>,
+    dirty_lines: FnvHashSet<u32>,
     last_touch: u64,
 }
 
@@ -77,9 +79,9 @@ pub struct BansheeController {
     fbr: FrequencyReplacement,
     coherence: LazyCoherence,
     /// Ground truth: caching unit → residency info.
-    resident: HashMap<u64, ResidentPage>,
+    resident: FnvHashMap<u64, ResidentPage>,
     /// Reverse of `resident` per (set, way) so victims can be located.
-    occupancy: HashMap<(u64, u8), u64>,
+    occupancy: FnvHashMap<(u64, u8), u64>,
     demand: DemandStats,
     rng: XorShiftRng,
     access_clock: u64,
@@ -129,8 +131,8 @@ impl BansheeController {
             tag_buffers,
             fbr,
             coherence,
-            resident: HashMap::new(),
-            occupancy: HashMap::new(),
+            resident: FnvHashMap::default(),
+            occupancy: FnvHashMap::default(),
             demand: DemandStats::new(4096),
             rng: XorShiftRng::new(0xBAA5),
             access_clock: 0,
@@ -183,7 +185,7 @@ impl BansheeController {
     }
 
     fn line_index(&self, addr: Addr) -> u32 {
-        ((addr.raw() % self.config.page_bytes) / CACHE_LINE_SIZE) as u32
+        (self.config.unit_offset(addr) / CACHE_LINE_SIZE) as u32
     }
 
     /// The mapping the controller itself knows to be true.
@@ -203,7 +205,7 @@ impl BansheeController {
         &mut self,
         unit: u64,
         hint: Option<PteMapInfo>,
-        plan: &mut AccessPlan,
+        plan: &mut PlanSink,
     ) -> PteMapInfo {
         let mc = self.config.mc_of(unit);
         if let Some(info) = self.tag_buffers[mc].lookup(PageNum::new(unit)) {
@@ -233,7 +235,7 @@ impl BansheeController {
 
     /// Record a remapping in the tag buffer, triggering a coherence round if
     /// the buffer filled up.
-    fn record_remap(&mut self, unit: u64, info: PteMapInfo, now: Cycle, plan: &mut AccessPlan) {
+    fn record_remap(&mut self, unit: u64, info: PteMapInfo, now: Cycle, plan: &mut PlanSink) {
         use crate::tag_buffer::InsertOutcome;
         let mc = self.config.mc_of(unit);
         let outcome = self.tag_buffers[mc].insert_remap(PageNum::new(unit), info);
@@ -269,7 +271,7 @@ impl BansheeController {
         way: u8,
         write_line: Option<u32>,
         now: Cycle,
-        plan: &mut AccessPlan,
+        plan: &mut PlanSink,
     ) {
         self.replacements += 1;
 
@@ -309,7 +311,7 @@ impl BansheeController {
             TrafficClass::Replacement,
         ));
 
-        let mut dirty_lines = HashSet::new();
+        let mut dirty_lines = FnvHashSet::default();
         if let Some(line) = write_line {
             dirty_lines.insert(line);
         }
@@ -327,7 +329,7 @@ impl BansheeController {
 
     /// The frequency-based replacement path shared by the Standard and
     /// FbrNoSample variants.
-    fn fbr_step(&mut self, req: &MemRequest, unit: u64, now: Cycle, plan: &mut AccessPlan) {
+    fn fbr_step(&mut self, req: &MemRequest, unit: u64, now: Cycle, plan: &mut PlanSink) {
         let set = self.metadata.set_of(unit);
         let recent_miss = self.demand.recent_miss_rate();
         let decision = {
@@ -377,7 +379,7 @@ impl BansheeController {
         unit: u64,
         hit: bool,
         now: Cycle,
-        plan: &mut AccessPlan,
+        plan: &mut PlanSink,
     ) {
         let set = self.metadata.set_of(unit);
         // LRU metadata read-modify-write on every access (like Unison's LRU
@@ -442,16 +444,16 @@ impl DramCacheController for BansheeController {
         self.variant.label()
     }
 
-    fn access(&mut self, req: &MemRequest, now: Cycle) -> AccessPlan {
+    fn access(&mut self, req: &MemRequest, now: Cycle, sink: &mut PlanSink) {
         self.access_clock += 1;
         let unit = self.config.unit_of(req.addr);
         let line = self.line_index(req.addr);
         let set = self.metadata.set_of(unit);
-        let mut plan = AccessPlan::empty();
+        let plan = sink;
 
         // Resolve the mapping: tag buffer > TLB hint > (probe for hint-less
         // requests).
-        let mapping = self.resolve_mapping(unit, req.map_hint, &mut plan);
+        let mapping = self.resolve_mapping(unit, req.map_hint, plan);
         debug_assert_eq!(
             mapping,
             self.ground_truth(unit),
@@ -472,7 +474,7 @@ impl DramCacheController for BansheeController {
                         }
                     }
                     plan.critical.push(DramOp::in_package(
-                        self.data_addr(set, way, req.addr.raw() % self.config.page_bytes),
+                        self.data_addr(set, way, self.config.unit_offset(req.addr)),
                         64,
                         TrafficClass::HitData,
                     ));
@@ -490,9 +492,9 @@ impl DramCacheController for BansheeController {
                 // Replacement policy.
                 match self.variant {
                     BansheeVariant::Standard | BansheeVariant::FbrNoSample => {
-                        self.fbr_step(req, unit, now, &mut plan)
+                        self.fbr_step(req, unit, now, plan)
                     }
-                    BansheeVariant::Lru => self.lru_step(req, unit, hit, now, &mut plan),
+                    BansheeVariant::Lru => self.lru_step(req, unit, hit, now, plan),
                 }
             }
             RequestKind::Writeback => {
@@ -502,7 +504,7 @@ impl DramCacheController for BansheeController {
                         r.dirty_lines.insert(line);
                     }
                     plan.background.push(DramOp::in_package(
-                        self.data_addr(set, way, req.addr.raw() % self.config.page_bytes),
+                        self.data_addr(set, way, self.config.unit_offset(req.addr)),
                         64,
                         TrafficClass::Writeback,
                     ));
@@ -515,7 +517,6 @@ impl DramCacheController for BansheeController {
                 }
             }
         }
-        plan
     }
 
     fn current_mapping(&self, page: PageNum) -> PteMapInfo {
@@ -582,14 +583,14 @@ mod tests {
     /// Drive the controller with TLB hints that mirror what a correct page
     /// table + tag buffer would provide (the simulator does this for real;
     /// tests use ground truth which the tag buffer would correct anyway).
-    fn demand(c: &mut BansheeController, addr: Addr, write: bool) -> AccessPlan {
+    fn demand(c: &mut BansheeController, addr: Addr, write: bool) -> PlanSink {
         let unit = c.config().unit_of(addr);
         let hint = c.ground_truth(unit);
         let mut req = MemRequest::demand(addr, 0).with_hint(hint);
         if write {
             req = req.as_store();
         }
-        c.access(&req, 0)
+        c.access_collected(&req, 0)
     }
 
     #[test]
@@ -679,7 +680,7 @@ mod tests {
             demand(&mut c, page.line_at(i % 64).base_addr(), false);
         }
         assert!(c.resident_pages() >= 1);
-        let wb = c.access(&MemRequest::writeback(page.line_at(3).base_addr(), 0), 0);
+        let wb = c.access_collected(&MemRequest::writeback(page.line_at(3).base_addr(), 0), 0);
         assert_eq!(wb.bytes_of_class(TrafficClass::Tag), 0, "no probe expected");
         assert_eq!(wb.bytes_on(DramKind::InPackage), 64);
     }
@@ -688,11 +689,11 @@ mod tests {
     fn writeback_without_mapping_probes_once_then_caches_the_answer() {
         let mut c = BansheeController::new(small_config());
         let addr = Addr::new(0x42_0000);
-        let first = c.access(&MemRequest::writeback(addr, 0), 0);
+        let first = c.access_collected(&MemRequest::writeback(addr, 0), 0);
         assert_eq!(first.bytes_of_class(TrafficClass::Tag), 32);
         assert_eq!(first.bytes_on(DramKind::OffPackage), 64);
         // The probe result was remembered as a clean tag-buffer entry.
-        let second = c.access(&MemRequest::writeback(addr, 0), 0);
+        let second = c.access_collected(&MemRequest::writeback(addr, 0), 0);
         assert_eq!(second.bytes_of_class(TrafficClass::Tag), 0);
         assert_eq!(c.stats().get("banshee_tag_probes"), 1);
     }

@@ -137,6 +137,9 @@ impl CacheSetMetadata {
 #[derive(Debug, Clone)]
 pub struct MetadataTable {
     sets: Vec<CacheSetMetadata>,
+    /// Set-count divider (mask for power-of-two set counts; `set_of` runs on
+    /// every controller access).
+    set_div: banshee_common::FastDivMod,
 }
 
 impl MetadataTable {
@@ -147,6 +150,7 @@ impl MetadataTable {
             sets: (0..sets)
                 .map(|_| CacheSetMetadata::new(ways, candidates))
                 .collect(),
+            set_div: banshee_common::FastDivMod::new(sets),
         }
     }
 
@@ -157,7 +161,7 @@ impl MetadataTable {
 
     /// The set index a caching unit maps to.
     pub fn set_of(&self, unit: u64) -> u64 {
-        unit % self.sets.len() as u64
+        self.set_div.rem(unit)
     }
 
     /// Borrow a set's metadata.

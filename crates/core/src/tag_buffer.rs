@@ -18,7 +18,7 @@
 //!   the caller through [`TagBuffer::needs_flush`] or the
 //!   [`InsertOutcome::ThresholdReached`] return value.
 
-use banshee_common::PageNum;
+use banshee_common::{FastDivMod, PageNum};
 use banshee_memhier::PteMapInfo;
 
 /// One tag buffer entry.
@@ -73,6 +73,7 @@ pub enum InsertOutcome {
 pub struct TagBuffer {
     sets: Vec<Vec<Slot>>,
     ways: usize,
+    set_div: FastDivMod,
     flush_threshold: f64,
     clock: u64,
     remap_entries: usize,
@@ -97,6 +98,7 @@ impl TagBuffer {
         TagBuffer {
             sets: vec![vec![Slot::default(); ways]; entries / ways],
             ways,
+            set_div: FastDivMod::new((entries / ways) as u64),
             flush_threshold,
             clock: 0,
             remap_entries: 0,
@@ -147,7 +149,7 @@ impl TagBuffer {
         // Mix the page number so that consecutive pages spread over sets.
         let mut x = page.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15);
         x ^= x >> 32;
-        (x % self.sets.len() as u64) as usize
+        self.set_div.rem(x) as usize
     }
 
     /// Look up the up-to-date mapping for `page`. A hit means the request's

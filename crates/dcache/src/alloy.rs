@@ -23,9 +23,10 @@
 
 use crate::controller::{DemandStats, DramCacheController};
 use crate::design::DCacheConfig;
-use crate::plan::{AccessPlan, DramOp, MemRequest, RequestKind};
-use banshee_common::{Addr, Cycle, LineAddr, StatSet, TrafficClass, XorShiftRng};
-use std::collections::HashMap;
+use crate::plan::{DramOp, MemRequest, PlanSink, RequestKind};
+use banshee_common::{
+    Addr, Cycle, FastDivMod, FnvHashMap, LineAddr, StatSet, TrafficClass, XorShiftRng,
+};
 
 /// Per-slot state of the direct-mapped cache.
 #[derive(Debug, Clone, Copy, Default)]
@@ -40,11 +41,12 @@ struct Slot {
 pub struct AlloyCache {
     /// One slot per cache line the in-package DRAM can hold.
     slots: Vec<Slot>,
+    slot_div: FastDivMod,
     /// Probability that a miss installs the line (BEAR stochastic fill).
     fill_probability: f64,
     demand: DemandStats,
     rng: XorShiftRng,
-    stats: HashMap<&'static str, u64>,
+    stats: FnvHashMap<&'static str, u64>,
     name: String,
 }
 
@@ -67,22 +69,23 @@ impl AlloyCache {
         };
         AlloyCache {
             slots: vec![Slot::default(); line_slots],
+            slot_div: FastDivMod::new(line_slots as u64),
             fill_probability,
             demand: DemandStats::new(4096),
             rng: XorShiftRng::new(0xA110),
-            stats: HashMap::new(),
+            stats: FnvHashMap::default(),
             name,
         }
     }
 
     #[inline]
     fn slot_index(&self, line: LineAddr) -> usize {
-        (line.raw() % self.slots.len() as u64) as usize
+        self.slot_div.rem(line.raw()) as usize
     }
 
     #[inline]
     fn tag_of(&self, line: LineAddr) -> u64 {
-        line.raw() / self.slots.len() as u64
+        self.slot_div.div(line.raw())
     }
 
     /// Reconstruct the line address currently held in a slot.
@@ -106,7 +109,7 @@ impl DramCacheController for AlloyCache {
         &self.name
     }
 
-    fn access(&mut self, req: &MemRequest, _now: Cycle) -> AccessPlan {
+    fn access(&mut self, req: &MemRequest, _now: Cycle, sink: &mut PlanSink) {
         let line = req.addr.line();
         let idx = self.slot_index(line);
         let tag = self.tag_of(line);
@@ -122,16 +125,15 @@ impl DramCacheController for AlloyCache {
                         self.slots[idx].dirty = true;
                     }
                     // One TAD stream: 64 B data + 32 B tag.
-                    return AccessPlan::empty()
-                        .then(DramOp::in_package(tad_addr, 64, TrafficClass::HitData))
+                    sink.then(DramOp::in_package(tad_addr, 64, TrafficClass::HitData))
                         .then(DramOp::in_package(tad_addr, 32, TrafficClass::Tag))
                         .hit();
+                    return;
                 }
 
                 self.bump("alloy_misses");
                 // Speculative TAD read (wasted data half) then off-package fetch.
-                let mut plan = AccessPlan::empty()
-                    .then(DramOp::in_package(tad_addr, 64, TrafficClass::MissData))
+                sink.then(DramOp::in_package(tad_addr, 64, TrafficClass::MissData))
                     .then(DramOp::in_package(tad_addr, 32, TrafficClass::Tag))
                     .then(DramOp::off_package(req.addr, 64, TrafficClass::MissData));
 
@@ -142,7 +144,7 @@ impl DramCacheController for AlloyCache {
                     if victim.valid && victim.dirty {
                         self.bump("alloy_dirty_victim_writebacks");
                         let victim_line = self.resident_line(idx);
-                        plan = plan.also(DramOp::off_package(
+                        sink.also(DramOp::off_package(
                             victim_line.base_addr(),
                             64,
                             TrafficClass::Writeback,
@@ -154,26 +156,19 @@ impl DramCacheController for AlloyCache {
                         tag,
                     };
                     // Fill writes the new TAD unit: 64 B data + 32 B tag.
-                    plan = plan
-                        .also(DramOp::in_package(tad_addr, 64, TrafficClass::Replacement))
+                    sink.also(DramOp::in_package(tad_addr, 64, TrafficClass::Replacement))
                         .also(DramOp::in_package(tad_addr, 32, TrafficClass::Replacement));
                 }
-                plan
             }
             RequestKind::Writeback => {
                 if hit {
                     self.bump("alloy_writeback_hits");
                     self.slots[idx].dirty = true;
-                    AccessPlan::empty()
-                        .also(DramOp::in_package(tad_addr, 64, TrafficClass::Writeback))
-                        .also(DramOp::in_package(tad_addr, 32, TrafficClass::Tag))
+                    sink.also(DramOp::in_package(tad_addr, 64, TrafficClass::Writeback))
+                        .also(DramOp::in_package(tad_addr, 32, TrafficClass::Tag));
                 } else {
                     self.bump("alloy_writeback_misses");
-                    AccessPlan::empty().also(DramOp::off_package(
-                        req.addr,
-                        64,
-                        TrafficClass::Writeback,
-                    ))
+                    sink.also(DramOp::off_package(req.addr, 64, TrafficClass::Writeback));
                 }
             }
         }
@@ -211,12 +206,12 @@ mod tests {
         let addr = Addr::new(0x10_0000);
         // First access misses: 96 B in-package probe + 64 B off-package +
         // 96 B fill.
-        let miss = c.access(&MemRequest::demand(addr, 0), 0);
+        let miss = c.access_collected(&MemRequest::demand(addr, 0), 0);
         assert!(!miss.dram_cache_hit);
         assert_eq!(miss.bytes_on(DramKind::InPackage), 96 + 96);
         assert_eq!(miss.bytes_on(DramKind::OffPackage), 64);
         // Second access hits: exactly 96 B in-package, nothing off-package.
-        let hit = c.access(&MemRequest::demand(addr, 0), 0);
+        let hit = c.access_collected(&MemRequest::demand(addr, 0), 0);
         assert!(hit.dram_cache_hit);
         assert_eq!(hit.bytes_on(DramKind::InPackage), 96);
         assert_eq!(hit.bytes_on(DramKind::OffPackage), 0);
@@ -232,7 +227,7 @@ mod tests {
         let n = 5000u64;
         for i in 0..n {
             let addr = Addr::new(i * 64 + (1 << 30));
-            let plan = c.access(&MemRequest::demand(addr, 0), 0);
+            let plan = c.access_collected(&MemRequest::demand(addr, 0), 0);
             if plan.bytes_of_class(TrafficClass::Replacement) > 0 {
                 fills += 1;
             }
@@ -251,13 +246,13 @@ mod tests {
         let lines = cfg.capacity_lines();
         let a = Addr::new(0);
         let conflicting = Addr::new(lines * 64); // maps to the same slot
-        c.access(&MemRequest::demand(a, 0).as_store(), 0);
+        c.access_collected(&MemRequest::demand(a, 0).as_store(), 0);
         assert_eq!(c.miss_rate(), 1.0);
         // The conflicting fill must write back the dirty victim off-package.
-        let plan = c.access(&MemRequest::demand(conflicting, 0), 0);
+        let plan = c.access_collected(&MemRequest::demand(conflicting, 0), 0);
         assert_eq!(plan.bytes_of_class(TrafficClass::Writeback), 64);
         // And the original line is gone.
-        let again = c.access(&MemRequest::demand(a, 0), 0);
+        let again = c.access_collected(&MemRequest::demand(a, 0), 0);
         assert!(!again.dram_cache_hit);
     }
 
@@ -266,13 +261,13 @@ mod tests {
         let cfg = small_config();
         let mut c = AlloyCache::new(&cfg, 1.0);
         let cached = Addr::new(0x4000);
-        c.access(&MemRequest::demand(cached, 0), 0);
-        let wb_hit = c.access(&MemRequest::writeback(cached, 0), 0);
+        c.access_collected(&MemRequest::demand(cached, 0), 0);
+        let wb_hit = c.access_collected(&MemRequest::writeback(cached, 0), 0);
         assert_eq!(wb_hit.bytes_on(DramKind::InPackage), 96);
         assert_eq!(wb_hit.bytes_on(DramKind::OffPackage), 0);
 
         let uncached = Addr::new(0x900_0000);
-        let wb_miss = c.access(&MemRequest::writeback(uncached, 0), 0);
+        let wb_miss = c.access_collected(&MemRequest::writeback(uncached, 0), 0);
         assert_eq!(wb_miss.bytes_on(DramKind::InPackage), 0);
         assert_eq!(wb_miss.bytes_on(DramKind::OffPackage), 64);
         // Writebacks never appear on the critical path.
@@ -285,10 +280,10 @@ mod tests {
         let mut c = AlloyCache::new(&cfg, 1.0);
         let lines = cfg.capacity_lines();
         let a = Addr::new(64);
-        c.access(&MemRequest::demand(a, 0), 0);
-        c.access(&MemRequest::writeback(a, 0), 0); // marks dirty
+        c.access_collected(&MemRequest::demand(a, 0), 0);
+        c.access_collected(&MemRequest::writeback(a, 0), 0); // marks dirty
         let conflicting = Addr::new(lines * 64 + 64);
-        let plan = c.access(&MemRequest::demand(conflicting, 0), 0);
+        let plan = c.access_collected(&MemRequest::demand(conflicting, 0), 0);
         assert_eq!(
             plan.bytes_of_class(TrafficClass::Writeback),
             64,

@@ -1,7 +1,7 @@
 //! The `CacheOnly` baseline: an idealized, infinite in-package DRAM.
 
 use crate::controller::{DemandStats, DramCacheController};
-use crate::plan::{AccessPlan, DramOp, MemRequest, RequestKind};
+use crate::plan::{DramOp, MemRequest, PlanSink, RequestKind};
 use banshee_common::{Cycle, StatSet, TrafficClass};
 
 /// The system only contains in-package DRAM with infinite capacity
@@ -28,23 +28,24 @@ impl DramCacheController for CacheOnly {
         "CacheOnly"
     }
 
-    fn access(&mut self, req: &MemRequest, _now: Cycle) -> AccessPlan {
+    fn access(&mut self, req: &MemRequest, _now: Cycle, sink: &mut PlanSink) {
         match req.kind {
             RequestKind::DemandMiss => {
                 self.demand.record(true);
-                AccessPlan::empty()
-                    .then(DramOp::in_package(
-                        req.addr,
-                        crate::LINE_BYTES,
-                        TrafficClass::HitData,
-                    ))
-                    .hit()
+                sink.then(DramOp::in_package(
+                    req.addr,
+                    crate::LINE_BYTES,
+                    TrafficClass::HitData,
+                ))
+                .hit();
             }
-            RequestKind::Writeback => AccessPlan::empty().also(DramOp::in_package(
-                req.addr,
-                crate::LINE_BYTES,
-                TrafficClass::Writeback,
-            )),
+            RequestKind::Writeback => {
+                sink.also(DramOp::in_package(
+                    req.addr,
+                    crate::LINE_BYTES,
+                    TrafficClass::Writeback,
+                ));
+            }
         }
     }
 
@@ -69,7 +70,7 @@ mod tests {
     #[test]
     fn everything_hits_in_package() {
         let mut c = CacheOnly::new();
-        let plan = c.access(&MemRequest::demand(Addr::new(0xABC0), 1), 0);
+        let plan = c.access_collected(&MemRequest::demand(Addr::new(0xABC0), 1), 0);
         assert!(plan.dram_cache_hit);
         assert_eq!(plan.critical.len(), 1);
         assert_eq!(plan.critical[0].dram, DramKind::InPackage);
@@ -81,8 +82,8 @@ mod tests {
     fn no_off_package_traffic_ever() {
         let mut c = CacheOnly::new();
         for i in 0..50u64 {
-            let d = c.access(&MemRequest::demand(Addr::new(i * 64), 0), 0);
-            let w = c.access(&MemRequest::writeback(Addr::new(i * 64), 0), 0);
+            let d = c.access_collected(&MemRequest::demand(Addr::new(i * 64), 0), 0);
+            let w = c.access_collected(&MemRequest::writeback(Addr::new(i * 64), 0), 0);
             assert_eq!(d.bytes_on(DramKind::OffPackage), 0);
             assert_eq!(w.bytes_on(DramKind::OffPackage), 0);
         }

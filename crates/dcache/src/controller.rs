@@ -1,6 +1,6 @@
 //! The trait every DRAM-cache design implements.
 
-use crate::plan::{AccessPlan, MemRequest};
+use crate::plan::{MemRequest, PlanSink};
 use banshee_common::{Cycle, PageNum, StatSet};
 use banshee_memhier::PteMapInfo;
 
@@ -17,18 +17,45 @@ use banshee_memhier::PteMapInfo;
 /// * [`DramCacheController::current_mapping`] — the ground-truth mapping for
 ///   a physical page, used by the simulator when it re-walks the page table
 ///   after a TLB shootdown for PTE/TLB-based designs.
+///
+/// Plans are written into a caller-owned [`PlanSink`] so the per-access path
+/// allocates nothing: the simulator resets and reuses one sink for every
+/// request. Tests and tools that want an owned plan use
+/// [`DramCacheController::access_collected`] /
+/// [`DramCacheController::epoch_collected`].
 pub trait DramCacheController {
     /// A short human-readable name ("Banshee", "Alloy 0.1", ...).
     fn name(&self) -> &str;
 
-    /// Service one request, returning the DRAM operations and side effects.
-    fn access(&mut self, req: &MemRequest, now: Cycle) -> AccessPlan;
+    /// Service one request, appending the DRAM operations and side effects
+    /// to `sink` (which the caller has [`PlanSink::reset`] beforehand).
+    fn access(&mut self, req: &MemRequest, now: Cycle, sink: &mut PlanSink);
 
-    /// Periodic maintenance hook. `now` is the current cycle; the returned
-    /// plan's operations are issued as background traffic. The default
-    /// implementation does nothing.
-    fn epoch(&mut self, _now: Cycle) -> Option<AccessPlan> {
-        None
+    /// Periodic maintenance hook. `now` is the current cycle; any operations
+    /// appended to `sink` are issued as background traffic. Returns `true`
+    /// if the hook produced a plan to execute. The default implementation
+    /// does nothing.
+    fn epoch(&mut self, _now: Cycle, _sink: &mut PlanSink) -> bool {
+        false
+    }
+
+    /// Convenience for tests and analysis tools: service one request into a
+    /// freshly allocated [`PlanSink`] and return it.
+    fn access_collected(&mut self, req: &MemRequest, now: Cycle) -> PlanSink {
+        let mut sink = PlanSink::new();
+        self.access(req, now, &mut sink);
+        sink
+    }
+
+    /// Convenience for tests: run the epoch hook into a fresh sink,
+    /// returning it only when the hook produced a plan.
+    fn epoch_collected(&mut self, now: Cycle) -> Option<PlanSink> {
+        let mut sink = PlanSink::new();
+        if self.epoch(now, &mut sink) {
+            Some(sink)
+        } else {
+            None
+        }
     }
 
     /// The up-to-date DRAM-cache mapping for a physical page, as the *page

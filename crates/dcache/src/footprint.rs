@@ -16,8 +16,7 @@
 //! profiled per-workload average the paper uses.
 
 use banshee_common::addr::LINES_PER_PAGE;
-use banshee_common::PageNum;
-use std::collections::HashMap;
+use banshee_common::{FnvHashMap, PageNum};
 
 pub use banshee_common::addr::LINES_PER_PAGE as PAGE_LINES;
 
@@ -26,7 +25,7 @@ pub use banshee_common::addr::LINES_PER_PAGE as PAGE_LINES;
 #[derive(Debug, Clone)]
 pub struct FootprintPredictor {
     /// Bitmask of touched lines for every currently tracked (cached) page.
-    touched: HashMap<PageNum, u64>,
+    touched: FnvHashMap<PageNum, u64>,
     /// Granularity (in lines) at which footprints are managed: touched-line
     /// counts are rounded up to a multiple of this.
     granularity: u64,
@@ -41,7 +40,7 @@ impl FootprintPredictor {
     /// (the paper models 4).
     pub fn new(granularity: u64) -> Self {
         FootprintPredictor {
-            touched: HashMap::new(),
+            touched: FnvHashMap::default(),
             granularity: granularity.clamp(1, LINES_PER_PAGE),
             footprint_sum: 0,
             completed: 0,

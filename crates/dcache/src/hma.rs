@@ -16,10 +16,11 @@
 
 use crate::controller::{DemandStats, DramCacheController};
 use crate::design::DCacheConfig;
-use crate::plan::{AccessPlan, DramOp, MemRequest, RequestKind, SideEffect};
-use banshee_common::{Cycle, CyclesPerSec, PageNum, StatSet, TrafficClass, PAGE_SIZE};
+use crate::plan::{DramOp, MemRequest, PlanSink, RequestKind, SideEffect};
+use banshee_common::{
+    Cycle, CyclesPerSec, FnvHashMap, FnvHashSet, PageNum, StatSet, TrafficClass, PAGE_SIZE,
+};
 use banshee_memhier::PteMapInfo;
-use std::collections::{HashMap, HashSet};
 
 /// Tuning knobs for the software remapping routine.
 #[derive(Debug, Clone, Copy)]
@@ -47,9 +48,9 @@ impl Default for HmaPolicy {
 #[derive(Debug)]
 pub struct Hma {
     capacity_pages: u64,
-    cached: HashSet<PageNum>,
+    cached: FnvHashSet<PageNum>,
     /// Access counts within the current interval.
-    counts: HashMap<PageNum, u64>,
+    counts: FnvHashMap<PageNum, u64>,
     policy: HmaPolicy,
     cpu_clock: CyclesPerSec,
     demand: DemandStats,
@@ -68,8 +69,8 @@ impl Hma {
     pub fn with_policy(config: &DCacheConfig, policy: HmaPolicy) -> Self {
         Hma {
             capacity_pages: config.capacity_pages().max(1),
-            cached: HashSet::new(),
-            counts: HashMap::new(),
+            cached: FnvHashSet::default(),
+            counts: FnvHashMap::default(),
             policy,
             cpu_clock: CyclesPerSec::ghz(2.7),
             demand: DemandStats::new(4096),
@@ -90,7 +91,7 @@ impl DramCacheController for Hma {
         "HMA"
     }
 
-    fn access(&mut self, req: &MemRequest, _now: Cycle) -> AccessPlan {
+    fn access(&mut self, req: &MemRequest, _now: Cycle, sink: &mut PlanSink) {
         let page = req.page();
         let hit = self.cached.contains(&page);
         match req.kind {
@@ -98,15 +99,10 @@ impl DramCacheController for Hma {
                 *self.counts.entry(page).or_insert(0) += 1;
                 self.demand.record(hit);
                 if hit {
-                    AccessPlan::empty()
-                        .then(DramOp::in_package(req.addr, 64, TrafficClass::HitData))
-                        .hit()
+                    sink.then(DramOp::in_package(req.addr, 64, TrafficClass::HitData))
+                        .hit();
                 } else {
-                    AccessPlan::empty().then(DramOp::off_package(
-                        req.addr,
-                        64,
-                        TrafficClass::MissData,
-                    ))
+                    sink.then(DramOp::off_package(req.addr, 64, TrafficClass::MissData));
                 }
             }
             RequestKind::Writeback => {
@@ -115,17 +111,17 @@ impl DramCacheController for Hma {
                 } else {
                     DramOp::off_package(req.addr, 64, TrafficClass::Writeback)
                 };
-                AccessPlan::empty().also(op)
+                sink.also(op);
             }
         }
     }
 
-    fn epoch(&mut self, _now: Cycle) -> Option<AccessPlan> {
+    fn epoch(&mut self, _now: Cycle, sink: &mut PlanSink) -> bool {
         self.intervals += 1;
         // Rank pages by access count in this interval.
         let mut ranked: Vec<(PageNum, u64)> = self.counts.iter().map(|(p, c)| (*p, *c)).collect();
         ranked.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.raw().cmp(&b.0.raw())));
-        let want: HashSet<PageNum> = ranked
+        let want: FnvHashSet<PageNum> = ranked
             .iter()
             .take(self.capacity_pages as usize)
             .map(|(p, _)| *p)
@@ -153,45 +149,42 @@ impl DramCacheController for Hma {
 
         self.counts.clear();
         if to_insert.is_empty() && to_evict.is_empty() {
-            return None;
+            return false;
         }
 
-        let mut plan = AccessPlan::empty();
         // Evictions: read page from in-package, write to off-package, scrub
         // the on-chip caches of its (old) physical address.
         for page in &to_evict {
             self.cached.remove(page);
             self.migrations_out += 1;
-            plan = plan
-                .also(DramOp::in_package(
-                    page.base_addr(),
-                    PAGE_SIZE,
-                    TrafficClass::Replacement,
-                ))
-                .also(DramOp::off_package(
-                    page.base_addr(),
-                    PAGE_SIZE,
-                    TrafficClass::Replacement,
-                ))
-                .with_side_effect(SideEffect::FlushPage { page: *page });
+            sink.also(DramOp::in_package(
+                page.base_addr(),
+                PAGE_SIZE,
+                TrafficClass::Replacement,
+            ))
+            .also(DramOp::off_package(
+                page.base_addr(),
+                PAGE_SIZE,
+                TrafficClass::Replacement,
+            ))
+            .with_side_effect(SideEffect::FlushPage { page: *page });
         }
         // Insertions: read page from off-package, write into in-package,
         // scrub caches (its physical address changes under NUMA management).
         for page in &to_insert {
             self.cached.insert(*page);
             self.migrations_in += 1;
-            plan = plan
-                .also(DramOp::off_package(
-                    page.base_addr(),
-                    PAGE_SIZE,
-                    TrafficClass::Replacement,
-                ))
-                .also(DramOp::in_package(
-                    page.base_addr(),
-                    PAGE_SIZE,
-                    TrafficClass::Replacement,
-                ))
-                .with_side_effect(SideEffect::FlushPage { page: *page });
+            sink.also(DramOp::off_package(
+                page.base_addr(),
+                PAGE_SIZE,
+                TrafficClass::Replacement,
+            ))
+            .also(DramOp::in_package(
+                page.base_addr(),
+                PAGE_SIZE,
+                TrafficClass::Replacement,
+            ))
+            .with_side_effect(SideEffect::FlushPage { page: *page });
         }
 
         // The OS stops every program while it migrates (Section 2.1.2).
@@ -202,15 +195,14 @@ impl DramCacheController for Hma {
             .map(|p| (*p, PteMapInfo::cached_in(0)))
             .chain(to_evict.iter().map(|p| (*p, PteMapInfo::NOT_CACHED)))
             .collect();
-        plan = plan
-            .with_side_effect(SideEffect::UpdatePageTable {
-                updates: pt_updates,
-            })
-            .with_side_effect(SideEffect::TlbShootdown)
-            .with_side_effect(SideEffect::StallAllCores {
-                cycles: self.cpu_clock.cycles_in_us(stall_us),
-            });
-        Some(plan)
+        sink.with_side_effect(SideEffect::UpdatePageTable {
+            updates: pt_updates,
+        })
+        .with_side_effect(SideEffect::TlbShootdown)
+        .with_side_effect(SideEffect::StallAllCores {
+            cycles: self.cpu_clock.cycles_in_us(stall_us),
+        });
+        true
     }
 
     fn current_mapping(&self, page: PageNum) -> PteMapInfo {
@@ -254,7 +246,7 @@ mod tests {
     #[test]
     fn no_replacement_traffic_on_the_access_path() {
         let mut c = Hma::new(&tiny());
-        let plan = c.access(&MemRequest::demand(Addr::new(0x9000), 0), 0);
+        let plan = c.access_collected(&MemRequest::demand(Addr::new(0x9000), 0), 0);
         assert_eq!(plan.bytes_of_class(TrafficClass::Replacement), 0);
         assert_eq!(plan.bytes_on(DramKind::OffPackage), 64);
         assert_eq!(plan.bytes_on(DramKind::InPackage), 0);
@@ -265,14 +257,14 @@ mod tests {
         let mut c = Hma::new(&tiny());
         // Page 5 is hot, page 9 is lukewarm, page 100 is cold.
         for _ in 0..10 {
-            c.access(&MemRequest::demand(PageNum::new(5).base_addr(), 0), 0);
+            c.access_collected(&MemRequest::demand(PageNum::new(5).base_addr(), 0), 0);
         }
         for _ in 0..5 {
-            c.access(&MemRequest::demand(PageNum::new(9).base_addr(), 0), 0);
+            c.access_collected(&MemRequest::demand(PageNum::new(9).base_addr(), 0), 0);
         }
-        c.access(&MemRequest::demand(PageNum::new(100).base_addr(), 0), 0);
+        c.access_collected(&MemRequest::demand(PageNum::new(100).base_addr(), 0), 0);
 
-        let plan = c.epoch(1_000_000).expect("migrations expected");
+        let plan = c.epoch_collected(1_000_000).expect("migrations expected");
         assert_eq!(c.resident_pages(), 2);
         assert!(c.current_mapping(PageNum::new(5)).cached);
         assert!(c.current_mapping(PageNum::new(9)).cached);
@@ -291,7 +283,7 @@ mod tests {
         assert_eq!(plan.bytes_of_class(TrafficClass::Replacement), 4 * 4096);
 
         // After migration the hot page hits in-package DRAM.
-        let hit = c.access(&MemRequest::demand(PageNum::new(5).base_addr(), 0), 0);
+        let hit = c.access_collected(&MemRequest::demand(PageNum::new(5).base_addr(), 0), 0);
         assert!(hit.dram_cache_hit);
     }
 
@@ -300,18 +292,18 @@ mod tests {
         let mut c = Hma::new(&tiny());
         for p in [1u64, 2] {
             for _ in 0..4 {
-                c.access(&MemRequest::demand(PageNum::new(p).base_addr(), 0), 0);
+                c.access_collected(&MemRequest::demand(PageNum::new(p).base_addr(), 0), 0);
             }
         }
-        c.epoch(0);
+        c.epoch_collected(0);
         assert_eq!(c.resident_pages(), 2);
         // Next interval: two different pages are hot.
         for p in [7u64, 8] {
             for _ in 0..4 {
-                c.access(&MemRequest::demand(PageNum::new(p).base_addr(), 0), 0);
+                c.access_collected(&MemRequest::demand(PageNum::new(p).base_addr(), 0), 0);
             }
         }
-        let plan = c.epoch(1).expect("should migrate");
+        let plan = c.epoch_collected(1).expect("should migrate");
         assert!(c.current_mapping(PageNum::new(7)).cached);
         assert!(!c.current_mapping(PageNum::new(1)).cached);
         // Evicted pages must be scrubbed from on-chip caches.
@@ -326,19 +318,20 @@ mod tests {
     #[test]
     fn quiet_interval_produces_no_plan() {
         let mut c = Hma::new(&tiny());
-        assert!(c.epoch(0).is_none());
+        assert!(c.epoch_collected(0).is_none());
     }
 
     #[test]
     fn writebacks_follow_residency() {
         let mut c = Hma::new(&tiny());
         for _ in 0..3 {
-            c.access(&MemRequest::demand(PageNum::new(4).base_addr(), 0), 0);
+            c.access_collected(&MemRequest::demand(PageNum::new(4).base_addr(), 0), 0);
         }
-        c.epoch(0);
-        let wb_hit = c.access(&MemRequest::writeback(PageNum::new(4).base_addr(), 0), 0);
+        c.epoch_collected(0);
+        let wb_hit = c.access_collected(&MemRequest::writeback(PageNum::new(4).base_addr(), 0), 0);
         assert_eq!(wb_hit.bytes_on(DramKind::InPackage), 64);
-        let wb_miss = c.access(&MemRequest::writeback(PageNum::new(50).base_addr(), 0), 0);
+        let wb_miss =
+            c.access_collected(&MemRequest::writeback(PageNum::new(50).base_addr(), 0), 0);
         assert_eq!(wb_miss.bytes_on(DramKind::OffPackage), 64);
     }
 }

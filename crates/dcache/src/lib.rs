@@ -4,12 +4,13 @@
 //! A DRAM-cache *design* decides, for every request that reaches a memory
 //! controller (an LLC demand miss or an LLC dirty eviction), which DRAM
 //! operations happen: where the data lives, which tags/metadata must be read
-//! or written, and what replacement traffic is generated. The design returns
-//! an [`AccessPlan`] — an explicit list of DRAM operations split into the
-//! *critical path* (the requester waits for these) and *background* work
-//! (fills, writebacks, metadata updates that only consume bandwidth) — plus
-//! any OS-level side effects (page-table updates, TLB shootdowns, page
-//! flushes).
+//! or written, and what replacement traffic is generated. The design writes
+//! its plan into a caller-owned [`PlanSink`] — an explicit list of DRAM
+//! operations split into the *critical path* (the requester waits for these)
+//! and *background* work (fills, writebacks, metadata updates that only
+//! consume bandwidth) — plus any OS-level side effects (page-table updates,
+//! TLB shootdowns, page flushes). The sink is reset and reused between
+//! requests, keeping the per-access hot path allocation-free.
 //!
 //! Designs implemented here (Section 2 and Table 1 of the paper):
 //!
@@ -48,7 +49,7 @@ pub mod unison;
 pub use controller::{DemandStats, DramCacheController};
 pub use design::{DCacheConfig, DramCacheDesign};
 pub use footprint::FootprintPredictor;
-pub use plan::{AccessPlan, DramOp, MemRequest, RequestKind, SideEffect};
+pub use plan::{DramOp, MemRequest, PlanSink, RequestKind, SideEffect};
 
 /// Bytes of a tag/metadata access on the in-package DRAM link (the paper
 /// charges 32 B for a tag read or update — the link's minimum transfer).

@@ -1,7 +1,7 @@
 //! The `NoCache` baseline: every request goes to off-package DRAM.
 
 use crate::controller::{DemandStats, DramCacheController};
-use crate::plan::{AccessPlan, DramOp, MemRequest, RequestKind};
+use crate::plan::{DramOp, MemRequest, PlanSink, RequestKind};
 use banshee_common::{Cycle, StatSet, TrafficClass};
 
 /// No DRAM cache at all — the system only has off-package DRAM. Figure 4
@@ -25,21 +25,23 @@ impl DramCacheController for NoCache {
         "NoCache"
     }
 
-    fn access(&mut self, req: &MemRequest, _now: Cycle) -> AccessPlan {
+    fn access(&mut self, req: &MemRequest, _now: Cycle, sink: &mut PlanSink) {
         match req.kind {
             RequestKind::DemandMiss => {
                 self.demand.record(false);
-                AccessPlan::empty().then(DramOp::off_package(
+                sink.then(DramOp::off_package(
                     req.addr,
                     crate::LINE_BYTES,
                     TrafficClass::MissData,
-                ))
+                ));
             }
-            RequestKind::Writeback => AccessPlan::empty().also(DramOp::off_package(
-                req.addr,
-                crate::LINE_BYTES,
-                TrafficClass::Writeback,
-            )),
+            RequestKind::Writeback => {
+                sink.also(DramOp::off_package(
+                    req.addr,
+                    crate::LINE_BYTES,
+                    TrafficClass::Writeback,
+                ));
+            }
         }
     }
 
@@ -64,7 +66,7 @@ mod tests {
     #[test]
     fn demand_goes_off_package_on_critical_path() {
         let mut c = NoCache::new();
-        let plan = c.access(&MemRequest::demand(Addr::new(0x1000), 0), 0);
+        let plan = c.access_collected(&MemRequest::demand(Addr::new(0x1000), 0), 0);
         assert_eq!(plan.critical.len(), 1);
         assert_eq!(plan.critical[0].dram, DramKind::OffPackage);
         assert_eq!(plan.critical[0].bytes, 64);
@@ -75,7 +77,7 @@ mod tests {
     #[test]
     fn writeback_is_background_traffic() {
         let mut c = NoCache::new();
-        let plan = c.access(&MemRequest::writeback(Addr::new(0x2000), 0), 0);
+        let plan = c.access_collected(&MemRequest::writeback(Addr::new(0x2000), 0), 0);
         assert!(plan.critical.is_empty());
         assert_eq!(plan.background.len(), 1);
         assert_eq!(plan.background[0].class, TrafficClass::Writeback);
@@ -87,7 +89,7 @@ mod tests {
     fn never_touches_in_package_dram() {
         let mut c = NoCache::new();
         for i in 0..100u64 {
-            let plan = c.access(&MemRequest::demand(Addr::new(i * 4096), 0), 0);
+            let plan = c.access_collected(&MemRequest::demand(Addr::new(i * 4096), 0), 0);
             assert_eq!(plan.bytes_on(DramKind::InPackage), 0);
         }
     }

@@ -155,9 +155,22 @@ pub enum SideEffect {
     },
 }
 
-/// The memory-controller-level plan for servicing one request.
+/// The memory-controller-level plan for servicing one request, written into
+/// a **reusable** sink instead of a freshly allocated return value.
+///
+/// The simulation loop services hundreds of millions of requests per figure;
+/// allocating three `Vec`s per request dominated the profile. The `System`
+/// therefore owns one `PlanSink`, calls [`PlanSink::reset`] before handing it
+/// to [`DramCacheController::access`](crate::DramCacheController::access),
+/// and the design appends its DRAM operations and side effects in place. The
+/// backing allocations are reused across requests, so the steady-state access
+/// path performs no heap allocation at all.
+///
+/// Ops appended with [`PlanSink::then`] form the critical path (the requester
+/// waits for them, executed in order); ops appended with [`PlanSink::also`]
+/// are background traffic issued once the critical path resolves.
 #[derive(Debug, Clone, Default)]
-pub struct AccessPlan {
+pub struct PlanSink {
     /// Operations the requester waits for, executed in order (each starts
     /// when the previous finishes — e.g. a tag probe followed by the
     /// off-package fetch it missed on).
@@ -175,34 +188,55 @@ pub struct AccessPlan {
     pub dram_cache_hit: bool,
 }
 
-impl AccessPlan {
-    /// An empty plan (no DRAM traffic at all).
-    pub fn empty() -> Self {
-        AccessPlan::default()
+impl PlanSink {
+    /// A fresh, empty sink.
+    pub fn new() -> Self {
+        PlanSink::default()
     }
 
-    /// Plan builder: append a critical-path operation.
-    pub fn then(mut self, op: DramOp) -> Self {
+    /// Clear the sink for the next request, keeping the backing allocations.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.critical.clear();
+        self.background.clear();
+        self.side_effects.clear();
+        self.extra_latency = 0;
+        self.dram_cache_hit = false;
+    }
+
+    /// Append a critical-path operation.
+    #[inline]
+    pub fn then(&mut self, op: DramOp) -> &mut Self {
         self.critical.push(op);
         self
     }
 
-    /// Plan builder: append a background operation.
-    pub fn also(mut self, op: DramOp) -> Self {
+    /// Append a background operation.
+    #[inline]
+    pub fn also(&mut self, op: DramOp) -> &mut Self {
         self.background.push(op);
         self
     }
 
-    /// Plan builder: record a side effect.
-    pub fn with_side_effect(mut self, effect: SideEffect) -> Self {
+    /// Record a side effect.
+    pub fn with_side_effect(&mut self, effect: SideEffect) -> &mut Self {
         self.side_effects.push(effect);
         self
     }
 
-    /// Plan builder: mark the plan as a DRAM-cache hit.
-    pub fn hit(mut self) -> Self {
+    /// Mark the plan as a DRAM-cache hit.
+    #[inline]
+    pub fn hit(&mut self) -> &mut Self {
         self.dram_cache_hit = true;
         self
+    }
+
+    /// True when the sink holds no operations, side effects or latency.
+    pub fn is_empty(&self) -> bool {
+        self.critical.is_empty()
+            && self.background.is_empty()
+            && self.side_effects.is_empty()
+            && self.extra_latency == 0
     }
 
     /// Total bytes this plan moves on the given DRAM (before min-transfer
@@ -256,8 +290,8 @@ mod tests {
 
     #[test]
     fn plan_builder_accumulates() {
-        let plan = AccessPlan::empty()
-            .then(DramOp::in_package(Addr::new(0), 64, TrafficClass::HitData))
+        let mut plan = PlanSink::new();
+        plan.then(DramOp::in_package(Addr::new(0), 64, TrafficClass::HitData))
             .then(DramOp::in_package(Addr::new(0), 32, TrafficClass::Tag))
             .also(DramOp::off_package(
                 Addr::new(0),
@@ -272,21 +306,39 @@ mod tests {
         assert_eq!(plan.bytes_on(DramKind::OffPackage), 64);
         assert_eq!(plan.bytes_of_class(TrafficClass::Tag), 32);
         assert_eq!(plan.op_count(), 3);
+        assert!(!plan.is_empty());
     }
 
     #[test]
     fn empty_plan_is_traffic_free() {
-        let plan = AccessPlan::empty();
+        let plan = PlanSink::new();
         assert_eq!(plan.bytes_on(DramKind::InPackage), 0);
         assert_eq!(plan.bytes_on(DramKind::OffPackage), 0);
         assert!(!plan.dram_cache_hit);
         assert_eq!(plan.op_count(), 0);
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn reset_clears_state_but_keeps_capacity() {
+        let mut plan = PlanSink::new();
+        plan.then(DramOp::in_package(Addr::new(0), 64, TrafficClass::HitData))
+            .also(DramOp::off_package(Addr::new(0), 64, TrafficClass::Tag))
+            .with_side_effect(SideEffect::TlbShootdown)
+            .hit();
+        plan.extra_latency = 9;
+        let critical_cap = plan.critical.capacity();
+        plan.reset();
+        assert!(plan.is_empty());
+        assert!(!plan.dram_cache_hit);
+        assert_eq!(plan.extra_latency, 0);
+        assert_eq!(plan.critical.capacity(), critical_cap);
     }
 
     #[test]
     fn side_effects_recorded_in_order() {
-        let plan = AccessPlan::empty()
-            .with_side_effect(SideEffect::OsWork { cycles: 100 })
+        let mut plan = PlanSink::new();
+        plan.with_side_effect(SideEffect::OsWork { cycles: 100 })
             .with_side_effect(SideEffect::TlbShootdown);
         assert_eq!(plan.side_effects.len(), 2);
         assert_eq!(plan.side_effects[0], SideEffect::OsWork { cycles: 100 });

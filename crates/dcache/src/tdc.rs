@@ -22,10 +22,12 @@
 use crate::controller::{DemandStats, DramCacheController};
 use crate::design::DCacheConfig;
 use crate::footprint::FootprintPredictor;
-use crate::plan::{AccessPlan, DramOp, MemRequest, RequestKind};
-use banshee_common::{Addr, Cycle, PageNum, StatSet, TrafficClass, CACHE_LINE_SIZE, PAGE_SIZE};
+use crate::plan::{DramOp, MemRequest, PlanSink, RequestKind};
+use banshee_common::{
+    Addr, Cycle, FnvHashMap, PageNum, StatSet, TrafficClass, CACHE_LINE_SIZE, PAGE_SIZE,
+};
 use banshee_memhier::PteMapInfo;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// State of one cached page frame in the in-package DRAM.
 #[derive(Debug, Clone, Copy)]
@@ -40,7 +42,7 @@ struct Frame {
 #[derive(Debug)]
 pub struct Tdc {
     /// Fully-associative content map: page → frame.
-    frames: HashMap<PageNum, Frame>,
+    frames: FnvHashMap<PageNum, Frame>,
     /// FIFO order of insertion.
     fifo: VecDeque<PageNum>,
     /// Free frame slots.
@@ -58,7 +60,7 @@ impl Tdc {
     pub fn new(config: &DCacheConfig) -> Self {
         let capacity_pages = config.capacity_pages().max(1);
         Tdc {
-            frames: HashMap::new(),
+            frames: FnvHashMap::default(),
             fifo: VecDeque::new(),
             free_slots: (0..capacity_pages).rev().collect(),
             capacity_pages,
@@ -84,7 +86,7 @@ impl Tdc {
     }
 
     /// Evict the FIFO-oldest page, returning the traffic it generates.
-    fn evict_one(&mut self, plan: &mut AccessPlan) -> u64 {
+    fn evict_one(&mut self, plan: &mut PlanSink) -> u64 {
         let victim = loop {
             match self.fifo.pop_front() {
                 Some(p) if self.frames.contains_key(&p) => break p,
@@ -117,7 +119,7 @@ impl DramCacheController for Tdc {
         "TDC"
     }
 
-    fn access(&mut self, req: &MemRequest, _now: Cycle) -> AccessPlan {
+    fn access(&mut self, req: &MemRequest, _now: Cycle, sink: &mut PlanSink) {
         let page = req.page();
         let line_in_page = req.addr.line().index_in_page();
 
@@ -132,24 +134,20 @@ impl DramCacheController for Tdc {
                     let slot = frame.slot;
                     let addr = self.frame_addr(slot, req.addr.page_offset());
                     self.footprint.on_access(page, line_in_page);
-                    return AccessPlan::empty()
-                        .then(DramOp::in_package(addr, 64, TrafficClass::HitData))
+                    sink.then(DramOp::in_package(addr, 64, TrafficClass::HitData))
                         .hit();
+                    return;
                 }
 
                 // ---- Miss: off-package demand fetch + replacement ----
                 self.demand.record(false);
-                let mut plan = AccessPlan::empty().then(DramOp::off_package(
-                    req.addr,
-                    64,
-                    TrafficClass::MissData,
-                ));
+                sink.then(DramOp::off_package(req.addr, 64, TrafficClass::MissData));
 
                 // Find a frame slot (evicting the FIFO-oldest if full).
                 let slot = if let Some(slot) = self.free_slots.pop() {
                     slot
                 } else {
-                    let slot = self.evict_one(&mut plan);
+                    let slot = self.evict_one(sink);
                     debug_assert!(slot != u64::MAX, "full cache must have a victim");
                     slot
                 };
@@ -158,17 +156,16 @@ impl DramCacheController for Tdc {
                 self.fills += 1;
                 let fp_bytes = self.footprint.predicted_bytes();
                 self.footprint.on_fill(page, line_in_page);
-                plan = plan
-                    .also(DramOp::off_package(
-                        page.base_addr(),
-                        fp_bytes,
-                        TrafficClass::Replacement,
-                    ))
-                    .also(DramOp::in_package(
-                        self.frame_addr(slot, 0),
-                        fp_bytes,
-                        TrafficClass::Replacement,
-                    ));
+                sink.also(DramOp::off_package(
+                    page.base_addr(),
+                    fp_bytes,
+                    TrafficClass::Replacement,
+                ))
+                .also(DramOp::in_package(
+                    self.frame_addr(slot, 0),
+                    fp_bytes,
+                    TrafficClass::Replacement,
+                ));
 
                 self.frames.insert(
                     page,
@@ -178,7 +175,6 @@ impl DramCacheController for Tdc {
                     },
                 );
                 self.fifo.push_back(page);
-                plan
             }
             RequestKind::Writeback => {
                 // Idealized: mapping always known, no probe traffic.
@@ -186,13 +182,9 @@ impl DramCacheController for Tdc {
                     frame.dirty_mask |= 1 << line_in_page;
                     let slot = frame.slot;
                     let addr = self.frame_addr(slot, req.addr.page_offset());
-                    AccessPlan::empty().also(DramOp::in_package(addr, 64, TrafficClass::Writeback))
+                    sink.also(DramOp::in_package(addr, 64, TrafficClass::Writeback));
                 } else {
-                    AccessPlan::empty().also(DramOp::off_package(
-                        req.addr,
-                        64,
-                        TrafficClass::Writeback,
-                    ))
+                    sink.also(DramOp::off_package(req.addr, 64, TrafficClass::Writeback));
                 }
             }
         }
@@ -239,8 +231,8 @@ mod tests {
     fn hit_is_tagless_64_bytes() {
         let mut c = Tdc::new(&tiny());
         let addr = Addr::new(0x3000);
-        c.access(&MemRequest::demand(addr, 0), 0);
-        let hit = c.access(&MemRequest::demand(addr, 0), 0);
+        c.access_collected(&MemRequest::demand(addr, 0), 0);
+        let hit = c.access_collected(&MemRequest::demand(addr, 0), 0);
         assert!(hit.dram_cache_hit);
         assert_eq!(hit.bytes_on(DramKind::InPackage), 64);
         assert_eq!(
@@ -253,7 +245,7 @@ mod tests {
     #[test]
     fn miss_critical_path_is_single_off_package_access() {
         let mut c = Tdc::new(&tiny());
-        let miss = c.access(&MemRequest::demand(Addr::new(0x5000), 0), 0);
+        let miss = c.access_collected(&MemRequest::demand(Addr::new(0x5000), 0), 0);
         assert_eq!(miss.critical.len(), 1);
         assert_eq!(miss.critical[0].dram, DramKind::OffPackage);
         assert_eq!(miss.critical[0].bytes, 64);
@@ -266,11 +258,11 @@ mod tests {
         let mut c = Tdc::new(&tiny());
         let pages = [0u64, 1 << 20, 2 << 20, 3 << 20];
         for &p in &pages {
-            c.access(&MemRequest::demand(Addr::new(p), 0), 0);
+            c.access_collected(&MemRequest::demand(Addr::new(p), 0), 0);
         }
         for &p in &pages {
             assert!(
-                c.access(&MemRequest::demand(Addr::new(p), 0), 0)
+                c.access_collected(&MemRequest::demand(Addr::new(p), 0), 0)
                     .dram_cache_hit
             );
         }
@@ -281,13 +273,13 @@ mod tests {
     fn fifo_evicts_oldest_even_if_recently_used() {
         let mut c = Tdc::new(&tiny());
         for p in 0..4u64 {
-            c.access(&MemRequest::demand(PageNum::new(p).base_addr(), 0), 0);
+            c.access_collected(&MemRequest::demand(PageNum::new(p).base_addr(), 0), 0);
         }
         // Touch page 0 again (FIFO ignores recency), then insert a 5th page.
-        c.access(&MemRequest::demand(PageNum::new(0).base_addr(), 0), 0);
-        c.access(&MemRequest::demand(PageNum::new(9).base_addr(), 0), 0);
+        c.access_collected(&MemRequest::demand(PageNum::new(0).base_addr(), 0), 0);
+        c.access_collected(&MemRequest::demand(PageNum::new(9).base_addr(), 0), 0);
         assert!(
-            !c.access(&MemRequest::demand(PageNum::new(0).base_addr(), 0), 0)
+            !c.access_collected(&MemRequest::demand(PageNum::new(0).base_addr(), 0), 0)
                 .dram_cache_hit,
             "FIFO must evict the oldest-inserted page"
         );
@@ -296,15 +288,15 @@ mod tests {
     #[test]
     fn dirty_victim_written_back_on_eviction() {
         let mut c = Tdc::new(&tiny());
-        c.access(
+        c.access_collected(
             &MemRequest::demand(PageNum::new(0).base_addr(), 0).as_store(),
             0,
         );
         for p in 1..4u64 {
-            c.access(&MemRequest::demand(PageNum::new(p).base_addr(), 0), 0);
+            c.access_collected(&MemRequest::demand(PageNum::new(p).base_addr(), 0), 0);
         }
         // Eviction of page 0 (dirty, 1 line) happens on the next miss.
-        let plan = c.access(&MemRequest::demand(PageNum::new(7).base_addr(), 0), 0);
+        let plan = c.access_collected(&MemRequest::demand(PageNum::new(7).base_addr(), 0), 0);
         assert_eq!(plan.bytes_of_class(TrafficClass::Writeback), 64);
     }
 
@@ -312,10 +304,10 @@ mod tests {
     fn writeback_routing_uses_ground_truth_mapping() {
         let mut c = Tdc::new(&tiny());
         let cached = Addr::new(0x2000);
-        c.access(&MemRequest::demand(cached, 0), 0);
-        let wb_hit = c.access(&MemRequest::writeback(cached, 0), 0);
+        c.access_collected(&MemRequest::demand(cached, 0), 0);
+        let wb_hit = c.access_collected(&MemRequest::writeback(cached, 0), 0);
         assert_eq!(wb_hit.bytes_on(DramKind::InPackage), 64);
-        let wb_miss = c.access(&MemRequest::writeback(Addr::new(0xAB_0000), 0), 0);
+        let wb_miss = c.access_collected(&MemRequest::writeback(Addr::new(0xAB_0000), 0), 0);
         assert_eq!(wb_miss.bytes_on(DramKind::OffPackage), 64);
     }
 
@@ -324,7 +316,7 @@ mod tests {
         let mut c = Tdc::new(&tiny());
         let addr = Addr::new(0x7000);
         assert_eq!(c.current_mapping(addr.page()), PteMapInfo::NOT_CACHED);
-        c.access(&MemRequest::demand(addr, 0), 0);
+        c.access_collected(&MemRequest::demand(addr, 0), 0);
         assert!(c.current_mapping(addr.page()).cached);
     }
 }

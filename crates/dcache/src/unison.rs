@@ -21,8 +21,10 @@
 use crate::controller::{DemandStats, DramCacheController};
 use crate::design::DCacheConfig;
 use crate::footprint::FootprintPredictor;
-use crate::plan::{AccessPlan, DramOp, MemRequest, RequestKind};
-use banshee_common::{Addr, Cycle, PageNum, StatSet, TrafficClass, CACHE_LINE_SIZE, PAGE_SIZE};
+use crate::plan::{DramOp, MemRequest, PlanSink, RequestKind};
+use banshee_common::{
+    Addr, Cycle, FastDivMod, PageNum, StatSet, TrafficClass, CACHE_LINE_SIZE, PAGE_SIZE,
+};
 
 /// One way of one page set.
 #[derive(Debug, Clone, Copy, Default)]
@@ -40,6 +42,7 @@ struct PageWay {
 pub struct UnisonCache {
     sets: Vec<Vec<PageWay>>,
     ways: usize,
+    set_div: FastDivMod,
     clock: u64,
     demand: DemandStats,
     footprint: FootprintPredictor,
@@ -54,6 +57,7 @@ impl UnisonCache {
         UnisonCache {
             sets: vec![vec![PageWay::default(); config.ways]; sets],
             ways: config.ways,
+            set_div: FastDivMod::new(sets as u64),
             clock: 0,
             demand: DemandStats::new(4096),
             footprint: FootprintPredictor::new(config.footprint_granularity),
@@ -64,7 +68,7 @@ impl UnisonCache {
 
     #[inline]
     fn set_index(&self, page: PageNum) -> usize {
-        (page.raw() % self.sets.len() as u64) as usize
+        self.set_div.rem(page.raw()) as usize
     }
 
     /// In-package DRAM address where a cached page's data lives.
@@ -104,7 +108,7 @@ impl DramCacheController for UnisonCache {
         "Unison"
     }
 
-    fn access(&mut self, req: &MemRequest, _now: Cycle) -> AccessPlan {
+    fn access(&mut self, req: &MemRequest, _now: Cycle, sink: &mut PlanSink) {
         self.clock += 1;
         let page = req.page();
         let set = self.set_index(page);
@@ -126,19 +130,18 @@ impl DramCacheController for UnisonCache {
                             w.dirty_mask |= 1 << line_in_page;
                         }
                     }
-                    return AccessPlan::empty()
-                        .then(DramOp::in_package(tag_addr, 32, TrafficClass::Tag))
+                    sink.then(DramOp::in_package(tag_addr, 32, TrafficClass::Tag))
                         .then(DramOp::in_package(data_addr, 64, TrafficClass::HitData))
                         .also(DramOp::in_package(tag_addr, 32, TrafficClass::Tag))
                         .hit();
+                    return;
                 }
 
                 // ---- Miss path ----
                 self.demand.record(false);
                 let victim_way = self.lru_way(set);
                 let spec_addr = self.data_addr(set, victim_way, req.addr.page_offset());
-                let mut plan = AccessPlan::empty()
-                    .then(DramOp::in_package(tag_addr, 32, TrafficClass::Tag))
+                sink.then(DramOp::in_package(tag_addr, 32, TrafficClass::Tag))
                     .then(DramOp::in_package(spec_addr, 64, TrafficClass::MissData))
                     .then(DramOp::off_package(req.addr, 64, TrafficClass::MissData));
 
@@ -149,17 +152,16 @@ impl DramCacheController for UnisonCache {
                     if dirty_lines > 0 {
                         self.dirty_lines_written_back += dirty_lines;
                         let victim_addr = self.data_addr(set, victim_way, 0);
-                        plan = plan
-                            .also(DramOp::in_package(
-                                victim_addr,
-                                dirty_lines * CACHE_LINE_SIZE,
-                                TrafficClass::Replacement,
-                            ))
-                            .also(DramOp::off_package(
-                                victim.page.base_addr(),
-                                dirty_lines * CACHE_LINE_SIZE,
-                                TrafficClass::Writeback,
-                            ));
+                        sink.also(DramOp::in_package(
+                            victim_addr,
+                            dirty_lines * CACHE_LINE_SIZE,
+                            TrafficClass::Replacement,
+                        ))
+                        .also(DramOp::off_package(
+                            victim.page.base_addr(),
+                            dirty_lines * CACHE_LINE_SIZE,
+                            TrafficClass::Writeback,
+                        ));
                     }
                     self.footprint.on_evict(victim.page);
                 }
@@ -169,18 +171,17 @@ impl DramCacheController for UnisonCache {
                 let fp_bytes = self.footprint.predicted_bytes();
                 self.footprint.on_fill(page, line_in_page);
                 let fill_addr = self.data_addr(set, victim_way, 0);
-                plan = plan
-                    .also(DramOp::off_package(
-                        page.base_addr(),
-                        fp_bytes,
-                        TrafficClass::Replacement,
-                    ))
-                    .also(DramOp::in_package(
-                        fill_addr,
-                        fp_bytes,
-                        TrafficClass::Replacement,
-                    ))
-                    .also(DramOp::in_package(tag_addr, 32, TrafficClass::Tag));
+                sink.also(DramOp::off_package(
+                    page.base_addr(),
+                    fp_bytes,
+                    TrafficClass::Replacement,
+                ))
+                .also(DramOp::in_package(
+                    fill_addr,
+                    fp_bytes,
+                    TrafficClass::Replacement,
+                ))
+                .also(DramOp::in_package(tag_addr, 32, TrafficClass::Tag));
 
                 self.sets[set][victim_way] = PageWay {
                     valid: true,
@@ -188,20 +189,17 @@ impl DramCacheController for UnisonCache {
                     dirty_mask: if req.write { 1 << line_in_page } else { 0 },
                     touched: self.clock,
                 };
-                plan
             }
             RequestKind::Writeback => {
                 // Tag probe to find the line, then write it where it lives.
-                let mut plan =
-                    AccessPlan::empty().also(DramOp::in_package(tag_addr, 32, TrafficClass::Tag));
+                sink.also(DramOp::in_package(tag_addr, 32, TrafficClass::Tag));
                 if let Some(way) = resident {
                     let data_addr = self.data_addr(set, way, req.addr.page_offset());
                     self.sets[set][way].dirty_mask |= 1 << line_in_page;
-                    plan = plan.also(DramOp::in_package(data_addr, 64, TrafficClass::Writeback));
+                    sink.also(DramOp::in_package(data_addr, 64, TrafficClass::Writeback));
                 } else {
-                    plan = plan.also(DramOp::off_package(req.addr, 64, TrafficClass::Writeback));
+                    sink.also(DramOp::off_package(req.addr, 64, TrafficClass::Writeback));
                 }
-                plan
             }
         }
     }
@@ -242,8 +240,8 @@ mod tests {
     fn hit_traffic_is_at_least_128_bytes() {
         let mut c = UnisonCache::new(&cfg());
         let addr = Addr::new(0x8000);
-        c.access(&MemRequest::demand(addr, 0), 0);
-        let hit = c.access(&MemRequest::demand(addr, 0), 0);
+        c.access_collected(&MemRequest::demand(addr, 0), 0);
+        let hit = c.access_collected(&MemRequest::demand(addr, 0), 0);
         assert!(hit.dram_cache_hit);
         assert_eq!(hit.bytes_on(DramKind::InPackage), 128);
         assert_eq!(hit.bytes_on(DramKind::OffPackage), 0);
@@ -253,7 +251,7 @@ mod tests {
     fn miss_replaces_on_every_miss() {
         let mut c = UnisonCache::new(&cfg());
         let addr = Addr::new(0x10_0000);
-        let miss = c.access(&MemRequest::demand(addr, 0), 0);
+        let miss = c.access_collected(&MemRequest::demand(addr, 0), 0);
         assert!(!miss.dram_cache_hit);
         // Critical path: tag + speculative way + off-package demand.
         assert_eq!(miss.critical.len(), 3);
@@ -271,12 +269,12 @@ mod tests {
         for round in 0..8u64 {
             for i in 0..(sets * 8) {
                 let page = PageNum::new(round * 100_000 + i);
-                c.access(&MemRequest::demand(page.line_at(0).base_addr(), 0), 0);
-                c.access(&MemRequest::demand(page.line_at(1).base_addr(), 0), 0);
+                c.access_collected(&MemRequest::demand(page.line_at(0).base_addr(), 0), 0);
+                c.access_collected(&MemRequest::demand(page.line_at(1).base_addr(), 0), 0);
             }
         }
         // After training, a fresh miss should fetch far less than a page.
-        let plan = c.access(&MemRequest::demand(Addr::new(0xDEAD_0000), 0), 0);
+        let plan = c.access_collected(&MemRequest::demand(Addr::new(0xDEAD_0000), 0), 0);
         let repl = plan.bytes_of_class(TrafficClass::Replacement);
         assert!(
             repl <= 2 * 8 * CACHE_LINE_SIZE,
@@ -294,10 +292,10 @@ mod tests {
         // Fill all 4 ways of set 0 with dirty lines.
         for p in 0..4u64 {
             let page = PageNum::new(p);
-            c.access(&MemRequest::demand(page.base_addr(), 0).as_store(), 0);
+            c.access_collected(&MemRequest::demand(page.base_addr(), 0).as_store(), 0);
         }
         // A 5th page evicts the LRU victim (page 0, one dirty line).
-        let plan = c.access(&MemRequest::demand(PageNum::new(10).base_addr(), 0), 0);
+        let plan = c.access_collected(&MemRequest::demand(PageNum::new(10).base_addr(), 0), 0);
         assert_eq!(plan.bytes_of_class(TrafficClass::Writeback), 64);
     }
 
@@ -309,18 +307,18 @@ mod tests {
         };
         let mut c = UnisonCache::new(&cfg);
         for p in 0..4u64 {
-            c.access(&MemRequest::demand(PageNum::new(p).base_addr(), 0), 0);
+            c.access_collected(&MemRequest::demand(PageNum::new(p).base_addr(), 0), 0);
         }
         // Re-touch page 0 so page 1 becomes LRU, then insert page 5.
-        c.access(&MemRequest::demand(PageNum::new(0).base_addr(), 0), 0);
-        c.access(&MemRequest::demand(PageNum::new(5).base_addr(), 0), 0);
+        c.access_collected(&MemRequest::demand(PageNum::new(0).base_addr(), 0), 0);
+        c.access_collected(&MemRequest::demand(PageNum::new(5).base_addr(), 0), 0);
         // Page 0 still hits, page 1 misses.
         assert!(
-            c.access(&MemRequest::demand(PageNum::new(0).base_addr(), 0), 0)
+            c.access_collected(&MemRequest::demand(PageNum::new(0).base_addr(), 0), 0)
                 .dram_cache_hit
         );
         assert!(
-            !c.access(&MemRequest::demand(PageNum::new(1).base_addr(), 0), 0)
+            !c.access_collected(&MemRequest::demand(PageNum::new(1).base_addr(), 0), 0)
                 .dram_cache_hit
         );
     }
@@ -329,12 +327,12 @@ mod tests {
     fn writeback_probe_routes_by_presence() {
         let mut c = UnisonCache::new(&cfg());
         let cached = Addr::new(0x4000);
-        c.access(&MemRequest::demand(cached, 0), 0);
-        let wb_hit = c.access(&MemRequest::writeback(cached, 0), 0);
+        c.access_collected(&MemRequest::demand(cached, 0), 0);
+        let wb_hit = c.access_collected(&MemRequest::writeback(cached, 0), 0);
         assert_eq!(wb_hit.bytes_on(DramKind::InPackage), 96); // probe + data
         assert_eq!(wb_hit.bytes_on(DramKind::OffPackage), 0);
 
-        let wb_miss = c.access(&MemRequest::writeback(Addr::new(0xF00_0000), 0), 0);
+        let wb_miss = c.access_collected(&MemRequest::writeback(Addr::new(0xF00_0000), 0), 0);
         assert_eq!(wb_miss.bytes_on(DramKind::InPackage), 32); // probe only
         assert_eq!(wb_miss.bytes_on(DramKind::OffPackage), 64);
     }

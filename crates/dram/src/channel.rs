@@ -15,7 +15,7 @@
 //! are cheaper per byte than scattered line accesses).
 
 use crate::config::{DramConfig, DramTiming};
-use banshee_common::{Addr, Cycle};
+use banshee_common::{Addr, Cycle, FastDivMod};
 
 /// What the row buffer did for an access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,6 +64,11 @@ pub struct ChannelAccess {
 #[derive(Debug, Clone)]
 pub struct Channel {
     banks: Vec<Bank>,
+    /// Row-buffer-size divider for row addressing (shift for the usual
+    /// power-of-two row sizes), fixed at construction.
+    row_div: FastDivMod,
+    /// Bank-count divider for bank interleaving.
+    bank_div: FastDivMod,
     bus_free: Cycle,
     busy_cycles: u64,
     accesses: u64,
@@ -72,11 +77,13 @@ pub struct Channel {
 }
 
 impl Channel {
-    /// Create a channel with `banks` banks.
-    pub fn new(banks: usize) -> Self {
+    /// Create a channel with `banks` banks and rows of `row_buffer_bytes`.
+    pub fn new(banks: usize, row_buffer_bytes: u64) -> Self {
         assert!(banks > 0, "a channel needs at least one bank");
         Channel {
             banks: vec![Bank::default(); banks],
+            row_div: FastDivMod::new(row_buffer_bytes),
+            bank_div: FastDivMod::new(banks as u64),
             bus_free: 0,
             busy_cycles: 0,
             accesses: 0,
@@ -129,12 +136,18 @@ impl Channel {
     ) -> ChannelAccess {
         self.accesses += 1;
 
-        let bank_count = self.banks.len() as u64;
         // Interleave banks at row-buffer granularity so a page fill streams
-        // within one row.
-        let row_id = addr.raw() / cfg.row_buffer_bytes;
-        let bank_idx = (row_id % bank_count) as usize;
-        let row = row_id / bank_count;
+        // within one row. The construction-time divider matches
+        // `cfg.row_buffer_bytes` on every normal path (DramDevice builds
+        // both from one config); a caller passing a different config is
+        // still honored exactly, just without the fast path.
+        let row_id = if self.row_div.n() == cfg.row_buffer_bytes {
+            self.row_div.div(addr.raw())
+        } else {
+            addr.raw() / cfg.row_buffer_bytes
+        };
+        let bank_idx = self.bank_div.rem(row_id) as usize;
+        let row = self.bank_div.div(row_id);
 
         let bank = &mut self.banks[bank_idx];
         let start = now.max(bank.busy_until);
@@ -203,7 +216,7 @@ mod tests {
     fn first_access_is_row_closed() {
         let c = cfg();
         let t = DramTiming::default();
-        let mut ch = Channel::new(8);
+        let mut ch = Channel::new(8, cfg().row_buffer_bytes);
         let a = ch.access(&c, &t, 0, Addr::new(0x1000), 64);
         assert_eq!(a.row_outcome, RowBufferOutcome::Closed);
         assert!(a.finish > a.start);
@@ -213,7 +226,7 @@ mod tests {
     fn same_row_hits_after_first_access() {
         let c = cfg();
         let t = DramTiming::default();
-        let mut ch = Channel::new(8);
+        let mut ch = Channel::new(8, cfg().row_buffer_bytes);
         let first = ch.access(&c, &t, 0, Addr::new(0x0), 64);
         let second = ch.access(&c, &t, first.finish, Addr::new(0x40), 64);
         assert_eq!(second.row_outcome, RowBufferOutcome::Hit);
@@ -225,7 +238,7 @@ mod tests {
     fn different_row_same_bank_conflicts() {
         let c = cfg();
         let t = DramTiming::default();
-        let mut ch = Channel::new(2);
+        let mut ch = Channel::new(2, cfg().row_buffer_bytes);
         // Rows map to banks via row_id % 2; row 0 and row 2 share bank 0.
         let first = ch.access(&c, &t, 0, Addr::new(0), 64);
         let conflict_addr = Addr::new(2 * c.row_buffer_bytes);
@@ -238,7 +251,7 @@ mod tests {
     fn back_to_back_accesses_queue_on_the_bus() {
         let c = cfg();
         let t = DramTiming::default();
-        let mut ch = Channel::new(8);
+        let mut ch = Channel::new(8, cfg().row_buffer_bytes);
         // Two accesses to different banks issued at the same time must
         // serialize on the data bus.
         let a = ch.access(&c, &t, 0, Addr::new(0), 64);
@@ -250,8 +263,8 @@ mod tests {
     fn large_transfers_occupy_bus_longer() {
         let c = cfg();
         let t = DramTiming::default();
-        let mut ch_small = Channel::new(8);
-        let mut ch_big = Channel::new(8);
+        let mut ch_small = Channel::new(8, cfg().row_buffer_bytes);
+        let mut ch_big = Channel::new(8, cfg().row_buffer_bytes);
         let small = ch_small.access(&c, &t, 0, Addr::new(0), 64);
         let big = ch_big.access(&c, &t, 0, Addr::new(0), 4096);
         assert!(big.finish - big.start > small.finish - small.start);
@@ -262,7 +275,7 @@ mod tests {
     fn utilization_bounded() {
         let c = cfg();
         let t = DramTiming::default();
-        let mut ch = Channel::new(8);
+        let mut ch = Channel::new(8, cfg().row_buffer_bytes);
         for i in 0..100u64 {
             ch.access(&c, &t, i, Addr::new(i * 64), 64);
         }
@@ -275,6 +288,6 @@ mod tests {
     #[test]
     #[should_panic]
     fn channel_requires_banks() {
-        let _ = Channel::new(0);
+        let _ = Channel::new(0, cfg().row_buffer_bytes);
     }
 }

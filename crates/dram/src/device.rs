@@ -2,7 +2,7 @@
 
 use crate::channel::{Channel, ChannelAccess};
 use crate::config::{DramConfig, DramTiming};
-use banshee_common::{Addr, Cycle, DramKind, TrafficClass, TrafficStats, PAGE_SIZE};
+use banshee_common::{Addr, Cycle, DramKind, FastDivMod, TrafficClass, TrafficStats, PAGE_SIZE};
 
 /// Result of an access at the device level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,6 +29,7 @@ pub struct DramDevice {
     config: DramConfig,
     timing: DramTiming,
     channels: Vec<Channel>,
+    channel_div: FastDivMod,
     traffic: TrafficStats,
     access_count: u64,
     total_latency: u64,
@@ -39,12 +40,13 @@ impl DramDevice {
     pub fn new(kind: DramKind, config: DramConfig) -> Self {
         assert!(config.channels > 0, "device needs at least one channel");
         let channels = (0..config.channels)
-            .map(|_| Channel::new(config.banks_per_channel))
+            .map(|_| Channel::new(config.banks_per_channel, config.row_buffer_bytes))
             .collect();
         DramDevice {
             kind,
             timing: DramTiming::default(),
             channels,
+            channel_div: FastDivMod::new(config.channels as u64),
             traffic: TrafficStats::new(),
             access_count: 0,
             total_latency: 0,
@@ -85,7 +87,7 @@ impl DramDevice {
     /// granularity, matching the paper's static page-granularity mapping of
     /// physical addresses to memory controllers.
     pub fn channel_for(&self, addr: Addr) -> usize {
-        ((addr.raw() / PAGE_SIZE) % self.channels.len() as u64) as usize
+        self.channel_div.rem(addr.raw() / PAGE_SIZE) as usize
     }
 
     /// Perform an access of `bytes` at `addr`, issued at cycle `now`,

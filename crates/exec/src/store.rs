@@ -20,15 +20,10 @@ use std::path::{Path, PathBuf};
 /// wholesale when the entry layout changes.
 pub const STORE_FORMAT: u64 = 1;
 
-/// 64-bit FNV-1a hash, used to derive entry file names from key material.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
+/// 64-bit FNV-1a hash, used to derive entry file names from key material
+/// (the workspace-wide implementation, shared with `banshee_common`'s
+/// hot-path hash maps; re-exported here for backwards compatibility).
+pub use banshee_common::hash::fnv1a64;
 
 /// A directory of cached results, one JSON entry per key.
 #[derive(Debug, Clone)]

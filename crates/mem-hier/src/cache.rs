@@ -5,8 +5,25 @@
 //! designs that need an auxiliary tag structure (e.g. Alloy Cache's
 //! direct-mapped line tags are a 1-way instance; Banshee's tag buffer is an
 //! 8-way instance with extra per-entry payload kept by the caller).
+//!
+//! These lookups run on **every** simulated access (L1 + L2 + LLC), so the
+//! layout is optimized for the simulator's hot path:
+//!
+//! * all ways live in one contiguous `Vec<Way>` with stride indexing
+//!   (`set * ways + way`), instead of a `Vec<Vec<Way>>` whose per-set heap
+//!   allocations scatter the tag arrays across the heap;
+//! * victim selection is O(1): a per-set valid bitmap finds free ways with
+//!   `trailing_zeros`, and an intrusive doubly-linked recency list (u8
+//!   next/prev indices embedded in each way) keeps exact LRU/FIFO order —
+//!   hits rotate the list head, the victim is always the tail — replacing
+//!   the former O(ways) timestamp scans.
+//!
+//! The replacement behaviour is bit-for-bit identical to the timestamp
+//! implementation it replaced: free ways are claimed lowest-index-first, LRU
+//! evicts the least-recently-touched way, FIFO the oldest-inserted one, and
+//! Random draws from the same RNG stream.
 
-use banshee_common::{LineAddr, XorShiftRng};
+use banshee_common::{FastDivMod, LineAddr, XorShiftRng};
 use serde::{Deserialize, Serialize};
 
 /// Victim-selection policy for a set-associative cache.
@@ -20,16 +37,52 @@ pub enum ReplacementPolicy {
     Random,
 }
 
-/// One way of one set.
-#[derive(Debug, Clone, Copy, Default)]
+/// Sentinel for "no neighbour" in the intrusive recency list.
+const NONE: u8 = u8::MAX;
+
+/// One way of one set, with embedded recency-list links.
+#[derive(Debug, Clone, Copy)]
 struct Way {
     valid: bool,
     dirty: bool,
     tag: u64,
-    /// Last-touch timestamp for LRU.
-    touched: u64,
-    /// Insertion timestamp for FIFO.
-    inserted: u64,
+    /// Next way towards the LRU end (index within the set).
+    next: u8,
+    /// Previous way towards the MRU end (index within the set).
+    prev: u8,
+}
+
+impl Default for Way {
+    fn default() -> Self {
+        Way {
+            valid: false,
+            dirty: false,
+            tag: 0,
+            next: NONE,
+            prev: NONE,
+        }
+    }
+}
+
+/// Per-set replacement state: recency-list endpoints + valid bitmap.
+#[derive(Debug, Clone, Copy)]
+struct SetState {
+    /// Most-recently-used (or most-recently-inserted, for FIFO) way.
+    head: u8,
+    /// Least-recently-used / oldest-inserted way — the victim.
+    tail: u8,
+    /// Bit `w` set ⇔ way `w` is valid.
+    valid_mask: u64,
+}
+
+impl Default for SetState {
+    fn default() -> Self {
+        SetState {
+            head: NONE,
+            tail: NONE,
+            valid_mask: 0,
+        }
+    }
 }
 
 /// Outcome of a cache access.
@@ -43,6 +96,11 @@ pub struct AccessResult {
     /// A clean victim that was silently dropped, if any (useful for
     /// inclusive-hierarchy back-invalidation).
     pub evicted_clean: Option<LineAddr>,
+    /// Global way index (`set * ways + way`) the line was found in or filled
+    /// into — the key callers use to attach their own per-way metadata
+    /// (e.g. the hierarchy's inclusion masks). `usize::MAX` for a
+    /// non-allocating miss.
+    pub slot: usize,
 }
 
 impl AccessResult {
@@ -55,10 +113,15 @@ impl AccessResult {
 /// A set-associative cache over 64-byte lines.
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
-    sets: Vec<Vec<Way>>,
+    /// All ways of all sets, contiguous: way `w` of set `s` lives at
+    /// `s * ways + w`.
+    ways_flat: Vec<Way>,
+    /// Per-set replacement state.
+    sets: Vec<SetState>,
     ways: usize,
     policy: ReplacementPolicy,
-    clock: u64,
+    /// Set-count divider (mask/shift for power-of-two set counts).
+    set_div: FastDivMod,
     rng: XorShiftRng,
     hits: u64,
     misses: u64,
@@ -70,9 +133,11 @@ impl SetAssocCache {
     /// associativity.
     ///
     /// # Panics
-    /// Panics if the geometry does not divide evenly or is empty.
+    /// Panics if the geometry does not divide evenly, is empty, or exceeds
+    /// 64 ways (the per-set valid bitmap's width).
     pub fn new(capacity_bytes: u64, ways: usize, policy: ReplacementPolicy) -> Self {
         assert!(ways > 0, "cache needs at least one way");
+        assert!(ways <= 64, "associativity above 64 ways is not supported");
         let lines = capacity_bytes / banshee_common::CACHE_LINE_SIZE;
         assert!(lines > 0, "cache must hold at least one line");
         assert!(
@@ -81,10 +146,11 @@ impl SetAssocCache {
         );
         let num_sets = (lines / ways as u64) as usize;
         SetAssocCache {
-            sets: vec![vec![Way::default(); ways]; num_sets],
+            ways_flat: vec![Way::default(); num_sets * ways],
+            sets: vec![SetState::default(); num_sets],
             ways,
             policy,
-            clock: 0,
+            set_div: FastDivMod::new(num_sets as u64),
             rng: XorShiftRng::new(0xCACE),
             hits: 0,
             misses: 0,
@@ -129,23 +195,93 @@ impl SetAssocCache {
 
     #[inline]
     fn set_index(&self, line: LineAddr) -> usize {
-        (line.raw() % self.sets.len() as u64) as usize
+        self.set_div.rem(line.raw()) as usize
     }
 
     #[inline]
     fn tag_of(&self, line: LineAddr) -> u64 {
-        line.raw() / self.sets.len() as u64
+        self.set_div.div(line.raw())
     }
 
     fn line_from(&self, set: usize, tag: u64) -> LineAddr {
         LineAddr::new(tag * self.sets.len() as u64 + set as u64)
     }
 
+    /// All ways valid in this set?
+    #[inline]
+    fn full_mask(&self) -> u64 {
+        if self.ways == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.ways) - 1
+        }
+    }
+
+    /// Find the way holding `tag` in `set`, if any.
+    #[inline]
+    fn find_way(&self, set: usize, tag: u64) -> Option<usize> {
+        let base = set * self.ways;
+        let ways = &self.ways_flat[base..base + self.ways];
+        ways.iter().position(|w| w.valid && w.tag == tag)
+    }
+
+    // ---- Intrusive recency list -----------------------------------------
+
+    /// Detach way `w` from its set's recency list.
+    #[inline]
+    fn unlink(&mut self, set: usize, w: u8) {
+        let base = set * self.ways;
+        let (prev, next) = {
+            let way = &self.ways_flat[base + w as usize];
+            (way.prev, way.next)
+        };
+        if prev != NONE {
+            self.ways_flat[base + prev as usize].next = next;
+        } else {
+            self.sets[set].head = next;
+        }
+        if next != NONE {
+            self.ways_flat[base + next as usize].prev = prev;
+        } else {
+            self.sets[set].tail = prev;
+        }
+        let way = &mut self.ways_flat[base + w as usize];
+        way.prev = NONE;
+        way.next = NONE;
+    }
+
+    /// Attach way `w` at the MRU end of its set's recency list.
+    #[inline]
+    fn push_front(&mut self, set: usize, w: u8) {
+        let base = set * self.ways;
+        let old_head = self.sets[set].head;
+        {
+            let way = &mut self.ways_flat[base + w as usize];
+            way.prev = NONE;
+            way.next = old_head;
+        }
+        if old_head != NONE {
+            self.ways_flat[base + old_head as usize].prev = w;
+        } else {
+            self.sets[set].tail = w;
+        }
+        self.sets[set].head = w;
+    }
+
+    /// Rotate way `w` to the MRU end (LRU hit promotion).
+    #[inline]
+    fn move_to_front(&mut self, set: usize, w: u8) {
+        if self.sets[set].head != w {
+            self.unlink(set, w);
+            self.push_front(set, w);
+        }
+    }
+
     /// Look up a line without changing any state.
     pub fn probe(&self, line: LineAddr) -> bool {
         let set = self.set_index(line);
         let tag = self.tag_of(line);
-        self.sets[set].iter().any(|w| w.valid && w.tag == tag)
+        self.find_way(set, tag).is_some()
     }
 
     /// Access `line`; on a miss, allocate it (possibly evicting a victim).
@@ -161,23 +297,22 @@ impl SetAssocCache {
     }
 
     fn access_inner(&mut self, line: LineAddr, write: bool, allocate: bool) -> AccessResult {
-        self.clock += 1;
         let set_idx = self.set_index(line);
         let tag = self.tag_of(line);
-        let clock = self.clock;
+        let base = set_idx * self.ways;
 
         // Hit path.
-        if let Some(way) = self.sets[set_idx]
-            .iter_mut()
-            .find(|w| w.valid && w.tag == tag)
-        {
-            way.touched = clock;
-            way.dirty |= write;
+        if let Some(w) = self.find_way(set_idx, tag) {
+            self.ways_flat[base + w].dirty |= write;
+            if self.policy == ReplacementPolicy::Lru {
+                self.move_to_front(set_idx, w as u8);
+            }
             self.hits += 1;
             return AccessResult {
                 hit: true,
                 writeback: None,
                 evicted_clean: None,
+                slot: base + w,
             };
         }
 
@@ -187,14 +322,16 @@ impl SetAssocCache {
                 hit: false,
                 writeback: None,
                 evicted_clean: None,
+                slot: usize::MAX,
             };
         }
 
         // Miss: pick a victim way.
         let victim_idx = self.pick_victim(set_idx);
-        let victim = self.sets[set_idx][victim_idx];
+        let victim = self.ways_flat[base + victim_idx];
         let (writeback, evicted_clean) = if victim.valid {
             let victim_line = self.line_from(set_idx, victim.tag);
+            self.unlink(set_idx, victim_idx as u8);
             if victim.dirty {
                 self.writebacks += 1;
                 (Some(victim_line), None)
@@ -205,39 +342,34 @@ impl SetAssocCache {
             (None, None)
         };
 
-        self.sets[set_idx][victim_idx] = Way {
+        self.ways_flat[base + victim_idx] = Way {
             valid: true,
             dirty: write,
             tag,
-            touched: clock,
-            inserted: clock,
+            next: NONE,
+            prev: NONE,
         };
+        self.sets[set_idx].valid_mask |= 1u64 << victim_idx;
+        self.push_front(set_idx, victim_idx as u8);
 
         AccessResult {
             hit: false,
             writeback,
             evicted_clean,
+            slot: base + victim_idx,
         }
     }
 
     fn pick_victim(&mut self, set_idx: usize) -> usize {
-        // Prefer an invalid way.
-        if let Some(idx) = self.sets[set_idx].iter().position(|w| !w.valid) {
-            return idx;
+        // Prefer the lowest-index invalid way.
+        let free = !self.sets[set_idx].valid_mask & self.full_mask();
+        if free != 0 {
+            return free.trailing_zeros() as usize;
         }
         match self.policy {
-            ReplacementPolicy::Lru => self.sets[set_idx]
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, w)| w.touched)
-                .map(|(i, _)| i)
-                .unwrap_or(0),
-            ReplacementPolicy::Fifo => self.sets[set_idx]
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, w)| w.inserted)
-                .map(|(i, _)| i)
-                .unwrap_or(0),
+            // The recency-list tail is the least-recently-touched (LRU) or
+            // oldest-inserted (FIFO) way.
+            ReplacementPolicy::Lru | ReplacementPolicy::Fifo => self.sets[set_idx].tail as usize,
             ReplacementPolicy::Random => self.rng.next_below(self.ways as u64) as usize,
         }
     }
@@ -246,29 +378,31 @@ impl SetAssocCache {
     pub fn invalidate(&mut self, line: LineAddr) -> Option<bool> {
         let set_idx = self.set_index(line);
         let tag = self.tag_of(line);
-        for way in self.sets[set_idx].iter_mut() {
-            if way.valid && way.tag == tag {
-                let dirty = way.dirty;
-                *way = Way::default();
-                return Some(dirty);
-            }
-        }
-        None
+        let w = self.find_way(set_idx, tag)?;
+        let dirty = self.ways_flat[set_idx * self.ways + w].dirty;
+        self.unlink(set_idx, w as u8);
+        self.ways_flat[set_idx * self.ways + w] = Way::default();
+        self.sets[set_idx].valid_mask &= !(1u64 << w);
+        Some(dirty)
     }
 
-    /// Remove every line belonging to 4 KiB page `page`; returns the removed
-    /// lines with their dirty bit. This is the "cache scrubbing" operation
-    /// that address-consistency problems force on NUMA-style designs (HMA),
-    /// and that Banshee avoids by keeping physical addresses stable.
-    pub fn invalidate_page(&mut self, page: banshee_common::PageNum) -> Vec<(LineAddr, bool)> {
-        let mut removed = Vec::new();
+    /// Remove every line belonging to 4 KiB page `page`, appending the
+    /// removed lines with their dirty bit to `removed` (an out-buffer the
+    /// caller reuses, so page scrubbing does not allocate). This is the
+    /// "cache scrubbing" operation that address-consistency problems force
+    /// on NUMA-style designs (HMA), and that Banshee avoids by keeping
+    /// physical addresses stable.
+    pub fn invalidate_page(
+        &mut self,
+        page: banshee_common::PageNum,
+        removed: &mut Vec<(LineAddr, bool)>,
+    ) {
         for idx in 0..banshee_common::addr::LINES_PER_PAGE {
             let line = page.line_at(idx);
             if let Some(dirty) = self.invalidate(line) {
                 removed.push((line, dirty));
             }
         }
-        removed
     }
 
     /// Mark a resident line dirty (used when an upper level writes back into
@@ -276,21 +410,21 @@ impl SetAssocCache {
     pub fn mark_dirty(&mut self, line: LineAddr) -> bool {
         let set_idx = self.set_index(line);
         let tag = self.tag_of(line);
-        for way in self.sets[set_idx].iter_mut() {
-            if way.valid && way.tag == tag {
-                way.dirty = true;
-                return true;
+        match self.find_way(set_idx, tag) {
+            Some(w) => {
+                self.ways_flat[set_idx * self.ways + w].dirty = true;
+                true
             }
+            None => false,
         }
-        false
     }
 
-    /// Number of valid lines currently resident (O(size); intended for tests
+    /// Number of valid lines currently resident (O(sets); intended for tests
     /// and assertions, not the hot path).
     pub fn occupancy(&self) -> usize {
         self.sets
             .iter()
-            .map(|s| s.iter().filter(|w| w.valid).count())
+            .map(|s| s.valid_mask.count_ones() as usize)
             .sum()
     }
 }
@@ -304,6 +438,12 @@ mod tests {
     fn small_cache(policy: ReplacementPolicy) -> SetAssocCache {
         // 4 sets x 2 ways x 64B = 512B.
         SetAssocCache::new(512, 2, policy)
+    }
+
+    fn invalidated_page(c: &mut SetAssocCache, page: PageNum) -> Vec<(LineAddr, bool)> {
+        let mut removed = Vec::new();
+        c.invalidate_page(page, &mut removed);
+        removed
     }
 
     #[test]
@@ -395,16 +535,43 @@ mod tests {
     }
 
     #[test]
+    fn invalidated_way_is_reused_before_eviction() {
+        let mut c = small_cache(ReplacementPolicy::Lru);
+        // Fill both ways of set 0, invalidate one, then allocate: the freed
+        // way must be claimed without evicting the survivor.
+        let a = LineAddr::new(0);
+        let b = LineAddr::new(4);
+        c.access(a, false);
+        c.access(b, false);
+        c.invalidate(a);
+        let res = c.access(LineAddr::new(8), false);
+        assert_eq!(res.evicted(), None);
+        assert!(c.probe(b));
+        assert_eq!(c.occupancy(), 2);
+    }
+
+    #[test]
     fn invalidate_page_removes_all_lines_of_page() {
         let mut c = SetAssocCache::new(64 * 1024, 4, ReplacementPolicy::Lru);
         let page = PageNum::new(7);
         for i in 0..banshee_common::addr::LINES_PER_PAGE {
             c.access(page.line_at(i), i % 2 == 0);
         }
-        let removed = c.invalidate_page(page);
+        let removed = invalidated_page(&mut c, page);
         assert_eq!(removed.len() as u64, banshee_common::addr::LINES_PER_PAGE);
         assert_eq!(removed.iter().filter(|(_, d)| *d).count() as u64, 32);
         assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn invalidate_page_appends_to_out_buffer() {
+        let mut c = SetAssocCache::new(64 * 1024, 4, ReplacementPolicy::Lru);
+        let page = PageNum::new(3);
+        c.access(page.line_at(0), true);
+        let mut removed = vec![(LineAddr::new(999), false)];
+        c.invalidate_page(page, &mut removed);
+        assert_eq!(removed.len(), 2, "out-buffer contents must be preserved");
+        assert_eq!(removed[1], (page.line_at(0), true));
     }
 
     #[test]
@@ -437,6 +604,32 @@ mod tests {
         assert!(evicted);
     }
 
+    /// The intrusive list and the valid bitmap always agree.
+    fn assert_list_consistent(c: &SetAssocCache) {
+        for set in 0..c.num_sets() {
+            let base = set * c.ways;
+            let mut seen = 0u64;
+            let mut w = c.sets[set].head;
+            let mut prev = NONE;
+            let mut steps = 0;
+            while w != NONE {
+                assert!(steps <= c.ways, "cycle in recency list");
+                let way = &c.ways_flat[base + w as usize];
+                assert!(way.valid, "invalid way linked in recency list");
+                assert_eq!(way.prev, prev, "broken prev link");
+                seen |= 1u64 << w;
+                prev = w;
+                w = way.next;
+                steps += 1;
+            }
+            assert_eq!(c.sets[set].tail, prev, "tail out of sync");
+            assert_eq!(
+                seen, c.sets[set].valid_mask,
+                "recency list disagrees with valid bitmap in set {set}"
+            );
+        }
+    }
+
     proptest! {
         /// Occupancy never exceeds capacity and accounting is consistent.
         #[test]
@@ -447,6 +640,7 @@ mod tests {
                 c.access(LineAddr::new(*l), i % 3 == 0);
                 prop_assert!(c.occupancy() <= capacity);
             }
+            assert_list_consistent(&c);
             prop_assert_eq!(c.hits() + c.misses(), lines.len() as u64);
         }
 
@@ -473,6 +667,29 @@ mod tests {
                 }
             }
             prop_assert!(written_back || c.probe(dirty_line));
+        }
+
+        /// The recency list survives arbitrary access/invalidate interleavings
+        /// under every policy.
+        #[test]
+        fn prop_list_consistent_under_churn(
+            ops in proptest::collection::vec((0u64..256, 0u8..3), 1..400),
+            policy in 0u8..3,
+        ) {
+            let policy = match policy {
+                0 => ReplacementPolicy::Lru,
+                1 => ReplacementPolicy::Fifo,
+                _ => ReplacementPolicy::Random,
+            };
+            let mut c = SetAssocCache::new(2048, 4, policy);
+            for (l, op) in ops {
+                match op {
+                    0 => { c.access(LineAddr::new(l), false); }
+                    1 => { c.access(LineAddr::new(l), true); }
+                    _ => { c.invalidate(LineAddr::new(l)); }
+                }
+            }
+            assert_list_consistent(&c);
         }
     }
 }

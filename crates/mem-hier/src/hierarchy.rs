@@ -107,12 +107,27 @@ pub struct CacheHierarchy {
     llc: SetAssocCache,
     llc_accesses: u64,
     llc_misses: u64,
+    /// Per-LLC-way inclusion mask: bit `c` set ⇔ core `c` *may* hold the
+    /// way's line in its private L1/L2 (a conservative superset — bits are
+    /// set on every LLC touch by a core and reset when the way is refilled).
+    /// Back-invalidation probes only the masked cores instead of every
+    /// private cache, which is the hierarchy's dominant cost on eviction-
+    /// heavy workloads; because the mask is a superset, results are
+    /// identical to probing everyone.
+    llc_presence: Vec<u64>,
+    /// Reusable out-buffer for per-level page invalidations, so page flushes
+    /// do not allocate per level.
+    page_scratch: Vec<(LineAddr, bool)>,
 }
 
 impl CacheHierarchy {
     /// Build the hierarchy from a configuration.
     pub fn new(config: HierarchyConfig) -> Self {
         assert!(config.cores > 0, "need at least one core");
+        assert!(
+            config.cores <= 64,
+            "inclusion masks support at most 64 cores"
+        );
         let l1 = (0..config.cores)
             .map(|_| {
                 SetAssocCache::new(
@@ -136,6 +151,7 @@ impl CacheHierarchy {
             config.llc_ways,
             ReplacementPolicy::Lru,
         );
+        let llc_ways = llc.num_sets() * llc.ways();
         CacheHierarchy {
             config,
             l1,
@@ -143,6 +159,8 @@ impl CacheHierarchy {
             llc,
             llc_accesses: 0,
             llc_misses: 0,
+            llc_presence: vec![0; llc_ways],
+            page_scratch: Vec::new(),
         }
     }
 
@@ -208,25 +226,31 @@ impl CacheHierarchy {
         latency += self.config.llc_latency;
         self.llc_accesses += 1;
         let llc_res = self.llc.access(line, write);
+        // The slot's presence mask still describes the *previous* occupant
+        // (the victim) at this point; only those cores can hold its line.
+        let victim_mask = self.llc_presence[llc_res.slot];
         if let Some(victim) = llc_res.writeback {
             // Inclusive hierarchy: back-invalidate the victim everywhere; if
             // a private copy was dirtier, it folds into this writeback.
-            self.back_invalidate(victim);
+            self.back_invalidate(victim, victim_mask);
             memory_writebacks.push(victim);
         } else if let Some(victim) = llc_res.evicted_clean {
             // Clean LLC victim: still back-invalidate, and if a private copy
             // was dirty the data must go to memory.
-            if self.back_invalidate(victim) {
+            if self.back_invalidate(victim, victim_mask) {
                 memory_writebacks.push(victim);
             }
         }
         if llc_res.hit {
+            self.llc_presence[llc_res.slot] |= 1u64 << core;
             return HierarchyOutcome {
                 hit: Some(HitLevel::Llc),
                 latency,
                 memory_writebacks,
             };
         }
+        // A fill: the way now holds a fresh line only this core has touched.
+        self.llc_presence[llc_res.slot] = 1u64 << core;
 
         self.llc_misses += 1;
         HierarchyOutcome {
@@ -236,50 +260,55 @@ impl CacheHierarchy {
         }
     }
 
-    /// Invalidate `line` in every private cache; returns true if any private
-    /// copy was dirty.
-    fn back_invalidate(&mut self, line: LineAddr) -> bool {
+    /// Invalidate `line` in the private caches of every core in `mask`
+    /// (a superset of the cores that can hold it); returns true if any
+    /// private copy was dirty.
+    fn back_invalidate(&mut self, line: LineAddr, mut mask: u64) -> bool {
         let mut dirty = false;
-        for l1 in self.l1.iter_mut() {
-            if let Some(d) = l1.invalidate(line) {
+        while mask != 0 {
+            let core = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            if let Some(d) = self.l1[core].invalidate(line) {
                 dirty |= d;
             }
-        }
-        for l2 in self.l2.iter_mut() {
-            if let Some(d) = l2.invalidate(line) {
+            if let Some(d) = self.l2[core].invalidate(line) {
                 dirty |= d;
             }
         }
         dirty
     }
 
-    /// Flush every line of a 4 KiB page from all levels, returning the dirty
-    /// lines that must be written back to memory. NUMA-style remapping
+    /// Flush every line of a 4 KiB page from all levels, appending the dirty
+    /// lines that must be written back to memory to `dirty_lines` (sorted
+    /// and deduplicated; the buffer should be empty on entry so the caller
+    /// can reuse one allocation across flushes). NUMA-style remapping
     /// designs (HMA) must do this on every page migration to keep physical
     /// addresses consistent; Banshee never needs it.
-    pub fn flush_page(&mut self, page: PageNum) -> Vec<LineAddr> {
-        let mut dirty_lines = Vec::new();
+    pub fn flush_page_into(&mut self, page: PageNum, dirty_lines: &mut Vec<LineAddr>) {
+        let scratch = &mut self.page_scratch;
+        scratch.clear();
         for l1 in self.l1.iter_mut() {
-            for (line, dirty) in l1.invalidate_page(page) {
-                if dirty {
-                    dirty_lines.push(line);
-                }
-            }
+            l1.invalidate_page(page, scratch);
         }
         for l2 in self.l2.iter_mut() {
-            for (line, dirty) in l2.invalidate_page(page) {
-                if dirty {
-                    dirty_lines.push(line);
-                }
-            }
+            l2.invalidate_page(page, scratch);
         }
-        for (line, dirty) in self.llc.invalidate_page(page) {
-            if dirty {
-                dirty_lines.push(line);
-            }
-        }
+        self.llc.invalidate_page(page, scratch);
+        dirty_lines.extend(
+            scratch
+                .iter()
+                .filter(|(_, dirty)| *dirty)
+                .map(|(line, _)| *line),
+        );
         dirty_lines.sort_unstable_by_key(|l| l.raw());
         dirty_lines.dedup();
+    }
+
+    /// Convenience wrapper over [`CacheHierarchy::flush_page_into`] that
+    /// returns a fresh `Vec` (tests and cold paths).
+    pub fn flush_page(&mut self, page: PageNum) -> Vec<LineAddr> {
+        let mut dirty_lines = Vec::new();
+        self.flush_page_into(page, &mut dirty_lines);
         dirty_lines
     }
 }

@@ -14,9 +14,8 @@
 //! forward walk (with first-touch physical frame allocation) and the reverse
 //! map, including alias support.
 
-use banshee_common::PageNum;
+use banshee_common::{FnvHashMap, PageNum};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Page size class for a mapping.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -91,9 +90,11 @@ pub struct Pte {
 /// virtual address region), so one table serves all cores.
 #[derive(Debug, Clone, Default)]
 pub struct PageTable {
-    entries: HashMap<u64, Pte>,
+    /// TLB-missing translations hit this map on the hot path, so it uses
+    /// the deterministic FNV hasher (see `banshee_common::hash`).
+    entries: FnvHashMap<u64, Pte>,
     /// Reverse mapping: physical page → virtual pages mapping to it.
-    reverse: HashMap<PageNum, Vec<u64>>,
+    reverse: FnvHashMap<PageNum, Vec<u64>>,
     /// Next physical frame to hand out on first touch.
     next_frame: u64,
     /// Number of PTE-extension updates applied (statistic for Section 3.4).

@@ -4,8 +4,8 @@ use crate::config::SimConfig;
 use crate::core_model::{CoreModel, Translation};
 use crate::factory::build_controller;
 use crate::result::SimResult;
-use banshee_common::{Addr, Cycle, PageNum, StatSet, XorShiftRng};
-use banshee_dcache::{AccessPlan, DramCacheController, MemRequest, SideEffect};
+use banshee_common::{Addr, Cycle, LineAddr, PageNum, StatSet, XorShiftRng};
+use banshee_dcache::{DramCacheController, MemRequest, PlanSink, SideEffect};
 use banshee_dram::DualDram;
 use banshee_memhier::{CacheHierarchy, HitLevel, PageSize, PageTable, TlbEntry};
 use banshee_workloads::Workload;
@@ -28,6 +28,11 @@ pub struct System {
     rng: XorShiftRng,
     next_epoch_at: u64,
     os_stats: StatSet,
+    /// Reusable plan scratch: reset before every controller call so the
+    /// per-access path performs no heap allocation in steady state.
+    sink: PlanSink,
+    /// Reusable buffer for page-flush side effects.
+    flush_scratch: Vec<LineAddr>,
 }
 
 impl System {
@@ -59,6 +64,8 @@ impl System {
             rng: XorShiftRng::new(config.seed ^ 0x5151),
             next_epoch_at: config.epoch_instructions,
             os_stats: StatSet::new(),
+            sink: PlanSink::new(),
+            flush_scratch: Vec::new(),
             config,
         }
     }
@@ -148,8 +155,9 @@ impl System {
             if self.config.large_pages {
                 req = req.on_large_page();
             }
-            let plan = self.controller.access(&req, now);
-            self.execute_plan(plan, core_id, now, false);
+            self.sink.reset();
+            self.controller.access(&req, now, &mut self.sink);
+            self.execute_plan(core_id, now);
         }
 
         // ---- Memory access -------------------------------------------------------
@@ -162,8 +170,9 @@ impl System {
                 req = req.on_large_page();
             }
             let now = self.cores[core_id].clock;
-            let plan = self.controller.access(&req, now);
-            let completion = self.execute_plan(plan, core_id, now, true);
+            self.sink.reset();
+            self.controller.access(&req, now, &mut self.sink);
+            let completion = self.execute_plan(core_id, now);
             self.cores[core_id].advance(MISS_ISSUE_PENALTY);
             self.cores[core_id].issue_miss(completion);
         }
@@ -198,19 +207,17 @@ impl System {
         )
     }
 
-    /// Issue a plan's DRAM operations and apply its side effects. Returns
+    /// Issue the sink's DRAM operations and apply its side effects. Returns
     /// the completion cycle of the critical path (or `now` if it is empty).
-    fn execute_plan(
-        &mut self,
-        plan: AccessPlan,
-        core_id: usize,
-        now: Cycle,
-        _demand: bool,
-    ) -> Cycle {
-        let mut t = now + plan.extra_latency;
-        for op in &plan.critical {
-            let outcome = self
-                .dram
+    ///
+    /// The sink's op lists are read in place (no move, no allocation); only
+    /// the rare side-effect list is detached, because applying it can
+    /// re-enter the controller and reuse the sink for nested requests.
+    fn execute_plan(&mut self, core_id: usize, now: Cycle) -> Cycle {
+        let mut t = now + self.sink.extra_latency;
+        let System { sink, dram, .. } = self;
+        for op in &sink.critical {
+            let outcome = dram
                 .device_mut(op.dram)
                 .access(t, op.addr, op.bytes, op.class);
             t = outcome.finish;
@@ -218,13 +225,13 @@ impl System {
         // Background work starts once the critical path has resolved (e.g.
         // a fill begins after the demand data arrived) and only consumes
         // bandwidth.
-        for op in &plan.background {
-            self.dram
-                .device_mut(op.dram)
+        for op in &sink.background {
+            dram.device_mut(op.dram)
                 .access(t, op.addr, op.bytes, op.class);
         }
-        if !plan.side_effects.is_empty() {
-            self.apply_side_effects(plan.side_effects, core_id, t);
+        if !self.sink.side_effects.is_empty() {
+            let effects = std::mem::take(&mut self.sink.side_effects);
+            self.apply_side_effects(effects, core_id, t);
         }
         t
     }
@@ -275,15 +282,19 @@ impl System {
                 SideEffect::FlushPage { page } => {
                     self.os_stats.inc("page_flushes");
                     let ppage = self.unit_to_ppage(page);
-                    let dirty_lines = self.hierarchy.flush_page(ppage);
-                    for line in dirty_lines {
+                    let mut dirty_lines = std::mem::take(&mut self.flush_scratch);
+                    dirty_lines.clear();
+                    self.hierarchy.flush_page_into(ppage, &mut dirty_lines);
+                    for line in &dirty_lines {
                         let req = MemRequest::writeback(line.base_addr(), core_id);
-                        let plan = self.controller.access(&req, now);
+                        self.sink.reset();
+                        self.controller.access(&req, now, &mut self.sink);
                         // Flush-triggered writebacks are plain background
                         // traffic; nested side effects (there are none in
                         // practice) are applied recursively.
-                        self.execute_plan(plan, core_id, now, false);
+                        self.execute_plan(core_id, now);
                     }
+                    self.flush_scratch = dirty_lines;
                 }
             }
         }
@@ -303,10 +314,11 @@ impl System {
     /// Run the periodic controller hook.
     fn run_epoch(&mut self) {
         let now = self.cores.iter().map(|c| c.clock).max().unwrap_or(0);
-        if let Some(plan) = self.controller.epoch(now) {
+        self.sink.reset();
+        if self.controller.epoch(now, &mut self.sink) {
             // Charge epoch work to a random core (the OS picks one).
             let core = self.rng.next_below(self.cores.len() as u64) as usize;
-            self.execute_plan(plan, core, now, false);
+            self.execute_plan(core, now);
         }
     }
 

@@ -1,0 +1,44 @@
+//! Snapshot of `SimConfig::cache_key_material` for a canonical config.
+//!
+//! The key material is what the persistent result store uses to decide
+//! whether a cached cell may be reused, and PR 2 left a footgun: nothing
+//! mechanically forces a `MODEL_REVISION` bump when behaviour changes. This
+//! snapshot makes any key-shape change (renamed/added fields, revision
+//! bumps, Debug-format drift) fail loudly, so it always happens as a
+//! deliberate fixture update:
+//!
+//! ```text
+//! BANSHEE_UPDATE_KEY_SNAPSHOT=1 cargo test -p banshee_sim --test key_material
+//! ```
+
+use banshee_dcache::DramCacheDesign;
+use banshee_sim::SimConfig;
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/cache_key_material.txt"
+);
+
+#[test]
+fn canonical_cache_key_material_is_stable() {
+    let material = SimConfig::test_default(DramCacheDesign::Banshee).cache_key_material();
+
+    if std::env::var("BANSHEE_UPDATE_KEY_SNAPSHOT").is_ok() {
+        std::fs::write(FIXTURE, format!("{material}\n")).expect("write key-material fixture");
+        eprintln!("key-material fixture regenerated at {FIXTURE}");
+        return;
+    }
+
+    let expected = std::fs::read_to_string(FIXTURE).expect(
+        "key-material fixture missing — regenerate with \
+         BANSHEE_UPDATE_KEY_SNAPSHOT=1 cargo test -p banshee_sim --test key_material",
+    );
+    assert_eq!(
+        material,
+        expected.trim_end(),
+        "cache_key_material changed: persisted store entries keyed by the \
+         old material will be recomputed. If the underlying model changed, \
+         bump SimConfig::MODEL_REVISION too, then regenerate this fixture \
+         (and the golden fixture in crates/bench/tests/fixtures/)"
+    );
+}

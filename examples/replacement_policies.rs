@@ -14,7 +14,9 @@
 
 use banshee_repro::common::{Addr, DramKind, MemSize, TrafficClass, XorShiftRng, ZipfSampler};
 use banshee_repro::core::{BansheeConfig, BansheeController, BansheeVariant};
-use banshee_repro::dcache::{alloy::AlloyCache, DCacheConfig, DramCacheController, MemRequest};
+use banshee_repro::dcache::{
+    alloy::AlloyCache, DCacheConfig, DramCacheController, MemRequest, PlanSink,
+};
 
 /// Generate the access stream: 70% of accesses go to a Zipf-distributed hot
 /// set of pages, 30% stream through a large cold region.
@@ -40,13 +42,16 @@ fn stream(n: usize) -> Vec<(Addr, bool)> {
 fn drive(name: &str, ctrl: &mut dyn DramCacheController, accesses: &[(Addr, bool)]) {
     let mut in_bytes = [0u64; 6];
     let mut off_total = 0u64;
+    // One reused plan sink, as the full-system simulator drives controllers.
+    let mut plan = PlanSink::new();
     for (i, &(addr, write)) in accesses.iter().enumerate() {
         let hint = ctrl.current_mapping(addr.page());
         let mut req = MemRequest::demand(addr, 0).with_hint(hint);
         if write {
             req = req.as_store();
         }
-        let plan = ctrl.access(&req, i as u64);
+        plan.reset();
+        ctrl.access(&req, i as u64, &mut plan);
         for op in plan.critical.iter().chain(plan.background.iter()) {
             match op.dram {
                 DramKind::InPackage => in_bytes[op.class.index()] += op.bytes,

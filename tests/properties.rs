@@ -5,7 +5,8 @@
 use banshee_repro::common::{Addr, DramKind, MemSize, PageNum};
 use banshee_repro::core::{BansheeConfig, BansheeController, BansheeVariant};
 use banshee_repro::dcache::{
-    alloy::AlloyCache, tdc::Tdc, unison::UnisonCache, DCacheConfig, DramCacheController, MemRequest,
+    alloy::AlloyCache, tdc::Tdc, unison::UnisonCache, DCacheConfig, DramCacheController,
+    MemRequest, PlanSink,
 };
 use proptest::prelude::*;
 
@@ -14,6 +15,7 @@ use proptest::prelude::*;
 fn drive(ctrl: &mut dyn DramCacheController, stream: &[(u64, u64, bool)]) -> (u64, u64) {
     let mut in_bytes = 0;
     let mut off_bytes = 0;
+    let mut plan = PlanSink::new();
     for (i, &(page, line, write)) in stream.iter().enumerate() {
         let addr = Addr::new(page * 4096 + (line % 64) * 64);
         let hint = ctrl.current_mapping(addr.page());
@@ -21,14 +23,16 @@ fn drive(ctrl: &mut dyn DramCacheController, stream: &[(u64, u64, bool)]) -> (u6
         if write {
             req = req.as_store();
         }
-        let plan = ctrl.access(&req, i as u64);
+        plan.reset();
+        ctrl.access(&req, i as u64, &mut plan);
         in_bytes += plan.bytes_on(DramKind::InPackage);
         off_bytes += plan.bytes_on(DramKind::OffPackage);
         // Occasionally mix in a hint-less dirty eviction, as the LLC would.
         if i % 7 == 3 {
-            let wb = ctrl.access(&MemRequest::writeback(addr, 0), i as u64);
-            in_bytes += wb.bytes_on(DramKind::InPackage);
-            off_bytes += wb.bytes_on(DramKind::OffPackage);
+            plan.reset();
+            ctrl.access(&MemRequest::writeback(addr, 0), i as u64, &mut plan);
+            in_bytes += plan.bytes_on(DramKind::InPackage);
+            off_bytes += plan.bytes_on(DramKind::OffPackage);
         }
     }
     (in_bytes, off_bytes)
@@ -66,7 +70,7 @@ proptest! {
         for (i, page) in pages.iter().enumerate() {
             let addr = Addr::new(page * 4096);
             let hint = ctrl.current_mapping(PageNum::new(*page));
-            let plan = ctrl.access(&MemRequest::demand(addr, 0).with_hint(hint), i as u64);
+            let plan = ctrl.access_collected(&MemRequest::demand(addr, 0).with_hint(hint), i as u64);
             if !plan.dram_cache_hit {
                 let in_critical: u64 = plan
                     .critical
@@ -90,7 +94,7 @@ proptest! {
             if write {
                 req = req.as_store();
             }
-            let plan = ctrl.access(&req, i as u64);
+            let plan = ctrl.access_collected(&req, i as u64);
             let in_bytes = plan.bytes_on(DramKind::InPackage);
             prop_assert!(in_bytes >= 96);
             prop_assert_eq!(in_bytes % 32, 0);
@@ -111,7 +115,7 @@ proptest! {
             if write {
                 req = req.as_store();
             }
-            ctrl.access(&req, i as u64);
+            ctrl.access_collected(&req, i as u64);
             prop_assert!(ctrl.resident_pages() as u64 <= cfg.capacity_pages());
         }
     }
