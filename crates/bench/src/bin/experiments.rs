@@ -54,11 +54,18 @@ fn print_all(tables: Vec<Table>) {
 
 fn print_usage() {
     println!("usage: experiments [EXPERIMENT ...] [--quick | --smoke] [--jobs N] [--no-store]");
+    println!("       experiments scenario FILE... [--quick | --smoke] [--jobs N] [--no-store]");
     println!();
     println!("Regenerates the paper's tables and figures. With no experiment");
     println!("names, runs everything (`all`).");
     println!();
     println!("experiments: {}", EXPERIMENT_NAMES.join(", "));
+    println!();
+    println!("subcommands:");
+    println!("  scenario FILE...  run data-driven scenario files (JSON workload +");
+    println!("                    sweep descriptions; see examples/scenarios/ and");
+    println!("                    the scenario section of EXPERIMENTS.md). Output");
+    println!("                    goes to target/experiments/scenario_<name>.json");
     println!();
     println!("flags:");
     println!("  --quick     smaller runs (faster, lower fidelity)");
@@ -130,16 +137,32 @@ fn main() {
     if selected.is_empty() {
         selected.push("all".to_string());
     }
-    for name in &selected {
-        if !EXPERIMENT_NAMES.contains(&name.as_str()) {
+    // `scenario FILE...` consumes every following positional argument.
+    let scenario_files: Vec<String> = if selected[0] == "scenario" {
+        let files = selected.split_off(1);
+        if files.is_empty() {
             eprintln!(
-                "unknown experiment '{name}'; valid names: {}",
-                EXPERIMENT_NAMES.join(", ")
+                "`scenario` requires at least one scenario file \
+                 (see examples/scenarios/)"
             );
             std::process::exit(2);
         }
-    }
-    let all = selected.iter().any(|s| s == "all");
+        files
+    } else {
+        for name in &selected {
+            if !EXPERIMENT_NAMES.contains(&name.as_str()) {
+                eprintln!(
+                    "unknown experiment '{name}'; valid names: {} \
+                     (or `scenario FILE...` for data-driven scenario files)",
+                    EXPERIMENT_NAMES.join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
+        Vec::new()
+    };
+    let scenario_mode = !scenario_files.is_empty();
+    let all = !scenario_mode && selected.iter().any(|s| s == "all");
     let want = |name: &str| all || selected.iter().any(|s| s == name);
 
     let scale = scale_from_flags(quick, smoke);
@@ -154,7 +177,11 @@ fn main() {
     }
     eprintln!(
         "running {} at {:?} scale ({} instructions per run, {} cores) with {} worker{}{}",
-        selected.join(", "),
+        if scenario_mode {
+            format!("scenario {}", scenario_files.join(", "))
+        } else {
+            selected.join(", ")
+        },
         scale,
         scale.instructions(),
         scale.cores(),
@@ -183,6 +210,62 @@ fn main() {
             seconds,
         });
     };
+
+    if scenario_mode {
+        // Parse and validate every file (including design names) before
+        // running any: an error in the third file should not cost two
+        // long runs first.
+        let mut specs: Vec<banshee_workloads::ScenarioSpec> = Vec::new();
+        for file in &scenario_files {
+            match banshee_workloads::ScenarioSpec::from_file(file) {
+                Ok(spec) => {
+                    if let Err(message) = experiments::scenario::resolve_designs(&spec) {
+                        eprintln!("{message}");
+                        std::process::exit(2);
+                    }
+                    if let Some(previous) = specs.iter().position(|s| s.name == spec.name) {
+                        eprintln!(
+                            "{file}: scenario name `{}` is already used by {}; names must \
+                             be unique across one invocation (they name the output JSON)",
+                            spec.name, scenario_files[previous]
+                        );
+                        std::process::exit(2);
+                    }
+                    specs.push(spec);
+                }
+                Err(error) => {
+                    eprintln!("{error}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        for spec in &specs {
+            eprintln!(
+                "[scenario] {} ({} workloads x {} designs, {} cells/design) ...",
+                spec.name,
+                spec.workloads.len(),
+                if spec.designs.is_empty() {
+                    "default".to_string()
+                } else {
+                    spec.designs.len().to_string()
+                },
+                spec.cells_per_design(),
+            );
+            let mut failure = None;
+            timed(
+                &mut timings,
+                &format!("scenario_{}", spec.name),
+                &mut || match experiments::scenario::run_and_report(&runner, spec) {
+                    Ok(tables) => print_all(tables),
+                    Err(message) => failure = Some(message),
+                },
+            );
+            if let Some(message) = failure {
+                eprintln!("scenario `{}` failed: {message}", spec.name);
+                std::process::exit(1);
+            }
+        }
+    }
 
     // Figures 4/5/6 share one designs × workloads matrix.
     if want("fig4") || want("fig5") || want("fig6") {

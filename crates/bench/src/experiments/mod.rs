@@ -13,6 +13,7 @@
 //! | [`table6`] | Table 6 — associativity vs. miss rate |
 //! | [`large_pages`] | Section 5.4.1 — 2 MiB large pages |
 //! | [`batman`] | Section 5.4.2 — bandwidth balancing |
+//! | [`scenario`] | Data-driven scenario files (`experiments scenario FILE...`) |
 
 pub mod batman;
 pub mod fig4;
@@ -22,6 +23,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod large_pages;
+pub mod scenario;
 pub mod table1;
 pub mod table5;
 pub mod table6;

@@ -12,8 +12,7 @@ use banshee_common::MemSize;
 use banshee_dcache::DramCacheDesign;
 use banshee_exec::{JobPool, ResultStore};
 use banshee_sim::{run_one, SimConfig, SimResult};
-use banshee_workloads::{Workload, WorkloadKind};
-use serde::Deserialize;
+use banshee_workloads::{TraceFactory, Workload, WorkloadKind};
 use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -102,6 +101,25 @@ pub struct CellReport {
     pub panicked: bool,
     /// Wall-clock time the cell took (zero for store hits).
     pub duration: Duration,
+}
+
+/// A fully-prepared execution cell: configuration, workload factory,
+/// display labels and store key material. Built-in experiment cells come
+/// from [`Runner::prepare`]; scenario cells are prepared by the scenario
+/// module, which folds the scenario's own content into the key material.
+#[derive(Clone)]
+pub struct PreparedCell {
+    /// Workload display label.
+    pub workload_label: String,
+    /// Design display label.
+    pub design_label: String,
+    /// A canonical description of everything that affects this cell's
+    /// result (keys the persistent store).
+    pub key_material: String,
+    /// The simulation configuration.
+    pub config: SimConfig,
+    /// Builds the per-core traces.
+    pub factory: Arc<dyn TraceFactory>,
 }
 
 /// Tallies of how a runner's cells were satisfied, shared across clones
@@ -240,6 +258,18 @@ impl Runner {
             .expect("one cell in, one result out")
     }
 
+    /// Prepare one (config, built-in workload) cell for the execution
+    /// engine: resolve its labels, store key and trace factory.
+    pub fn prepare(&self, config: SimConfig, kind: WorkloadKind) -> PreparedCell {
+        PreparedCell {
+            workload_label: kind.name(),
+            design_label: config.design.label(),
+            key_material: self.cell_key_material(&config, kind),
+            factory: Arc::new(self.workload(kind)),
+            config,
+        }
+    }
+
     /// Run a batch of (config, workload) cells through the execution
     /// engine. Results come back in input order; cells already present in
     /// the result store are not re-simulated, and identical cells within
@@ -260,6 +290,26 @@ impl Runner {
     where
         O: Fn(&CellReport) + Sync,
     {
+        let prepared = cells
+            .into_iter()
+            .map(|(config, kind)| self.prepare(config, kind))
+            .collect();
+        self.run_prepared_observed(prepared, observe)
+    }
+
+    /// Run a batch of fully-prepared cells (scenario cells and built-in
+    /// cells alike) through the engine, with the same store-resume,
+    /// deduplication and ordering guarantees as [`Runner::run_batch`].
+    pub fn run_prepared(&self, cells: Vec<PreparedCell>) -> Vec<SimResult> {
+        self.run_prepared_observed(cells, |_| {})
+    }
+
+    /// Like [`Runner::run_prepared`], reporting each cell's outcome to
+    /// `observe`.
+    pub fn run_prepared_observed<O>(&self, cells: Vec<PreparedCell>, observe: O) -> Vec<SimResult>
+    where
+        O: Fn(&CellReport) + Sync,
+    {
         let total = cells.len();
         let store = self
             .store_dir
@@ -275,10 +325,6 @@ impl Runner {
                 }
             });
 
-        let materials: Vec<String> = cells
-            .iter()
-            .map(|(config, kind)| self.cell_key_material(config, *kind))
-            .collect();
         let mut results: Vec<Option<SimResult>> = Vec::with_capacity(total);
         results.resize_with(total, || None);
         // `misses` are the cells that will actually be simulated; a cell
@@ -288,17 +334,16 @@ impl Runner {
         let mut miss_by_material: HashMap<&str, usize> = HashMap::new();
         let mut duplicates: Vec<(usize, usize)> = Vec::new(); // (slot, misses idx)
         let mut hits = 0usize;
-        for (index, (config, kind)) in cells.iter().enumerate() {
-            let cached = store.as_ref().and_then(|s| {
-                let value = s.get(&materials[index])?;
-                SimResult::deserialize_value(&value).ok()
-            });
+        for (index, cell) in cells.iter().enumerate() {
+            let cached = store
+                .as_ref()
+                .and_then(|s| s.get_decoded::<SimResult>(&cell.key_material));
             match cached {
                 Some(result) => {
                     let report = CellReport {
                         index,
-                        workload: kind.name(),
-                        design: config.design.label(),
+                        workload: cell.workload_label.clone(),
+                        design: cell.design_label.clone(),
                         from_store: true,
                         panicked: false,
                         duration: Duration::ZERO,
@@ -308,7 +353,7 @@ impl Runner {
                     results[index] = Some(result);
                     hits += 1;
                 }
-                None => match miss_by_material.entry(materials[index].as_str()) {
+                None => match miss_by_material.entry(cell.key_material.as_str()) {
                     std::collections::hash_map::Entry::Occupied(first) => {
                         duplicates.push((index, *first.get()));
                     }
@@ -327,29 +372,27 @@ impl Runner {
         }
 
         let pool = JobPool::new(self.jobs);
-        let miss_cells: Vec<(SimConfig, WorkloadKind)> =
-            misses.iter().map(|&i| cells[i].clone()).collect();
+        let miss_cells: Vec<PreparedCell> = misses.iter().map(|&i| cells[i].clone()).collect();
         let outputs = pool.run_with_progress(
             miss_cells,
-            |index, (config, kind)| {
-                let result = run_one(config.clone(), &self.workload(*kind));
+            |_index, cell| {
+                let result = run_one(cell.config.clone(), &*cell.factory);
                 // Persist from the worker, as soon as the cell finishes:
                 // a sweep interrupted mid-batch resumes from every
                 // completed cell, not just completed batches.
                 if let Some(store) = &store {
-                    let material = &materials[misses[index]];
-                    if let Err(err) = store.put(material, &serde::Serialize::to_value(&result)) {
+                    if let Err(err) = store.put_encoded(&cell.key_material, &result) {
                         eprintln!("[exec] warning: failed to cache a cell ({err})");
                     }
                 }
                 result
             },
             |completion| {
-                let (config, kind) = &cells[misses[completion.index]];
+                let cell = &cells[misses[completion.index]];
                 let report = CellReport {
                     index: misses[completion.index],
-                    workload: kind.name(),
-                    design: config.design.label(),
+                    workload: cell.workload_label.clone(),
+                    design: cell.design_label.clone(),
                     from_store: false,
                     panicked: completion.panicked,
                     duration: completion.duration,
@@ -376,9 +419,7 @@ impl Runner {
                 Ok(result) => results[slot] = Some(result),
                 Err(panic) => panics.push(format!(
                     "{} x {}: {}",
-                    cells[slot].1.name(),
-                    cells[slot].0.design.label(),
-                    panic.message
+                    cells[slot].workload_label, cells[slot].design_label, panic.message
                 )),
             }
         }

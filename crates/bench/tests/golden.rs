@@ -24,22 +24,7 @@ const FIXTURE: &str = concat!(
 /// Every design the factory can build, including the Figure 7 ablations and
 /// the designs no experiment module currently exercises (HMA).
 fn all_designs() -> Vec<DramCacheDesign> {
-    vec![
-        DramCacheDesign::NoCache,
-        DramCacheDesign::CacheOnly,
-        DramCacheDesign::Alloy {
-            fill_probability: 1.0,
-        },
-        DramCacheDesign::Alloy {
-            fill_probability: 0.1,
-        },
-        DramCacheDesign::Unison,
-        DramCacheDesign::Tdc,
-        DramCacheDesign::Hma,
-        DramCacheDesign::Banshee,
-        DramCacheDesign::BansheeLru,
-        DramCacheDesign::BansheeFbrNoSample,
-    ]
+    DramCacheDesign::named_catalogue()
 }
 
 #[test]
@@ -52,12 +37,7 @@ fn quick_scale_results_match_committed_fixture() {
         .map(|design| (runner.config(design), kind))
         .collect();
     let results = runner.run_batch(cells);
-    let value = serde::Value::Array(
-        results
-            .iter()
-            .map(|r| serde::Serialize::to_value(r))
-            .collect(),
-    );
+    let value = serde::Value::Array(results.iter().map(serde::Serialize::to_value).collect());
     let json = serde_json::to_string_pretty(&value).expect("results serialize") + "\n";
 
     if std::env::var("BANSHEE_UPDATE_GOLDEN").is_ok() {

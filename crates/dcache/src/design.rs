@@ -55,6 +55,50 @@ impl DramCacheDesign {
         }
     }
 
+    /// Resolve a display label back to its design. Accepts every label
+    /// [`DramCacheDesign::label`] can produce, including `Alloy <p>` with an
+    /// arbitrary fill probability in (0, 1].
+    pub fn parse(label: &str) -> Option<DramCacheDesign> {
+        for design in Self::named_catalogue() {
+            if design.label() == label {
+                return Some(design);
+            }
+        }
+        if let Some(p) = label.strip_prefix("Alloy ") {
+            let fill_probability: f64 = p.trim().parse().ok()?;
+            if fill_probability > 0.0 && fill_probability <= 1.0 {
+                return Some(DramCacheDesign::Alloy { fill_probability });
+            }
+        }
+        None
+    }
+
+    /// Every design with a fixed label (the parseable catalogue; `Alloy`
+    /// additionally accepts any fill probability).
+    pub fn named_catalogue() -> Vec<DramCacheDesign> {
+        vec![
+            DramCacheDesign::NoCache,
+            DramCacheDesign::CacheOnly,
+            DramCacheDesign::Alloy {
+                fill_probability: 1.0,
+            },
+            DramCacheDesign::Alloy {
+                fill_probability: 0.1,
+            },
+            DramCacheDesign::Unison,
+            DramCacheDesign::Tdc,
+            DramCacheDesign::Hma,
+            DramCacheDesign::Banshee,
+            DramCacheDesign::BansheeLru,
+            DramCacheDesign::BansheeFbrNoSample,
+        ]
+    }
+
+    /// All parseable labels, for error messages.
+    pub fn all_labels() -> Vec<String> {
+        Self::named_catalogue().iter().map(|d| d.label()).collect()
+    }
+
     /// The schemes of Figure 4 in presentation order.
     pub fn figure4_lineup() -> Vec<DramCacheDesign> {
         vec![
@@ -172,5 +216,25 @@ mod tests {
         assert_eq!(lineup.len(), 7);
         assert_eq!(lineup[0], DramCacheDesign::NoCache);
         assert_eq!(lineup[6], DramCacheDesign::CacheOnly);
+    }
+
+    #[test]
+    fn every_label_parses_back() {
+        for design in DramCacheDesign::named_catalogue() {
+            assert_eq!(DramCacheDesign::parse(&design.label()), Some(design));
+        }
+        for design in DramCacheDesign::figure4_lineup() {
+            assert_eq!(DramCacheDesign::parse(&design.label()), Some(design));
+        }
+        assert_eq!(
+            DramCacheDesign::parse("Alloy 0.5"),
+            Some(DramCacheDesign::Alloy {
+                fill_probability: 0.5
+            })
+        );
+        assert_eq!(DramCacheDesign::parse("Alloy 2"), None);
+        assert_eq!(DramCacheDesign::parse("banshee"), None, "labels are exact");
+        assert_eq!(DramCacheDesign::parse("NotADesign"), None);
+        assert!(DramCacheDesign::all_labels().contains(&"Banshee".to_string()));
     }
 }

@@ -87,6 +87,29 @@ impl ResultStore {
         self.get(key_material).is_some()
     }
 
+    /// Fetch and decode the payload cached for `key_material`. A payload
+    /// that no longer decodes as `T` (e.g. after a result-shape change
+    /// that forgot a key-material change) counts as a miss and is
+    /// recomputed, like every other invalid entry.
+    pub fn get_decoded<T: for<'de> serde::Deserialize<'de>>(
+        &self,
+        key_material: &str,
+    ) -> Option<T> {
+        let value = self.get(key_material)?;
+        T::deserialize_value(&value).ok()
+    }
+
+    /// Encode and cache `payload` for `key_material` (the typed face of
+    /// [`ResultStore::put`]; experiment and scenario cells both store
+    /// their `SimResult` through this).
+    pub fn put_encoded<T: serde::Serialize>(
+        &self,
+        key_material: &str,
+        payload: &T,
+    ) -> io::Result<PathBuf> {
+        self.put(key_material, &payload.to_value())
+    }
+
     /// Cache `payload` for `key_material`, replacing any previous entry.
     pub fn put(&self, key_material: &str, payload: &Value) -> io::Result<PathBuf> {
         let entry = Value::Object(vec![
@@ -171,6 +194,19 @@ mod tests {
         store.put("cell A", &payload(300)).unwrap();
         assert_eq!(store.get("cell A"), Some(payload(300)));
         assert_eq!(store.len(), 2);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn typed_helpers_round_trip_and_treat_shape_drift_as_miss() {
+        let store = temp_store();
+        let cell: Vec<u64> = vec![1, 2, 3];
+        store.put_encoded("typed", &cell).unwrap();
+        assert_eq!(store.get_decoded::<Vec<u64>>("typed"), Some(cell));
+        // The same payload no longer decoding as the requested type is a
+        // miss, not an error.
+        assert_eq!(store.get_decoded::<Vec<String>>("typed"), None);
+        assert_eq!(store.get_decoded::<Vec<u64>>("absent"), None);
         let _ = std::fs::remove_dir_all(store.dir());
     }
 

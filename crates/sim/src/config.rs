@@ -160,6 +160,62 @@ impl SimConfig {
         format!("model-rev={}|{self:?}", Self::MODEL_REVISION)
     }
 
+    /// Apply a scenario file's system-config overrides (see
+    /// `banshee_workloads::ScenarioOverrides`) to this configuration.
+    ///
+    /// `dram_cache_mib` rescales the DRAM cache the same way
+    /// [`SimConfig::scaled`] does (capacity, in-package DRAM size and the
+    /// LLC at 1/32 of the cache), so a scenario can shrink or grow the
+    /// whole machine with one knob; the other overrides set their field
+    /// directly. Every overridden field is part of the derived `Debug`
+    /// representation, so [`SimConfig::cache_key_material`] keys overridden
+    /// cells apart from default ones automatically.
+    pub fn apply_scenario_overrides(&mut self, o: &banshee_workloads::ScenarioOverrides) {
+        if let Some(mib) = o.dram_cache_mib {
+            let capacity = MemSize::mib(mib);
+            self.dcache = banshee_dcache::DCacheConfig::scaled(capacity);
+            self.in_dram.capacity = capacity;
+            self.hierarchy.llc_size = MemSize::bytes((capacity.as_bytes() / 32).max(256 * 1024));
+        }
+        if let Some(cores) = o.cores {
+            self.cores = cores;
+            self.hierarchy = HierarchyConfig {
+                llc_size: self.hierarchy.llc_size,
+                ..HierarchyConfig::paper_default(cores)
+            };
+        }
+        if let Some(v) = o.total_instructions {
+            self.total_instructions = v;
+        }
+        if let Some(v) = o.warmup_instructions {
+            self.warmup_instructions = v;
+        }
+        if let Some(v) = o.epoch_instructions {
+            self.epoch_instructions = v;
+        }
+        if let Some(v) = o.mlp_per_core {
+            self.mlp_per_core = v;
+        }
+        if let Some(v) = o.tlb_entries {
+            self.tlb_entries = v;
+        }
+        if let Some(v) = o.issue_width {
+            self.issue_width = v;
+        }
+        if let Some(v) = o.bandwidth_ratio {
+            *self = self.clone().with_dram_cache_bandwidth_ratio(v);
+        }
+        if let Some(v) = o.latency_scale {
+            *self = self.clone().with_dram_cache_latency_scale(v);
+        }
+        if let Some(v) = o.large_pages {
+            self.large_pages = v;
+        }
+        if let Some(v) = o.use_batman {
+            self.use_batman = v;
+        }
+    }
+
     /// The Banshee configuration this run will use.
     pub fn banshee_config(&self) -> BansheeConfig {
         let base = self
@@ -221,6 +277,34 @@ mod tests {
             base.cache_key_material(),
             SimConfig::test_default(DramCacheDesign::Tdc).cache_key_material()
         );
+    }
+
+    #[test]
+    fn scenario_overrides_apply_and_rekey() {
+        use banshee_workloads::ScenarioOverrides;
+        let base = SimConfig::test_default(DramCacheDesign::Banshee);
+        let mut cfg = base.clone();
+        cfg.apply_scenario_overrides(&ScenarioOverrides::default());
+        assert_eq!(cfg.cache_key_material(), base.cache_key_material());
+
+        let overrides = ScenarioOverrides {
+            cores: Some(8),
+            dram_cache_mib: Some(16),
+            total_instructions: Some(123_000),
+            bandwidth_ratio: Some(8),
+            large_pages: Some(true),
+            ..ScenarioOverrides::default()
+        };
+        cfg.apply_scenario_overrides(&overrides);
+        assert_eq!(cfg.cores, 8);
+        assert_eq!(cfg.dcache.capacity, MemSize::mib(16));
+        assert_eq!(cfg.in_dram.capacity, MemSize::mib(16));
+        assert_eq!(cfg.total_instructions, 123_000);
+        assert_eq!(cfg.in_dram.channels, 8);
+        assert!(cfg.large_pages);
+        // Overridden cells must never collide with default ones in the
+        // result store.
+        assert_ne!(cfg.cache_key_material(), base.cache_key_material());
     }
 
     #[test]

@@ -8,7 +8,7 @@ use banshee_common::{Addr, Cycle, LineAddr, PageNum, StatSet, XorShiftRng};
 use banshee_dcache::{DramCacheController, MemRequest, PlanSink, SideEffect};
 use banshee_dram::DualDram;
 use banshee_memhier::{CacheHierarchy, HitLevel, PageSize, PageTable, TlbEntry};
-use banshee_workloads::Workload;
+use banshee_workloads::TraceFactory;
 
 /// Small fixed latencies of the on-chip path (partially hidden by the
 /// out-of-order core, hence smaller than the raw lookup latencies).
@@ -36,8 +36,10 @@ pub struct System {
 }
 
 impl System {
-    /// Build a system running `workload` under `config`.
-    pub fn new(config: SimConfig, workload: &Workload) -> Self {
+    /// Build a system running `workload` under `config` (any
+    /// [`TraceFactory`]: a built-in [`banshee_workloads::Workload`] or a
+    /// data-driven scenario workload).
+    pub fn new(config: SimConfig, workload: &dyn TraceFactory) -> Self {
         let traces = workload.build_traces(config.cores);
         let cores = traces
             .into_iter()
@@ -374,7 +376,7 @@ struct MeasurementBaseline {
 }
 
 /// Convenience: run one (design, workload) pair under a configuration.
-pub fn run_one(config: SimConfig, workload: &Workload) -> SimResult {
+pub fn run_one(config: SimConfig, workload: &dyn TraceFactory) -> SimResult {
     let name = workload.name();
     System::new(config, workload).run(&name)
 }
@@ -384,7 +386,7 @@ mod tests {
     use super::*;
     use banshee_common::{DramKind, MemSize, TrafficClass};
     use banshee_dcache::DramCacheDesign;
-    use banshee_workloads::{SpecProgram, WorkloadKind};
+    use banshee_workloads::{SpecProgram, Workload, WorkloadKind};
 
     fn workload() -> Workload {
         Workload::new(WorkloadKind::Spec(SpecProgram::Mcf), 16 << 20, 3)

@@ -42,3 +42,31 @@ fn canonical_cache_key_material_is_stable() {
          (and the golden fixture in crates/bench/tests/fixtures/)"
     );
 }
+
+/// The fixture's embedded `model-rev=` must agree with the compiled
+/// `MODEL_REVISION` — a hand-edited fixture (or a revision bump without a
+/// regenerated fixture) fails here instead of silently serving stale store
+/// entries. CI additionally has a `model-revision-guard` step that rejects
+/// diffs touching either fixture without a `MODEL_REVISION` change.
+#[test]
+fn fixture_revision_matches_compiled_revision() {
+    if std::env::var("BANSHEE_UPDATE_KEY_SNAPSHOT").is_ok() {
+        return; // the snapshot test above is rewriting the fixture
+    }
+    let fixture = std::fs::read_to_string(FIXTURE).expect("key-material fixture exists");
+    let prefix = format!("model-rev={}|", SimConfig::MODEL_REVISION);
+    assert!(
+        fixture.starts_with(&prefix),
+        "fixture starts with {:?} but the compiled revision is {} — \
+         regenerate the fixture with BANSHEE_UPDATE_KEY_SNAPSHOT=1 after \
+         bumping SimConfig::MODEL_REVISION",
+        fixture
+            .lines()
+            .next()
+            .unwrap_or("")
+            .split('|')
+            .next()
+            .unwrap_or(""),
+        SimConfig::MODEL_REVISION
+    );
+}

@@ -28,15 +28,26 @@
 #![warn(rust_2018_idioms)]
 
 pub mod graph;
+pub mod kv;
 pub mod mix;
+pub mod phased;
+pub mod scenario;
 pub mod spec;
 pub mod synthetic;
 pub mod trace;
+pub mod trace_file;
 pub mod workload;
 
 pub use graph::{GraphKernel, GraphKernelTrace, SyntheticGraph};
+pub use kv::{KeyValueParams, KeyValueTrace};
 pub use mix::SpecMix;
+pub use phased::{PhasedParams, PhasedTrace};
+pub use scenario::{
+    ScenarioError, ScenarioOverrides, ScenarioSpec, ScenarioSweep, ScenarioWorkloadEntry,
+    ScenarioWorkloadInstance, ScenarioWorkloadSpec,
+};
 pub use spec::SpecProgram;
 pub use synthetic::{SyntheticParams, SyntheticTrace};
-pub use trace::{MemoryAccess, TraceGenerator};
+pub use trace::{MemoryAccess, TraceFactory, TraceGenerator};
+pub use trace_file::{TraceData, TraceFileError, TraceFileReader, TraceReplay, TraceStream};
 pub use workload::{Workload, WorkloadKind};

@@ -40,6 +40,22 @@ pub enum SpecProgram {
 }
 
 impl SpecProgram {
+    /// Every program the model knows, including the mix-only ones.
+    pub const ALL: [SpecProgram; 12] = [
+        SpecProgram::Bwaves,
+        SpecProgram::Lbm,
+        SpecProgram::Mcf,
+        SpecProgram::Omnetpp,
+        SpecProgram::Libquantum,
+        SpecProgram::Gcc,
+        SpecProgram::Milc,
+        SpecProgram::Soplex,
+        SpecProgram::Gems,
+        SpecProgram::Bzip2,
+        SpecProgram::Leslie,
+        SpecProgram::Cactus,
+    ];
+
     /// All programs that appear in the homogeneous Figure 4/5/6 lineup.
     pub const FIGURE4: [SpecProgram; 8] = [
         SpecProgram::Bwaves,

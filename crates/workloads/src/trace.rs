@@ -54,6 +54,17 @@ pub trait TraceGenerator: Send {
     fn footprint_bytes(&self) -> u64;
 }
 
+/// Anything that can stamp out one [`TraceGenerator`] per core: the built-in
+/// [`crate::Workload`] catalogue and the data-driven scenario workloads both
+/// implement this, so the simulator can run either without knowing which.
+pub trait TraceFactory: Send + Sync {
+    /// Display name for tables and result labels.
+    fn name(&self) -> String;
+
+    /// Build one deterministic trace generator per core.
+    fn build_traces(&self, cores: usize) -> Vec<Box<dyn TraceGenerator>>;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,735 @@
+//! A compact on-disk trace format, so externally captured memory traces can
+//! be replayed through the simulator and any built-in workload can be
+//! exported and replayed bit-identically.
+//!
+//! Two encodings of the same model — a file holds one or more **streams**
+//! (one per core), each a finite sequence of [`MemoryAccess`]es plus the
+//! stream's name and footprint:
+//!
+//! * **Binary** (`.btrace`): an 8-byte magic, a version word, and
+//!   length-framed streams of fixed 13-byte records (vaddr `u64`, gap
+//!   `u32`, flags `u8`, all little-endian). Truncation, bad magic, an
+//!   unsupported version, stray flag bits and trailing garbage are all
+//!   distinct, actionable errors — never panics.
+//! * **Text** (`.trace`): a human-writable one-access-per-line form
+//!   (`r <hex-vaddr> <gap>` / `w <hex-vaddr> <gap>`) with `stream` headers,
+//!   `#` comments, and line-numbered parse errors.
+//!
+//! [`TraceFileReader`] is a streaming binary decoder (header → stream
+//! headers → accesses) that never loads the whole file; [`TraceData`] is
+//! the in-memory form used for encoding and for [`TraceReplay`], the
+//! [`TraceGenerator`] that loops a finite stream so the simulator can run
+//! it for any instruction budget.
+
+use crate::trace::{MemoryAccess, TraceFactory, TraceGenerator};
+use banshee_common::hash::fnv1a64;
+use banshee_common::Addr;
+use std::fmt;
+use std::io::{self, Read};
+use std::path::Path;
+use std::sync::Arc;
+
+/// The binary format's leading magic bytes.
+pub const TRACE_MAGIC: [u8; 8] = *b"BSHTRACE";
+/// The binary format version this build writes and understands.
+pub const TRACE_VERSION: u32 = 1;
+/// First line of the text form.
+pub const TEXT_HEADER: &str = "banshee-trace v1";
+/// Bytes per binary access record: vaddr u64 + inst_gap u32 + flags u8.
+pub const RECORD_BYTES: usize = 13;
+
+/// Everything that can go wrong reading a trace file.
+#[derive(Debug)]
+pub enum TraceFileError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with [`TRACE_MAGIC`] (binary) or
+    /// [`TEXT_HEADER`] (text).
+    BadMagic,
+    /// The file's version word is one this build cannot decode.
+    UnsupportedVersion(u32),
+    /// The file ended in the middle of the named structure.
+    Truncated(&'static str),
+    /// Structurally invalid content (bad flags, counts, or text syntax);
+    /// the message says what and where.
+    Corrupt(String),
+}
+
+impl fmt::Display for TraceFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceFileError::Io(e) => write!(f, "trace file I/O error: {e}"),
+            TraceFileError::BadMagic => write!(
+                f,
+                "not a banshee trace: expected the {:?} magic (binary) or a \
+                 `{TEXT_HEADER}` first line (text)",
+                std::str::from_utf8(&TRACE_MAGIC).unwrap_or("BSHTRACE"),
+            ),
+            TraceFileError::UnsupportedVersion(v) => write!(
+                f,
+                "unsupported trace version {v} (this build reads version {TRACE_VERSION})"
+            ),
+            TraceFileError::Truncated(what) => {
+                write!(f, "trace file truncated while reading {what}")
+            }
+            TraceFileError::Corrupt(msg) => write!(f, "corrupt trace file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceFileError {}
+
+impl From<io::Error> for TraceFileError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            TraceFileError::Truncated("a record")
+        } else {
+            TraceFileError::Io(e)
+        }
+    }
+}
+
+/// One core's finite access sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStream {
+    /// Stream name (usually the workload name the stream was captured from).
+    pub name: String,
+    /// Virtual footprint the accesses cover, in bytes.
+    pub footprint_bytes: u64,
+    /// The accesses, in issue order.
+    pub accesses: Vec<MemoryAccess>,
+}
+
+/// An in-memory trace file: one stream per core.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraceData {
+    /// The per-core streams.
+    pub streams: Vec<TraceStream>,
+}
+
+impl TraceData {
+    /// Capture a trace from any workload: `accesses_per_core` accesses from
+    /// each of the factory's per-core generators. Replaying the result is
+    /// bit-identical to the original generators for that window (and loops
+    /// past it).
+    pub fn capture(factory: &dyn TraceFactory, cores: usize, accesses_per_core: u64) -> TraceData {
+        let streams = factory
+            .build_traces(cores)
+            .into_iter()
+            .map(|mut gen| {
+                let accesses = (0..accesses_per_core).map(|_| gen.next_access()).collect();
+                TraceStream {
+                    name: gen.name().to_string(),
+                    footprint_bytes: gen.footprint_bytes(),
+                    accesses,
+                }
+            })
+            .collect();
+        TraceData { streams }
+    }
+
+    /// Encode as the canonical binary form. Decoding the result with
+    /// [`TraceData::from_binary`] and re-encoding is byte-identical.
+    pub fn to_binary(&self) -> Vec<u8> {
+        let records: usize = self.streams.iter().map(|s| s.accesses.len()).sum();
+        let mut out = Vec::with_capacity(16 + records * RECORD_BYTES);
+        out.extend_from_slice(&TRACE_MAGIC);
+        out.extend_from_slice(&TRACE_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.streams.len() as u32).to_le_bytes());
+        for s in &self.streams {
+            out.extend_from_slice(&(s.name.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.name.as_bytes());
+            out.extend_from_slice(&s.footprint_bytes.to_le_bytes());
+            out.extend_from_slice(&(s.accesses.len() as u64).to_le_bytes());
+            for a in &s.accesses {
+                out.extend_from_slice(&a.vaddr.raw().to_le_bytes());
+                out.extend_from_slice(&a.inst_gap.to_le_bytes());
+                out.push(a.write as u8);
+            }
+        }
+        out
+    }
+
+    /// Decode the binary form, rejecting trailing bytes after the last
+    /// stream.
+    pub fn from_binary(bytes: &[u8]) -> Result<TraceData, TraceFileError> {
+        let mut cursor = bytes;
+        let mut reader = TraceFileReader::open(&mut cursor)?;
+        let mut data = TraceData::default();
+        while let Some(header) = reader.next_stream()? {
+            let mut stream = TraceStream {
+                name: header.name,
+                footprint_bytes: header.footprint_bytes,
+                // Cap the pre-allocation so a corrupt count cannot OOM us.
+                accesses: Vec::with_capacity(header.access_count.min(1 << 20) as usize),
+            };
+            while let Some(access) = reader.next_access()? {
+                stream.accesses.push(access);
+            }
+            data.streams.push(stream);
+        }
+        if !cursor.is_empty() {
+            return Err(TraceFileError::Corrupt(format!(
+                "{} trailing byte(s) after the last stream",
+                cursor.len()
+            )));
+        }
+        Ok(data)
+    }
+
+    /// Encode as the text form. Errors if a stream name cannot be
+    /// represented (empty or containing whitespace — the text form is
+    /// whitespace-delimited; the binary form length-frames names and has
+    /// no such restriction), rather than silently rewriting the name and
+    /// changing the trace's content identity.
+    pub fn to_text(&self) -> Result<String, TraceFileError> {
+        let mut out = String::new();
+        out.push_str(TEXT_HEADER);
+        out.push('\n');
+        for s in &self.streams {
+            if s.name.is_empty() || s.name.contains(char::is_whitespace) {
+                return Err(TraceFileError::Corrupt(format!(
+                    "stream name {:?} cannot be written in the text form (names are \
+                     whitespace-delimited); rename the stream or use the binary form",
+                    s.name
+                )));
+            }
+            out.push_str(&format!(
+                "stream {} footprint={} accesses={}\n",
+                s.name,
+                s.footprint_bytes,
+                s.accesses.len()
+            ));
+            for a in &s.accesses {
+                out.push_str(&format!(
+                    "{} 0x{:x} {}\n",
+                    if a.write { 'w' } else { 'r' },
+                    a.vaddr.raw(),
+                    a.inst_gap
+                ));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Decode the text form, with line-numbered errors. Blank lines and
+    /// `#` comments are allowed anywhere after the header line.
+    pub fn from_text(text: &str) -> Result<TraceData, TraceFileError> {
+        let corrupt =
+            |line: usize, msg: String| TraceFileError::Corrupt(format!("line {}: {msg}", line + 1));
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, first)) if first.trim() == TEXT_HEADER => {}
+            _ => return Err(TraceFileError::BadMagic),
+        }
+        let mut data = TraceData::default();
+        let mut expected: Option<(usize, usize)> = None; // (header line, count)
+        for (no, raw) in lines {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("stream ") {
+                if let Some((header_line, count)) = expected.take() {
+                    let got = data.streams.last().map_or(0, |s| s.accesses.len());
+                    if got != count {
+                        return Err(corrupt(
+                            header_line,
+                            format!("stream declares accesses={count} but {got} followed"),
+                        ));
+                    }
+                }
+                let mut name = None;
+                let mut footprint = None;
+                let mut accesses = None;
+                for part in rest.split_whitespace() {
+                    if let Some(v) = part.strip_prefix("footprint=") {
+                        footprint = Some(v.parse::<u64>().map_err(|_| {
+                            corrupt(no, format!("invalid footprint `{v}` (want bytes)"))
+                        })?);
+                    } else if let Some(v) = part.strip_prefix("accesses=") {
+                        accesses = Some(
+                            v.parse::<usize>()
+                                .map_err(|_| corrupt(no, format!("invalid access count `{v}`")))?,
+                        );
+                    } else if name.is_none() {
+                        name = Some(part.to_string());
+                    } else {
+                        return Err(corrupt(no, format!("unexpected token `{part}`")));
+                    }
+                }
+                let name = name.ok_or_else(|| corrupt(no, "stream needs a name".into()))?;
+                let footprint = footprint
+                    .ok_or_else(|| corrupt(no, "stream needs footprint=<bytes>".into()))?;
+                let count =
+                    accesses.ok_or_else(|| corrupt(no, "stream needs accesses=<count>".into()))?;
+                expected = Some((no, count));
+                data.streams.push(TraceStream {
+                    name,
+                    footprint_bytes: footprint,
+                    accesses: Vec::with_capacity(count.min(1 << 20)),
+                });
+                continue;
+            }
+            let stream = data
+                .streams
+                .last_mut()
+                .ok_or_else(|| corrupt(no, "access before the first `stream` header".into()))?;
+            let mut parts = line.split_whitespace();
+            let op = parts.next().unwrap_or_default();
+            let write = match op {
+                "r" | "R" => false,
+                "w" | "W" => true,
+                other => return Err(corrupt(no, format!("expected `r` or `w`, got `{other}`"))),
+            };
+            let addr_text = parts
+                .next()
+                .ok_or_else(|| corrupt(no, "missing address".into()))?;
+            let vaddr = addr_text
+                .strip_prefix("0x")
+                .or_else(|| addr_text.strip_prefix("0X"))
+                .and_then(|h| u64::from_str_radix(h, 16).ok())
+                .ok_or_else(|| {
+                    corrupt(no, format!("invalid address `{addr_text}` (want 0x<hex>)"))
+                })?;
+            let gap_text = parts
+                .next()
+                .ok_or_else(|| corrupt(no, "missing instruction gap".into()))?;
+            let inst_gap = gap_text
+                .parse::<u32>()
+                .map_err(|_| corrupt(no, format!("invalid instruction gap `{gap_text}`")))?;
+            if let Some(extra) = parts.next() {
+                return Err(corrupt(no, format!("unexpected trailing token `{extra}`")));
+            }
+            stream.accesses.push(MemoryAccess {
+                vaddr: Addr::new(vaddr),
+                write,
+                inst_gap,
+            });
+        }
+        if let Some((header_line, count)) = expected {
+            let got = data.streams.last().map_or(0, |s| s.accesses.len());
+            if got != count {
+                return Err(corrupt(
+                    header_line,
+                    format!("stream declares accesses={count} but {got} followed"),
+                ));
+            }
+        }
+        if data.streams.is_empty() {
+            return Err(TraceFileError::Corrupt(
+                "text trace has no `stream` sections".into(),
+            ));
+        }
+        Ok(data)
+    }
+
+    /// Read a trace file, sniffing the encoding: binary if it starts with
+    /// [`TRACE_MAGIC`], text otherwise.
+    pub fn read_file(path: impl AsRef<Path>) -> Result<TraceData, TraceFileError> {
+        let bytes = std::fs::read(path.as_ref())?;
+        if bytes.starts_with(&TRACE_MAGIC) {
+            TraceData::from_binary(&bytes)
+        } else {
+            let text = std::str::from_utf8(&bytes).map_err(|_| TraceFileError::BadMagic)?;
+            TraceData::from_text(text)
+        }
+    }
+
+    /// Write the binary form to `path`.
+    pub fn write_binary_file(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_binary())
+    }
+
+    /// Write the text form to `path` (same name restriction as
+    /// [`TraceData::to_text`]).
+    pub fn write_text_file(&self, path: impl AsRef<Path>) -> Result<(), TraceFileError> {
+        std::fs::write(path, self.to_text()?)?;
+        Ok(())
+    }
+
+    /// FNV-1a hash of the canonical binary encoding — the identity of the
+    /// trace's *content*, used to key cached results for replay cells.
+    pub fn content_hash(&self) -> u64 {
+        fnv1a64(&self.to_binary())
+    }
+
+    /// Total accesses across all streams.
+    pub fn total_accesses(&self) -> usize {
+        self.streams.iter().map(|s| s.accesses.len()).sum()
+    }
+}
+
+/// A parsed binary stream header (the part before the records).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStreamHeader {
+    /// Stream name.
+    pub name: String,
+    /// Declared footprint in bytes.
+    pub footprint_bytes: u64,
+    /// Declared record count (the stream's length frame).
+    pub access_count: u64,
+}
+
+/// A streaming decoder over the binary form: reads the file header on open,
+/// then alternates [`TraceFileReader::next_stream`] and
+/// [`TraceFileReader::next_access`] without ever buffering a whole stream.
+pub struct TraceFileReader<R: Read> {
+    reader: R,
+    streams_left: u32,
+    records_left: u64,
+}
+
+impl<R: Read> TraceFileReader<R> {
+    /// Validate the magic and version and position the reader before the
+    /// first stream header.
+    pub fn open(mut reader: R) -> Result<Self, TraceFileError> {
+        let mut magic = [0u8; 8];
+        reader
+            .read_exact(&mut magic)
+            .map_err(|_| TraceFileError::Truncated("the file magic"))?;
+        if magic != TRACE_MAGIC {
+            return Err(TraceFileError::BadMagic);
+        }
+        let mut word = [0u8; 4];
+        reader
+            .read_exact(&mut word)
+            .map_err(|_| TraceFileError::Truncated("the version word"))?;
+        let version = u32::from_le_bytes(word);
+        if version != TRACE_VERSION {
+            return Err(TraceFileError::UnsupportedVersion(version));
+        }
+        reader
+            .read_exact(&mut word)
+            .map_err(|_| TraceFileError::Truncated("the stream count"))?;
+        Ok(TraceFileReader {
+            reader,
+            streams_left: u32::from_le_bytes(word),
+            records_left: 0,
+        })
+    }
+
+    /// Advance to the next stream header, skipping any unread records of
+    /// the current stream. `Ok(None)` after the last stream.
+    pub fn next_stream(&mut self) -> Result<Option<TraceStreamHeader>, TraceFileError> {
+        while self.records_left > 0 {
+            self.next_access()?;
+        }
+        if self.streams_left == 0 {
+            return Ok(None);
+        }
+        self.streams_left -= 1;
+        let mut word = [0u8; 4];
+        self.reader
+            .read_exact(&mut word)
+            .map_err(|_| TraceFileError::Truncated("a stream name length"))?;
+        let name_len = u32::from_le_bytes(word);
+        if name_len > 4096 {
+            return Err(TraceFileError::Corrupt(format!(
+                "stream name length {name_len} exceeds the 4096-byte limit"
+            )));
+        }
+        let mut name_bytes = vec![0u8; name_len as usize];
+        self.reader
+            .read_exact(&mut name_bytes)
+            .map_err(|_| TraceFileError::Truncated("a stream name"))?;
+        let name = String::from_utf8(name_bytes)
+            .map_err(|_| TraceFileError::Corrupt("stream name is not UTF-8".into()))?;
+        let mut qword = [0u8; 8];
+        self.reader
+            .read_exact(&mut qword)
+            .map_err(|_| TraceFileError::Truncated("a stream footprint"))?;
+        let footprint_bytes = u64::from_le_bytes(qword);
+        self.reader
+            .read_exact(&mut qword)
+            .map_err(|_| TraceFileError::Truncated("a stream record count"))?;
+        let access_count = u64::from_le_bytes(qword);
+        self.records_left = access_count;
+        Ok(Some(TraceStreamHeader {
+            name,
+            footprint_bytes,
+            access_count,
+        }))
+    }
+
+    /// The next access of the current stream; `Ok(None)` at its end.
+    pub fn next_access(&mut self) -> Result<Option<MemoryAccess>, TraceFileError> {
+        if self.records_left == 0 {
+            return Ok(None);
+        }
+        let mut record = [0u8; RECORD_BYTES];
+        self.reader
+            .read_exact(&mut record)
+            .map_err(|_| TraceFileError::Truncated("an access record"))?;
+        self.records_left -= 1;
+        let vaddr = u64::from_le_bytes(record[0..8].try_into().unwrap());
+        let inst_gap = u32::from_le_bytes(record[8..12].try_into().unwrap());
+        let write = match record[12] {
+            0 => false,
+            1 => true,
+            other => {
+                return Err(TraceFileError::Corrupt(format!(
+                    "access flags byte {other:#04x} has unknown bits set (want 0 or 1)"
+                )))
+            }
+        };
+        Ok(Some(MemoryAccess {
+            vaddr: Addr::new(vaddr),
+            write,
+            inst_gap,
+        }))
+    }
+}
+
+/// Replays one captured stream, looping when it runs out (generators are
+/// infinite by contract; the simulator decides when to stop). Holds the
+/// shared [`TraceData`] and a stream index, so any number of generators
+/// across any number of cells replay one in-memory copy of the trace.
+pub struct TraceReplay {
+    data: Arc<TraceData>,
+    stream_index: usize,
+    pos: usize,
+}
+
+impl TraceReplay {
+    /// Replay stream `stream_index` of `data` from its start.
+    pub fn new(data: Arc<TraceData>, stream_index: usize) -> Self {
+        assert!(
+            !data.streams[stream_index].accesses.is_empty(),
+            "cannot replay an empty trace stream"
+        );
+        TraceReplay {
+            data,
+            stream_index,
+            pos: 0,
+        }
+    }
+
+    fn stream(&self) -> &TraceStream {
+        &self.data.streams[self.stream_index]
+    }
+}
+
+impl TraceGenerator for TraceReplay {
+    fn next_access(&mut self) -> MemoryAccess {
+        let accesses = &self.data.streams[self.stream_index].accesses;
+        let access = accesses[self.pos];
+        self.pos += 1;
+        if self.pos == accesses.len() {
+            self.pos = 0;
+        }
+        access
+    }
+
+    fn name(&self) -> &str {
+        &self.stream().name
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        self.stream().footprint_bytes
+    }
+}
+
+impl TraceData {
+    /// Build one replay generator per core, assigning streams round-robin
+    /// (a 16-stream file on 16 cores replays 1:1; fewer streams are
+    /// shared, each core replaying from the start). The `Arc` receiver
+    /// means the trace is never copied, however many cells replay it.
+    pub fn replay_generators(self: &Arc<Self>, cores: usize) -> Vec<Box<dyn TraceGenerator>> {
+        assert!(
+            !self.streams.is_empty(),
+            "cannot replay a trace with no streams"
+        );
+        (0..cores)
+            .map(|core| {
+                Box::new(TraceReplay::new(
+                    Arc::clone(self),
+                    core % self.streams.len(),
+                )) as Box<dyn TraceGenerator>
+            })
+            .collect()
+    }
+
+    /// The largest single-stream footprint — the trace's effective working
+    /// span for reporting and store keying (replay ignores the sweep's
+    /// footprint factor; the data is whatever was captured).
+    pub fn max_stream_footprint_bytes(&self) -> u64 {
+        self.streams
+            .iter()
+            .map(|s| s.footprint_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+    use crate::WorkloadKind;
+    use banshee_common::Addr;
+
+    fn sample() -> TraceData {
+        TraceData {
+            streams: vec![
+                TraceStream {
+                    name: "alpha".into(),
+                    footprint_bytes: 1 << 20,
+                    accesses: vec![
+                        MemoryAccess::load(Addr::new(0x1000), 3),
+                        MemoryAccess::store(Addr::new(0x1040), 0),
+                    ],
+                },
+                TraceStream {
+                    name: "beta".into(),
+                    footprint_bytes: 2 << 20,
+                    accesses: vec![MemoryAccess::load(Addr::new(0xffff_ffff_0000), 9)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn binary_round_trip_is_byte_identical() {
+        let data = sample();
+        let bytes = data.to_binary();
+        let back = TraceData::from_binary(&bytes).unwrap();
+        assert_eq!(back, data);
+        assert_eq!(back.to_binary(), bytes);
+    }
+
+    #[test]
+    fn text_round_trip_preserves_content() {
+        let data = sample();
+        let text = data.to_text().unwrap();
+        let back = TraceData::from_text(&text).unwrap();
+        assert_eq!(back, data);
+        assert_eq!(back.to_text().unwrap(), text);
+        // Names the text form cannot carry are an error, not a rewrite.
+        let mut spaced = data.clone();
+        spaced.streams[0].name = "has space".into();
+        assert!(spaced.to_text().is_err());
+    }
+
+    #[test]
+    fn sniffing_reader_handles_both_forms() {
+        let dir = std::env::temp_dir().join(format!("banshee_trace_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = sample();
+        let bin = dir.join("t.btrace");
+        let txt = dir.join("t.trace");
+        data.write_binary_file(&bin).unwrap();
+        data.write_text_file(&txt).unwrap();
+        assert_eq!(TraceData::read_file(&bin).unwrap(), data);
+        assert_eq!(TraceData::read_file(&txt).unwrap(), data);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_and_corrupt_binaries_fail_clearly() {
+        let bytes = sample().to_binary();
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            TraceData::from_binary(&bad),
+            Err(TraceFileError::BadMagic)
+        ));
+        // Future version.
+        let mut future = bytes.clone();
+        future[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            TraceData::from_binary(&future),
+            Err(TraceFileError::UnsupportedVersion(99))
+        ));
+        // Truncation at every prefix length must error, never panic.
+        for len in 0..bytes.len() {
+            assert!(
+                TraceData::from_binary(&bytes[..len]).is_err(),
+                "prefix of {len} bytes must fail"
+            );
+        }
+        // Trailing garbage.
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(matches!(
+            TraceData::from_binary(&trailing),
+            Err(TraceFileError::Corrupt(_))
+        ));
+        // Stray flag bits.
+        let mut flags = bytes;
+        let last = flags.len() - 1;
+        flags[last] = 7;
+        assert!(matches!(
+            TraceData::from_binary(&flags),
+            Err(TraceFileError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn text_errors_carry_line_numbers() {
+        let bad = format!("{TEXT_HEADER}\nstream s footprint=10 accesses=1\nq 0x10 1\n");
+        let err = TraceData::from_text(&bad).unwrap_err().to_string();
+        assert!(err.contains("line 3"), "error was: {err}");
+        let wrong_count = format!("{TEXT_HEADER}\nstream s footprint=10 accesses=2\nr 0x10 1\n");
+        let err = TraceData::from_text(&wrong_count).unwrap_err().to_string();
+        assert!(err.contains("accesses=2"), "error was: {err}");
+        assert!(matches!(
+            TraceData::from_text("not a trace"),
+            Err(TraceFileError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn capture_then_replay_is_bit_identical() {
+        let workload = Workload::new(WorkloadKind::parse("mcf").unwrap(), 4 << 20, 11);
+        let captured = TraceData::capture(&workload, 2, 500);
+        let decoded = Arc::new(TraceData::from_binary(&captured.to_binary()).unwrap());
+        let mut replays = decoded.replay_generators(2);
+        let mut originals = Workload::build_traces(&workload, 2);
+        for core in 0..2 {
+            for i in 0..500 {
+                assert_eq!(
+                    replays[core].next_access(),
+                    originals[core].next_access(),
+                    "core {core} access {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn replay_loops_past_the_end() {
+        let mut gen = TraceReplay::new(Arc::new(sample()), 0);
+        let first = gen.next_access();
+        let _ = gen.next_access();
+        assert_eq!(gen.next_access(), first, "replay must wrap around");
+    }
+
+    #[test]
+    fn streaming_reader_skips_unread_records() {
+        let data = sample();
+        let bytes = data.to_binary();
+        let mut reader = TraceFileReader::open(bytes.as_slice()).unwrap();
+        let first = reader.next_stream().unwrap().unwrap();
+        assert_eq!(first.name, "alpha");
+        assert_eq!(first.access_count, 2);
+        // Jump straight to the next stream without reading alpha's records.
+        let second = reader.next_stream().unwrap().unwrap();
+        assert_eq!(second.name, "beta");
+        assert_eq!(
+            reader.next_access().unwrap().unwrap().vaddr,
+            Addr::new(0xffff_ffff_0000)
+        );
+        assert!(reader.next_stream().unwrap().is_none());
+    }
+
+    #[test]
+    fn content_hash_tracks_content() {
+        let a = sample();
+        let mut b = sample();
+        assert_eq!(a.content_hash(), b.content_hash());
+        b.streams[0].accesses[0].inst_gap += 1;
+        assert_ne!(a.content_hash(), b.content_hash());
+    }
+}

@@ -4,7 +4,7 @@
 use crate::graph::{GraphKernel, GraphKernelTrace, SyntheticGraph};
 use crate::mix::SpecMix;
 use crate::spec::SpecProgram;
-use crate::trace::TraceGenerator;
+use crate::trace::{TraceFactory, TraceGenerator};
 use std::sync::Arc;
 
 /// Every workload evaluated in the paper's Figures 4–6.
@@ -56,6 +56,34 @@ impl WorkloadKind {
     /// (multi-threaded) rather than running per-core programs.
     pub fn is_shared(&self) -> bool {
         matches!(self, WorkloadKind::Graph(_))
+    }
+
+    /// Every workload the catalogue can name: graph kernels, all SPEC
+    /// programs (including the mix-only ones) and the Table 4 mixes.
+    pub fn catalogue() -> Vec<WorkloadKind> {
+        let mut v = Vec::new();
+        for k in GraphKernel::ALL {
+            v.push(WorkloadKind::Graph(k));
+        }
+        for p in SpecProgram::ALL {
+            v.push(WorkloadKind::Spec(p));
+        }
+        for m in SpecMix::ALL {
+            v.push(WorkloadKind::Mix(m));
+        }
+        v
+    }
+
+    /// All parsable workload names, in catalogue order (what a scenario
+    /// file's `"builtin"` field may contain).
+    pub fn all_names() -> Vec<String> {
+        Self::catalogue().iter().map(|w| w.name()).collect()
+    }
+
+    /// Resolve a display name ("pagerank", "mcf", "mix1", ...) back to its
+    /// workload, or `None` if no built-in workload has that name.
+    pub fn parse(name: &str) -> Option<WorkloadKind> {
+        Self::catalogue().into_iter().find(|w| w.name() == name)
     }
 }
 
@@ -143,6 +171,16 @@ impl Workload {
                     .collect()
             }
         }
+    }
+}
+
+impl TraceFactory for Workload {
+    fn name(&self) -> String {
+        Workload::name(self)
+    }
+
+    fn build_traces(&self, cores: usize) -> Vec<Box<dyn TraceGenerator>> {
+        Workload::build_traces(self, cores)
     }
 }
 

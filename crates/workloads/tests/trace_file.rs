@@ -1,0 +1,98 @@
+//! Property tests for the trace-file format: arbitrary access streams must
+//! round-trip through both encodings, and mangled files must fail with
+//! errors, never panics.
+
+use banshee_common::Addr;
+use banshee_workloads::trace_file::{TraceData, TraceStream, TRACE_MAGIC};
+use banshee_workloads::MemoryAccess;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+type RawAccess = (u64, bool, u32);
+type RawStream = Vec<RawAccess>;
+
+fn build(streams: Vec<RawStream>) -> TraceData {
+    TraceData {
+        streams: streams
+            .into_iter()
+            .enumerate()
+            .map(|(i, accesses)| TraceStream {
+                name: format!("s{i}"),
+                footprint_bytes: 1 << 30,
+                accesses: accesses
+                    .into_iter()
+                    .map(|(vaddr, write, inst_gap)| MemoryAccess {
+                        vaddr: Addr::new(vaddr),
+                        write,
+                        inst_gap,
+                    })
+                    .collect(),
+            })
+            .collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn binary_round_trip_is_byte_identical(
+        streams in vec(vec((0u64..(1 << 48), any::<bool>(), 0u32..100_000), 0..200), 1..5)
+    ) {
+        let data = build(streams);
+        let bytes = data.to_binary();
+        let back = TraceData::from_binary(&bytes).expect("canonical bytes decode");
+        prop_assert_eq!(&back, &data);
+        prop_assert_eq!(back.to_binary(), bytes);
+    }
+
+    #[test]
+    fn text_round_trip_preserves_every_access(
+        streams in vec(vec((0u64..(1 << 48), any::<bool>(), 0u32..100_000), 0..100), 1..4)
+    ) {
+        let data = build(streams);
+        let text = data.to_text().expect("whitespace-free names encode");
+        let back = TraceData::from_text(&text).expect("canonical text decodes");
+        prop_assert_eq!(&back, &data);
+        prop_assert_eq!(back.to_text().expect("round-trip re-encodes"), text);
+    }
+
+    #[test]
+    fn truncation_never_panics_and_always_errors(
+        streams in vec(vec((0u64..(1 << 48), any::<bool>(), 0u32..100_000), 1..50), 1..3),
+        cut_fraction in 0u32..1000
+    ) {
+        let data = build(streams);
+        let bytes = data.to_binary();
+        let cut = (bytes.len() as u64 * cut_fraction as u64 / 1000) as usize;
+        prop_assert!(cut < bytes.len());
+        prop_assert!(TraceData::from_binary(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn single_byte_flips_in_the_header_error_or_change_content(
+        accesses in vec((0u64..(1 << 48), any::<bool>(), 0u32..100_000), 1..50),
+        flip_at in 0usize..16,
+        flip_bit in 0u8..8
+    ) {
+        // Flipping any bit in the magic/version/stream-count header must
+        // either fail cleanly or (for the stream count) fail as truncated —
+        // never panic, never succeed with the same content.
+        let data = build(vec![accesses]);
+        let mut bytes = data.to_binary();
+        bytes[flip_at] ^= 1 << flip_bit;
+        match TraceData::from_binary(&bytes) {
+            Err(_) => {}
+            Ok(decoded) => prop_assert!(
+                decoded != data,
+                "a corrupted header byte decoded to the identical trace"
+            ),
+        }
+    }
+}
+
+#[test]
+fn magic_is_the_advertised_constant() {
+    let data = build(vec![vec![(64, false, 1)]]);
+    assert_eq!(&data.to_binary()[..8], &TRACE_MAGIC);
+}
