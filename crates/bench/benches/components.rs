@@ -70,6 +70,7 @@ fn bench_dram_channel(c: &mut Criterion) {
                 Addr::new((now * 64) % (1 << 30)),
                 64,
                 TrafficClass::HitData,
+                false,
             ));
         });
     });

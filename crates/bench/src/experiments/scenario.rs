@@ -30,6 +30,10 @@ pub struct ScenarioCellResult {
     pub footprint_bytes: u64,
     /// The sweep seed.
     pub seed: u64,
+    /// Swept DRAM page policy ("open"/"closed"), if the sweep has that axis.
+    pub page_policy: Option<String>,
+    /// Swept DRAM write-queue depth, if the sweep has that axis.
+    pub write_queue_depth: Option<u64>,
     /// The simulation result.
     pub result: SimResult,
 }
@@ -64,6 +68,10 @@ pub struct CellCoords {
     pub footprint_bytes: u64,
     /// Sweep seed.
     pub seed: u64,
+    /// Swept DRAM page policy, if that axis is present.
+    pub page_policy: Option<String>,
+    /// Swept DRAM write-queue depth, if that axis is present.
+    pub write_queue_depth: Option<u64>,
 }
 
 /// Resolve the designs a scenario runs under: its own list, parsed and
@@ -105,39 +113,69 @@ pub fn expand_cells(
     spec: &ScenarioSpec,
 ) -> Result<Vec<(CellCoords, PreparedCell)>, String> {
     let designs = resolve_designs(spec)?;
+    // The DRAM axes are optional: an empty list means "one cell with the
+    // config's value" (represented as None).
+    let page_policies: Vec<Option<banshee_workloads::DramPagePolicyOverride>> =
+        if spec.sweep.page_policies.is_empty() {
+            vec![None]
+        } else {
+            spec.sweep.page_policies.iter().map(|&p| Some(p)).collect()
+        };
+    let wq_depths: Vec<Option<usize>> = if spec.sweep.write_queue_depths.is_empty() {
+        vec![None]
+    } else {
+        spec.sweep
+            .write_queue_depths
+            .iter()
+            .map(|&d| Some(d))
+            .collect()
+    };
     let mut cells = Vec::new();
     for entry in &spec.workloads {
         for design in &designs {
             for &factor in &spec.sweep.footprint_factors {
                 for &seed in &spec.sweep.seeds {
-                    let mut config = runner.config(*design);
-                    config.apply_scenario_overrides(&spec.overrides);
-                    config.seed = seed;
-                    let footprint =
-                        entry_footprint(entry, config.dcache.capacity.as_bytes(), factor);
-                    let instance = entry.spec.instantiate(footprint, seed);
-                    let key_material = format!(
-                        "banshee-scenario-cell-v1|{}|{}",
-                        instance.key_material(),
-                        config.cache_key_material()
-                    );
-                    let coords = CellCoords {
-                        workload: entry.spec.display_name(),
-                        design: config.design.label(),
-                        footprint_factor: factor,
-                        footprint_bytes: footprint,
-                        seed,
-                    };
-                    cells.push((
-                        coords.clone(),
-                        PreparedCell {
-                            workload_label: coords.workload.clone(),
-                            design_label: coords.design.clone(),
-                            key_material,
-                            config,
-                            factory: Arc::new(instance),
-                        },
-                    ));
+                    for &policy in &page_policies {
+                        for &depth in &wq_depths {
+                            let mut overrides = spec.overrides.clone();
+                            if policy.is_some() {
+                                overrides.dram_page_policy = policy;
+                            }
+                            if depth.is_some() {
+                                overrides.dram_write_queue_depth = depth;
+                            }
+                            let mut config = runner.config(*design);
+                            config.apply_scenario_overrides(&overrides);
+                            config.seed = seed;
+                            let footprint =
+                                entry_footprint(entry, config.dcache.capacity.as_bytes(), factor);
+                            let instance = entry.spec.instantiate(footprint, seed);
+                            let key_material = format!(
+                                "banshee-scenario-cell-v1|{}|{}",
+                                instance.key_material(),
+                                config.cache_key_material()
+                            );
+                            let coords = CellCoords {
+                                workload: entry.spec.display_name(),
+                                design: config.design.label(),
+                                footprint_factor: factor,
+                                footprint_bytes: footprint,
+                                seed,
+                                page_policy: policy.map(|p| p.label().to_string()),
+                                write_queue_depth: depth.map(|d| d as u64),
+                            };
+                            cells.push((
+                                coords.clone(),
+                                PreparedCell {
+                                    workload_label: coords.workload.clone(),
+                                    design_label: coords.design.clone(),
+                                    key_material,
+                                    config,
+                                    factory: Arc::new(instance),
+                                },
+                            ));
+                        }
+                    }
                 }
             }
         }
@@ -159,6 +197,8 @@ pub fn run(runner: &Runner, spec: &ScenarioSpec) -> Result<ScenarioReport, Strin
             footprint_factor: c.footprint_factor,
             footprint_bytes: c.footprint_bytes,
             seed: c.seed,
+            page_policy: c.page_policy,
+            write_queue_depth: c.write_queue_depth,
             result,
         })
         .collect();
@@ -184,6 +224,8 @@ pub fn tables(report: &ScenarioReport) -> Vec<Table> {
             "design",
             "factor",
             "seed",
+            "page",
+            "wq",
             "IPC",
             "MPKI",
             "miss rate",
@@ -205,6 +247,10 @@ pub fn tables(report: &ScenarioReport) -> Vec<Table> {
             } else {
                 "-".to_string()
             },
+            c.page_policy.clone().unwrap_or_else(|| "-".to_string()),
+            c.write_queue_depth
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "-".to_string()),
             fmt2(c.result.ipc()),
             fmt2(c.result.mpki()),
             fmt_pct(c.result.dram_cache_miss_rate()),

@@ -160,19 +160,26 @@ mod tests {
         assert!(unison.hit_in_bytes >= 96);
         assert!(unison.miss_in_bytes >= 96);
 
-        // TDC and Banshee: tagless — a hit is 64 B, a miss touches no
-        // in-package DRAM at all.
-        for name in ["TDC", "Banshee"] {
-            let r = get(name);
-            assert_eq!(r.hit_in_bytes, 64, "{name} hit");
-            assert_eq!(r.miss_in_bytes, 0, "{name} miss");
-            assert_eq!(r.miss_off_bytes, 64, "{name} miss off-package");
-        }
+        // Banshee: tagless — a hit is 64 B, a miss touches no in-package
+        // DRAM at all.
+        let banshee = get("Banshee");
+        assert_eq!(banshee.hit_in_bytes, 64, "Banshee hit");
+        assert_eq!(banshee.miss_in_bytes, 0, "Banshee miss");
+        assert_eq!(banshee.miss_off_bytes, 64, "Banshee miss off-package");
+
+        // TDC: hits are tagless (the mapping came from the TLB), but the
+        // miss path consults the in-DRAM page map (32 B) before the
+        // off-package fetch.
+        let tdc = get("TDC");
+        assert_eq!(tdc.hit_in_bytes, 64, "TDC hit");
+        assert_eq!(tdc.miss_in_bytes, 32, "TDC miss consults the page map");
+        assert_eq!(tdc.miss_off_bytes, 64, "TDC miss off-package");
 
         // Banshee's dirty eviction needed no probe (the tag buffer remembers
-        // the warm page); Unison always probes.
+        // the warm page); Unison always probes its tags, TDC its page map.
         assert_eq!(get("Banshee").dirty_eviction_probe_bytes, 0);
         assert_eq!(get("Unison").dirty_eviction_probe_bytes, 32);
+        assert_eq!(get("TDC").dirty_eviction_probe_bytes, 32);
 
         // NoCache never touches in-package DRAM.
         assert_eq!(get("NoCache").hit_in_bytes, 0);

@@ -287,7 +287,7 @@ impl BansheeController {
                         dirty * CACHE_LINE_SIZE,
                         TrafficClass::Replacement,
                     ));
-                    plan.background.push(DramOp::off_package(
+                    plan.background.push(DramOp::off_package_write(
                         Addr::new(victim_unit * self.config.page_bytes),
                         dirty * CACHE_LINE_SIZE,
                         TrafficClass::Writeback,
@@ -305,7 +305,7 @@ impl BansheeController {
             self.config.page_bytes,
             TrafficClass::Replacement,
         ));
-        plan.background.push(DramOp::in_package(
+        plan.background.push(DramOp::in_package_write(
             self.data_addr(set, way, 0),
             self.config.page_bytes,
             TrafficClass::Replacement,
@@ -348,7 +348,7 @@ impl BansheeController {
             ));
             if decision.wrote_metadata() {
                 self.counter_writes += 1;
-                plan.background.push(DramOp::in_package(
+                plan.background.push(DramOp::in_package_write(
                     self.meta_addr(set),
                     32,
                     TrafficClass::Counter,
@@ -389,7 +389,7 @@ impl BansheeController {
             32,
             TrafficClass::Tag,
         ));
-        plan.background.push(DramOp::in_package(
+        plan.background.push(DramOp::in_package_write(
             self.meta_addr(set),
             32,
             TrafficClass::Tag,
@@ -503,13 +503,13 @@ impl DramCacheController for BansheeController {
                     if let Some(r) = self.resident.get_mut(&unit) {
                         r.dirty_lines.insert(line);
                     }
-                    plan.background.push(DramOp::in_package(
+                    plan.background.push(DramOp::in_package_write(
                         self.data_addr(set, way, self.config.unit_offset(req.addr)),
                         64,
                         TrafficClass::Writeback,
                     ));
                 } else {
-                    plan.background.push(DramOp::off_package(
+                    plan.background.push(DramOp::off_package_write(
                         req.addr,
                         64,
                         TrafficClass::Writeback,

@@ -144,7 +144,7 @@ impl DramCacheController for AlloyCache {
                     if victim.valid && victim.dirty {
                         self.bump("alloy_dirty_victim_writebacks");
                         let victim_line = self.resident_line(idx);
-                        sink.also(DramOp::off_package(
+                        sink.also(DramOp::off_package_write(
                             victim_line.base_addr(),
                             64,
                             TrafficClass::Writeback,
@@ -156,19 +156,39 @@ impl DramCacheController for AlloyCache {
                         tag,
                     };
                     // Fill writes the new TAD unit: 64 B data + 32 B tag.
-                    sink.also(DramOp::in_package(tad_addr, 64, TrafficClass::Replacement))
-                        .also(DramOp::in_package(tad_addr, 32, TrafficClass::Replacement));
+                    sink.also(DramOp::in_package_write(
+                        tad_addr,
+                        64,
+                        TrafficClass::Replacement,
+                    ))
+                    .also(DramOp::in_package_write(
+                        tad_addr,
+                        32,
+                        TrafficClass::Replacement,
+                    ));
                 }
             }
             RequestKind::Writeback => {
                 if hit {
                     self.bump("alloy_writeback_hits");
                     self.slots[idx].dirty = true;
-                    sink.also(DramOp::in_package(tad_addr, 64, TrafficClass::Writeback))
-                        .also(DramOp::in_package(tad_addr, 32, TrafficClass::Tag));
+                    sink.also(DramOp::in_package_write(
+                        tad_addr,
+                        64,
+                        TrafficClass::Writeback,
+                    ))
+                    .also(DramOp::in_package_write(
+                        tad_addr,
+                        32,
+                        TrafficClass::Tag,
+                    ));
                 } else {
                     self.bump("alloy_writeback_misses");
-                    sink.also(DramOp::off_package(req.addr, 64, TrafficClass::Writeback));
+                    sink.also(DramOp::off_package_write(
+                        req.addr,
+                        64,
+                        TrafficClass::Writeback,
+                    ));
                 }
             }
         }

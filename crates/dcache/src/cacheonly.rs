@@ -40,7 +40,7 @@ impl DramCacheController for CacheOnly {
                 .hit();
             }
             RequestKind::Writeback => {
-                sink.also(DramOp::in_package(
+                sink.also(DramOp::in_package_write(
                     req.addr,
                     crate::LINE_BYTES,
                     TrafficClass::Writeback,

@@ -107,9 +107,9 @@ impl DramCacheController for Hma {
             }
             RequestKind::Writeback => {
                 let op = if hit {
-                    DramOp::in_package(req.addr, 64, TrafficClass::Writeback)
+                    DramOp::in_package_write(req.addr, 64, TrafficClass::Writeback)
                 } else {
-                    DramOp::off_package(req.addr, 64, TrafficClass::Writeback)
+                    DramOp::off_package_write(req.addr, 64, TrafficClass::Writeback)
                 };
                 sink.also(op);
             }
@@ -162,7 +162,7 @@ impl DramCacheController for Hma {
                 PAGE_SIZE,
                 TrafficClass::Replacement,
             ))
-            .also(DramOp::off_package(
+            .also(DramOp::off_package_write(
                 page.base_addr(),
                 PAGE_SIZE,
                 TrafficClass::Replacement,
@@ -179,7 +179,7 @@ impl DramCacheController for Hma {
                 PAGE_SIZE,
                 TrafficClass::Replacement,
             ))
-            .also(DramOp::in_package(
+            .also(DramOp::in_package_write(
                 page.base_addr(),
                 PAGE_SIZE,
                 TrafficClass::Replacement,

@@ -36,7 +36,7 @@ impl DramCacheController for NoCache {
                 ));
             }
             RequestKind::Writeback => {
-                sink.also(DramOp::off_package(
+                sink.also(DramOp::off_package_write(
                     req.addr,
                     crate::LINE_BYTES,
                     TrafficClass::Writeback,

@@ -96,26 +96,48 @@ pub struct DramOp {
     pub bytes: u64,
     /// What the bytes are moved for (drives the Figure 5/6/9 breakdowns).
     pub class: TrafficClass,
+    /// Direction: `true` moves data *into* the DRAM (fills, writebacks,
+    /// metadata updates), which the device may post into its write queue;
+    /// `false` is a read the requester's timing depends on.
+    pub write: bool,
 }
 
 impl DramOp {
-    /// An operation on the in-package DRAM.
+    /// A read from the in-package DRAM.
     pub fn in_package(addr: Addr, bytes: u64, class: TrafficClass) -> Self {
         DramOp {
             dram: DramKind::InPackage,
             addr,
             bytes,
             class,
+            write: false,
         }
     }
 
-    /// An operation on the off-package DRAM.
+    /// A write into the in-package DRAM.
+    pub fn in_package_write(addr: Addr, bytes: u64, class: TrafficClass) -> Self {
+        DramOp {
+            write: true,
+            ..Self::in_package(addr, bytes, class)
+        }
+    }
+
+    /// A read from the off-package DRAM.
     pub fn off_package(addr: Addr, bytes: u64, class: TrafficClass) -> Self {
         DramOp {
             dram: DramKind::OffPackage,
             addr,
             bytes,
             class,
+            write: false,
+        }
+    }
+
+    /// A write into the off-package DRAM.
+    pub fn off_package_write(addr: Addr, bytes: u64, class: TrafficClass) -> Self {
+        DramOp {
+            write: true,
+            ..Self::off_package(addr, bytes, class)
         }
     }
 }

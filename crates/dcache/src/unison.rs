@@ -132,7 +132,7 @@ impl DramCacheController for UnisonCache {
                     }
                     sink.then(DramOp::in_package(tag_addr, 32, TrafficClass::Tag))
                         .then(DramOp::in_package(data_addr, 64, TrafficClass::HitData))
-                        .also(DramOp::in_package(tag_addr, 32, TrafficClass::Tag))
+                        .also(DramOp::in_package_write(tag_addr, 32, TrafficClass::Tag))
                         .hit();
                     return;
                 }
@@ -157,7 +157,7 @@ impl DramCacheController for UnisonCache {
                             dirty_lines * CACHE_LINE_SIZE,
                             TrafficClass::Replacement,
                         ))
-                        .also(DramOp::off_package(
+                        .also(DramOp::off_package_write(
                             victim.page.base_addr(),
                             dirty_lines * CACHE_LINE_SIZE,
                             TrafficClass::Writeback,
@@ -176,12 +176,12 @@ impl DramCacheController for UnisonCache {
                     fp_bytes,
                     TrafficClass::Replacement,
                 ))
-                .also(DramOp::in_package(
+                .also(DramOp::in_package_write(
                     fill_addr,
                     fp_bytes,
                     TrafficClass::Replacement,
                 ))
-                .also(DramOp::in_package(tag_addr, 32, TrafficClass::Tag));
+                .also(DramOp::in_package_write(tag_addr, 32, TrafficClass::Tag));
 
                 self.sets[set][victim_way] = PageWay {
                     valid: true,
@@ -196,9 +196,17 @@ impl DramCacheController for UnisonCache {
                 if let Some(way) = resident {
                     let data_addr = self.data_addr(set, way, req.addr.page_offset());
                     self.sets[set][way].dirty_mask |= 1 << line_in_page;
-                    sink.also(DramOp::in_package(data_addr, 64, TrafficClass::Writeback));
+                    sink.also(DramOp::in_package_write(
+                        data_addr,
+                        64,
+                        TrafficClass::Writeback,
+                    ));
                 } else {
-                    sink.also(DramOp::off_package(req.addr, 64, TrafficClass::Writeback));
+                    sink.also(DramOp::off_package_write(
+                        req.addr,
+                        64,
+                        TrafficClass::Writeback,
+                    ));
                 }
             }
         }

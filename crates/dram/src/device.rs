@@ -1,7 +1,7 @@
 //! A multi-channel DRAM device and the in-/off-package pair.
 
 use crate::channel::{Channel, ChannelAccess};
-use crate::config::{DramConfig, DramTiming};
+use crate::config::DramConfig;
 use banshee_common::{Addr, Cycle, DramKind, FastDivMod, TrafficClass, TrafficStats, PAGE_SIZE};
 
 /// Result of an access at the device level.
@@ -9,7 +9,8 @@ use banshee_common::{Addr, Cycle, DramKind, FastDivMod, TrafficClass, TrafficSta
 pub struct AccessOutcome {
     /// Cycle the access started being serviced.
     pub start: Cycle,
-    /// Cycle the data finished transferring.
+    /// Cycle the data finished transferring (posted writes: the posting
+    /// cycle).
     pub finish: Cycle,
     /// Which channel serviced it.
     pub channel: usize,
@@ -22,15 +23,27 @@ impl AccessOutcome {
     }
 }
 
-/// A DRAM device made of identical channels, with traffic accounting.
+/// A DRAM device made of identical channels, with traffic accounting at two
+/// levels:
+///
+/// * **logical** ([`DramDevice::traffic`]) — bytes recorded per
+///   (class) at the moment an operation is issued; this is what simulation
+///   results report.
+/// * **device-level** ([`DramDevice::transferred_traffic`] /
+///   [`DramDevice::pending_write_traffic`]) — bytes the channels actually
+///   moved across their buses, plus what still sits in write queues.
+///
+/// The conservation invariant `logical == transferred + pending + untimed`
+/// holds per class at all times and is what the cross-design
+/// traffic-conservation test checks end to end.
 #[derive(Debug, Clone)]
 pub struct DramDevice {
     kind: DramKind,
     config: DramConfig,
-    timing: DramTiming,
     channels: Vec<Channel>,
     channel_div: FastDivMod,
     traffic: TrafficStats,
+    untimed: TrafficStats,
     access_count: u64,
     total_latency: u64,
 }
@@ -40,14 +53,14 @@ impl DramDevice {
     pub fn new(kind: DramKind, config: DramConfig) -> Self {
         assert!(config.channels > 0, "device needs at least one channel");
         let channels = (0..config.channels)
-            .map(|_| Channel::new(config.banks_per_channel, config.row_buffer_bytes))
+            .map(|_| Channel::new(&config))
             .collect();
         DramDevice {
             kind,
-            timing: DramTiming::default(),
             channels,
             channel_div: FastDivMod::new(config.channels as u64),
             traffic: TrafficStats::new(),
+            untimed: TrafficStats::new(),
             access_count: 0,
             total_latency: 0,
             config,
@@ -64,23 +77,67 @@ impl DramDevice {
         &self.config
     }
 
-    /// Accumulated traffic by class.
+    /// Accumulated traffic by class, recorded when operations are issued
+    /// (posted writes count immediately).
     pub fn traffic(&self) -> &TrafficStats {
         &self.traffic
     }
 
-    /// Total number of accesses serviced.
+    /// Traffic recorded without a timed device access (see
+    /// [`DramDevice::record_untimed_traffic`]). Also included in
+    /// [`DramDevice::traffic`].
+    pub fn untimed_traffic(&self) -> &TrafficStats {
+        &self.untimed
+    }
+
+    /// Bytes the channels actually transferred across their data buses,
+    /// by class.
+    pub fn transferred_traffic(&self) -> TrafficStats {
+        let mut t = TrafficStats::new();
+        for ch in &self.channels {
+            for class in TrafficClass::ALL {
+                t.add(self.kind, class, ch.transferred_by_class()[class.index()]);
+            }
+        }
+        t
+    }
+
+    /// Bytes posted into write queues and not yet drained, by class.
+    pub fn pending_write_traffic(&self) -> TrafficStats {
+        let mut t = TrafficStats::new();
+        for ch in &self.channels {
+            for class in TrafficClass::ALL {
+                t.add(self.kind, class, ch.queued_by_class()[class.index()]);
+            }
+        }
+        t
+    }
+
+    /// Total number of accesses issued to the device (posted writes count
+    /// when issued).
     pub fn access_count(&self) -> u64 {
         self.access_count
     }
 
-    /// Mean service latency (cycles) over all accesses.
+    /// Mean service latency (cycles) over all accesses. Posted writes are
+    /// acknowledged instantly, so only timed (read / unbuffered) accesses
+    /// contribute latency.
     pub fn mean_latency(&self) -> f64 {
         if self.access_count == 0 {
             0.0
         } else {
             self.total_latency as f64 / self.access_count as f64
         }
+    }
+
+    /// All-bank refreshes performed across the device's channels.
+    pub fn refresh_count(&self) -> u64 {
+        self.channels.iter().map(|c| c.refresh_count()).sum()
+    }
+
+    /// Write-drain bursts across the device's channels.
+    pub fn write_drain_count(&self) -> u64 {
+        self.channels.iter().map(|c| c.write_drain_count()).sum()
     }
 
     /// Channel index for an address. Channels are interleaved at page (4 KiB)
@@ -91,19 +148,24 @@ impl DramDevice {
     }
 
     /// Perform an access of `bytes` at `addr`, issued at cycle `now`,
-    /// attributed to traffic class `class`.
+    /// attributed to traffic class `class`. Writes (`write == true`) are
+    /// posted into the channel's write queue when one is configured.
     pub fn access(
         &mut self,
         now: Cycle,
         addr: Addr,
         bytes: u64,
         class: TrafficClass,
+        write: bool,
     ) -> AccessOutcome {
         let rounded = self.config.round_to_min_transfer(bytes);
         self.traffic.add(self.kind, class, rounded);
         let ch_idx = self.channel_for(addr);
-        let ChannelAccess { start, finish, .. } =
-            self.channels[ch_idx].access(&self.config, &self.timing, now, addr, bytes);
+        let ChannelAccess { start, finish, .. } = if write {
+            self.channels[ch_idx].write(now, addr, bytes, class)
+        } else {
+            self.channels[ch_idx].read(now, addr, bytes, class)
+        };
         self.access_count += 1;
         self.total_latency += finish.saturating_sub(now);
         AccessOutcome {
@@ -113,13 +175,20 @@ impl DramDevice {
         }
     }
 
-    /// Record traffic without modelling timing (used for idealized designs,
-    /// e.g. TDC's zero-overhead TLB coherence messages are *not* recorded,
-    /// but HMA's page migrations are charged as traffic performed "in the
-    /// background" by the OS).
+    /// Record traffic without modelling timing (used for idealized designs
+    /// whose data movement happens "in the background" without occupying
+    /// the modelled channels).
     pub fn record_untimed_traffic(&mut self, bytes: u64, class: TrafficClass) {
         let rounded = self.config.round_to_min_transfer(bytes);
         self.traffic.add(self.kind, class, rounded);
+        self.untimed.add(self.kind, class, rounded);
+    }
+
+    /// Force every channel's write queue to drain (end-of-run accounting).
+    pub fn drain_writes(&mut self, now: Cycle) {
+        for ch in &mut self.channels {
+            ch.drain_all_writes(now);
+        }
     }
 
     /// Aggregate bus utilization across channels over `elapsed` cycles.
@@ -200,7 +269,7 @@ mod tests {
     #[test]
     fn traffic_is_rounded_and_attributed() {
         let mut dev = DramDevice::new(DramKind::InPackage, DramConfig::in_package_default());
-        dev.access(0, Addr::new(0), 64 + 8, TrafficClass::Tag);
+        dev.access(0, Addr::new(0), 64 + 8, TrafficClass::Tag, false);
         assert_eq!(
             dev.traffic().bytes(DramKind::InPackage, TrafficClass::Tag),
             96
@@ -235,8 +304,12 @@ mod tests {
         let mut four_finish = 0;
         for i in 0..64u64 {
             let addr = Addr::new(i * PAGE_SIZE);
-            one_finish = one.access(0, addr, 4096, TrafficClass::HitData).finish;
-            four_finish = four.access(0, addr, 4096, TrafficClass::HitData).finish;
+            one_finish = one
+                .access(0, addr, 4096, TrafficClass::HitData, false)
+                .finish;
+            four_finish = four
+                .access(0, addr, 4096, TrafficClass::HitData, false)
+                .finish;
         }
         assert!(
             one_finish > 3 * four_finish,
@@ -256,8 +329,15 @@ mod tests {
                 Addr::new(i * PAGE_SIZE),
                 64,
                 TrafficClass::HitData,
+                false,
             );
-            loaded.access(0, Addr::new(i * PAGE_SIZE), 64, TrafficClass::HitData);
+            loaded.access(
+                0,
+                Addr::new(i * PAGE_SIZE),
+                64,
+                TrafficClass::HitData,
+                false,
+            );
         }
         assert!(loaded.mean_latency() > idle.mean_latency());
     }
@@ -271,16 +351,64 @@ mod tests {
                 .bytes(DramKind::OffPackage, TrafficClass::Replacement),
             4096
         );
+        assert_eq!(
+            dev.untimed_traffic()
+                .bytes(DramKind::OffPackage, TrafficClass::Replacement),
+            4096
+        );
         assert_eq!(dev.access_count(), 0);
+    }
+
+    /// The device-level conservation invariant: every logical byte is either
+    /// transferred on a bus, still queued, or explicitly untimed.
+    #[test]
+    fn logical_traffic_reconciles_with_device_counters() {
+        let mut dev = DramDevice::new(DramKind::InPackage, DramConfig::in_package_default());
+        for i in 0..500u64 {
+            let addr = Addr::new((i * 1237) % (1 << 24));
+            if i % 3 == 0 {
+                dev.access(i * 10, addr, 64, TrafficClass::Writeback, true);
+            } else if i % 7 == 0 {
+                dev.access(i * 10, addr, 4096, TrafficClass::Replacement, true);
+            } else {
+                dev.access(i * 10, addr, 64, TrafficClass::HitData, false);
+            }
+        }
+        dev.record_untimed_traffic(100, TrafficClass::Counter);
+        let transferred = dev.transferred_traffic();
+        let pending = dev.pending_write_traffic();
+        for class in TrafficClass::ALL {
+            let logical = dev.traffic().bytes(DramKind::InPackage, class);
+            let accounted = transferred.bytes(DramKind::InPackage, class)
+                + pending.bytes(DramKind::InPackage, class)
+                + dev.untimed_traffic().bytes(DramKind::InPackage, class);
+            assert_eq!(logical, accounted, "class {class} leaked bytes");
+        }
+        // Draining moves everything to `transferred`.
+        dev.drain_writes(1_000_000);
+        assert_eq!(dev.pending_write_traffic().grand_total(), 0);
+        assert_eq!(
+            dev.transferred_traffic().grand_total() + dev.untimed_traffic().grand_total(),
+            dev.traffic().grand_total()
+        );
+    }
+
+    #[test]
+    fn posted_writes_do_not_stall_the_issuer() {
+        let mut dev = DramDevice::new(DramKind::InPackage, DramConfig::in_package_default());
+        let w = dev.access(42, Addr::new(0), 64, TrafficClass::Writeback, true);
+        assert_eq!(w.finish, 42, "posted write acknowledged instantly");
+        let r = dev.access(42, Addr::new(64), 64, TrafficClass::HitData, false);
+        assert!(r.finish > 42);
     }
 
     #[test]
     fn dual_dram_combined_traffic() {
         let mut d = DualDram::paper_default();
         d.in_package
-            .access(0, Addr::new(0), 64, TrafficClass::HitData);
+            .access(0, Addr::new(0), 64, TrafficClass::HitData, false);
         d.off_package
-            .access(0, Addr::new(0), 64, TrafficClass::MissData);
+            .access(0, Addr::new(0), 64, TrafficClass::MissData, false);
         let t = d.combined_traffic();
         assert_eq!(t.bytes(DramKind::InPackage, TrafficClass::HitData), 64);
         assert_eq!(t.bytes(DramKind::OffPackage, TrafficClass::MissData), 64);
@@ -292,7 +420,7 @@ mod tests {
         let mut dev = DramDevice::new(DramKind::InPackage, DramConfig::in_package_default());
         // Stream 64 consecutive lines of one page: should be mostly row hits.
         for i in 0..64u64 {
-            dev.access(i, Addr::new(i * 64), 64, TrafficClass::HitData);
+            dev.access(i, Addr::new(i * 64), 64, TrafficClass::HitData, false);
         }
         assert!(
             dev.row_hit_rate() > 0.9,

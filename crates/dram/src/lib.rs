@@ -16,12 +16,18 @@
 //! reading a 64-byte line together with its tag costs at least 96 bytes —
 //! this is where the tag-bandwidth overhead of Alloy/Unison comes from.
 //!
-//! The model here is deliberately at the level the paper's conclusions need:
-//! each access picks a bank (by address), pays row-buffer timing
-//! (hit / closed / conflict), then occupies the channel's data bus for
-//! `bytes / bytes-per-CPU-cycle` cycles. Queueing delay emerges from bank and
-//! bus availability. All byte counts are rounded up to the minimum transfer
-//! size and recorded in a [`TrafficStats`] keyed by [`TrafficClass`].
+//! The model here is a request-queue memory controller per channel: reads
+//! pick a bank (by address), pay row-buffer timing (hit / closed /
+//! conflict, with tRAS/tRP debts), respect a bounded per-bank queue, and
+//! occupy the channel's data bus; writes are posted into a per-channel
+//! write queue drained between watermarks in FR-FCFS order (row hits
+//! first); every tREFI the channel blocks for tRFC to refresh. Queueing
+//! delay emerges from bank, queue and bus availability. All byte counts are
+//! rounded up to the minimum transfer size and recorded in a
+//! [`TrafficStats`] keyed by [`TrafficClass`] — at operation-issue time for
+//! the reported traffic, and again at the channel level when bytes actually
+//! cross a bus, so the two accountings can be reconciled
+//! (`logical == transferred + pending + untimed`).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -30,6 +36,6 @@ pub mod channel;
 pub mod config;
 pub mod device;
 
-pub use channel::{Bank, Channel, RowBufferOutcome};
-pub use config::{DramConfig, DramTiming};
+pub use channel::{Bank, Channel, ChannelAccess, RowBufferOutcome};
+pub use config::{DramConfig, DramTiming, PagePolicy, SchedulerKind};
 pub use device::{AccessOutcome, DramDevice, DualDram};

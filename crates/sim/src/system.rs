@@ -28,6 +28,11 @@ pub struct System {
     rng: XorShiftRng,
     next_epoch_at: u64,
     os_stats: StatSet,
+    /// Bytes of every executed plan op, accumulated per (DRAM, class) with
+    /// the device's min-transfer rounding applied — the design-reported side
+    /// of the traffic-conservation invariant (must equal the device-level
+    /// accounting minus untimed traffic).
+    planned: banshee_common::TrafficStats,
     /// Reusable plan scratch: reset before every controller call so the
     /// per-access path performs no heap allocation in steady state.
     sink: PlanSink,
@@ -66,6 +71,7 @@ impl System {
             rng: XorShiftRng::new(config.seed ^ 0x5151),
             next_epoch_at: config.epoch_instructions,
             os_stats: StatSet::new(),
+            planned: banshee_common::TrafficStats::new(),
             sink: PlanSink::new(),
             flush_scratch: Vec::new(),
             config,
@@ -217,19 +223,33 @@ impl System {
     /// re-enter the controller and reuse the sink for nested requests.
     fn execute_plan(&mut self, core_id: usize, now: Cycle) -> Cycle {
         let mut t = now + self.sink.extra_latency;
-        let System { sink, dram, .. } = self;
+        let System {
+            sink,
+            dram,
+            planned,
+            ..
+        } = self;
         for op in &sink.critical {
-            let outcome = dram
-                .device_mut(op.dram)
-                .access(t, op.addr, op.bytes, op.class);
+            let dev = dram.device_mut(op.dram);
+            planned.add(
+                op.dram,
+                op.class,
+                dev.config().round_to_min_transfer(op.bytes),
+            );
+            let outcome = dev.access(t, op.addr, op.bytes, op.class, op.write);
             t = outcome.finish;
         }
         // Background work starts once the critical path has resolved (e.g.
         // a fill begins after the demand data arrived) and only consumes
         // bandwidth.
         for op in &sink.background {
-            dram.device_mut(op.dram)
-                .access(t, op.addr, op.bytes, op.class);
+            let dev = dram.device_mut(op.dram);
+            planned.add(
+                op.dram,
+                op.class,
+                dev.config().round_to_min_transfer(op.bytes),
+            );
+            dev.access(t, op.addr, op.bytes, op.class, op.write);
         }
         if !self.sink.side_effects.is_empty() {
             let effects = std::mem::take(&mut self.sink.side_effects);
@@ -344,6 +364,55 @@ impl System {
             "in_dram_row_hit_pct",
             (self.dram.in_package.row_hit_rate() * 100.0) as u64,
         );
+        stats.add("in_dram_refreshes", self.dram.in_package.refresh_count());
+        stats.add("off_dram_refreshes", self.dram.off_package.refresh_count());
+        stats.add(
+            "in_dram_write_drains",
+            self.dram.in_package.write_drain_count(),
+        );
+        stats.add(
+            "off_dram_write_drains",
+            self.dram.off_package.write_drain_count(),
+        );
+        // Traffic-conservation counters (cumulative over warm-up + measured
+        // phase): what the designs planned, what the devices logged at issue,
+        // what the channels transferred, and what is still queued/untimed.
+        // Invariants (asserted by the cross-design conservation test):
+        //   planned == device - untimed,
+        //   device  == transferred + pending + untimed.
+        {
+            use banshee_common::DramKind::{InPackage, OffPackage};
+            let inp = self.dram.device(InPackage);
+            let off = self.dram.device(OffPackage);
+            stats.add("plan_bytes_in_package", self.planned.total(InPackage));
+            stats.add("plan_bytes_off_package", self.planned.total(OffPackage));
+            stats.add("device_bytes_in_package", inp.traffic().total(InPackage));
+            stats.add("device_bytes_off_package", off.traffic().total(OffPackage));
+            stats.add(
+                "transferred_bytes_in_package",
+                inp.transferred_traffic().total(InPackage),
+            );
+            stats.add(
+                "transferred_bytes_off_package",
+                off.transferred_traffic().total(OffPackage),
+            );
+            stats.add(
+                "pending_write_bytes_in_package",
+                inp.pending_write_traffic().total(InPackage),
+            );
+            stats.add(
+                "pending_write_bytes_off_package",
+                off.pending_write_traffic().total(OffPackage),
+            );
+            stats.add(
+                "untimed_bytes_in_package",
+                inp.untimed_traffic().total(InPackage),
+            );
+            stats.add(
+                "untimed_bytes_off_package",
+                off.untimed_traffic().total(OffPackage),
+            );
+        }
 
         SimResult {
             design: self.controller.name().to_string(),
@@ -399,7 +468,11 @@ mod tests {
     #[test]
     fn nocache_uses_only_off_package_dram() {
         let r = run(DramCacheDesign::NoCache);
-        assert!(r.instructions >= 400_000);
+        // The measured phase covers the 400 k budget up to per-core boundary
+        // slack: the warm-up snapshot and the run cut-off both land mid
+        // trace access, and which core crosses the line depends on DRAM
+        // timing.
+        assert!(r.instructions >= 399_000, "{}", r.instructions);
         assert!(r.cycles > 0);
         assert_eq!(r.traffic.total(DramKind::InPackage), 0);
         assert!(r.traffic.total(DramKind::OffPackage) > 0);

@@ -1,0 +1,84 @@
+//! Cross-design traffic conservation: for every `DramCacheDesign`, the
+//! bytes the design *reports* through its access plans must equal the bytes
+//! the DRAM devices *account for* — at operation issue (logical), on the
+//! buses (transferred), in the write queues (pending) and as explicitly
+//! untimed traffic.
+//!
+//! This is the invariant that pins a design's cost model to the device
+//! model: a design that moves data without emitting plan ops (the
+//! pre-revision-2 TDC kept its page map in a free SRAM structure), or a
+//! device change that drops queued bytes, breaks one of the two equalities:
+//!
+//! ```text
+//! plan   == device - untimed          (every reported byte came from a plan)
+//! device == transferred + pending + untimed   (no byte vanished en route)
+//! ```
+
+use banshee_dcache::DramCacheDesign;
+use banshee_sim::{run_one, SimConfig, SimResult};
+use banshee_workloads::{SpecProgram, Workload, WorkloadKind};
+
+fn workload() -> Workload {
+    Workload::new(WorkloadKind::Spec(SpecProgram::Mcf), 16 << 20, 3)
+}
+
+fn assert_conserved(r: &SimResult) {
+    let label = &r.design;
+    for side in ["in_package", "off_package"] {
+        let (plan, device, transferred, pending, untimed) = match side {
+            "in_package" => (
+                r.stats.get("plan_bytes_in_package"),
+                r.stats.get("device_bytes_in_package"),
+                r.stats.get("transferred_bytes_in_package"),
+                r.stats.get("pending_write_bytes_in_package"),
+                r.stats.get("untimed_bytes_in_package"),
+            ),
+            _ => (
+                r.stats.get("plan_bytes_off_package"),
+                r.stats.get("device_bytes_off_package"),
+                r.stats.get("transferred_bytes_off_package"),
+                r.stats.get("pending_write_bytes_off_package"),
+                r.stats.get("untimed_bytes_off_package"),
+            ),
+        };
+        assert_eq!(
+            plan,
+            device - untimed,
+            "{label} {side}: planned bytes diverge from device-logged bytes"
+        );
+        assert_eq!(
+            device,
+            transferred + pending + untimed,
+            "{label} {side}: logical bytes not covered by transferred + queued + untimed"
+        );
+    }
+}
+
+#[test]
+fn every_design_conserves_traffic() {
+    for design in DramCacheDesign::named_catalogue() {
+        let cfg = SimConfig::test_default(design);
+        let r = run_one(cfg, &workload());
+        assert!(r.instructions > 0, "{} ran no instructions", r.design);
+        assert!(
+            r.stats.get("device_bytes_in_package") + r.stats.get("device_bytes_off_package") > 0,
+            "{} moved no bytes at all",
+            r.design
+        );
+        assert_conserved(&r);
+    }
+}
+
+#[test]
+fn batman_wrapper_conserves_traffic() {
+    let mut cfg = SimConfig::test_default(DramCacheDesign::Banshee);
+    cfg.use_batman = true;
+    assert_conserved(&run_one(cfg, &workload()));
+}
+
+#[test]
+fn large_pages_conserve_traffic() {
+    let mut cfg = SimConfig::test_default(DramCacheDesign::Banshee);
+    cfg.large_pages = true;
+    assert_conserved(&run_one(cfg, &workload()));
+}

@@ -43,8 +43,8 @@ pub use kv::{KeyValueParams, KeyValueTrace};
 pub use mix::SpecMix;
 pub use phased::{PhasedParams, PhasedTrace};
 pub use scenario::{
-    ScenarioError, ScenarioOverrides, ScenarioSpec, ScenarioSweep, ScenarioWorkloadEntry,
-    ScenarioWorkloadInstance, ScenarioWorkloadSpec,
+    DramPagePolicyOverride, DramSchedulerOverride, ScenarioError, ScenarioOverrides, ScenarioSpec,
+    ScenarioSweep, ScenarioWorkloadEntry, ScenarioWorkloadInstance, ScenarioWorkloadSpec,
 };
 pub use spec::SpecProgram;
 pub use synthetic::{SyntheticParams, SyntheticTrace};

@@ -4,7 +4,8 @@
 //! A scenario file names a set of workloads (built-in catalogue entries,
 //! fully parameterized synthetic/key-value/phased families, or external
 //! trace replays), the designs to run them under, a sweep matrix
-//! (footprint factors × seeds) and optional [`ScenarioOverrides`] applied
+//! (footprint factors × seeds × optional DRAM page-policy and
+//! write-queue-depth axes) and optional [`ScenarioOverrides`] applied
 //! to the base `banshee_sim::SimConfig` of every cell. Parsing is
 //! strict — unknown fields, out-of-range values and malformed entries fail
 //! with the JSON path and the list of valid options, never a silent
@@ -25,8 +26,9 @@
 //!     {"type": "trace", "path": "traces/captured.btrace"}
 //!   ],
 //!   "designs": ["NoCache", "Banshee"],
-//!   "sweep": {"footprint_factors": [2, 4], "seeds": [42]},
-//!   "config": {"cores": 8, "large_pages": true}
+//!   "sweep": {"footprint_factors": [2, 4], "seeds": [42],
+//!             "page_policies": ["open", "closed"], "write_queue_depths": [0, 32]},
+//!   "config": {"cores": 8, "large_pages": true, "dram_scheduler": "frfcfs"}
 //! }
 //! ```
 
@@ -59,6 +61,68 @@ fn err(path: &str, msg: impl fmt::Display) -> ScenarioError {
     ScenarioError(format!("{path}: {msg}"))
 }
 
+/// DRAM scheduler selection in a scenario file. Pure data — the sim crate
+/// maps it onto `banshee_dram::SchedulerKind`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DramSchedulerOverride {
+    /// First-come-first-served write draining.
+    Fcfs,
+    /// First-ready FCFS (row hits first).
+    FrFcfs,
+}
+
+impl DramSchedulerOverride {
+    /// The scenario-file spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            DramSchedulerOverride::Fcfs => "fcfs",
+            DramSchedulerOverride::FrFcfs => "frfcfs",
+        }
+    }
+
+    fn parse(v: &Value, path: &str) -> Result<Self, ScenarioError> {
+        match as_string(v, path)?.as_str() {
+            "fcfs" => Ok(DramSchedulerOverride::Fcfs),
+            "frfcfs" => Ok(DramSchedulerOverride::FrFcfs),
+            other => Err(err(
+                path,
+                format!("unknown scheduler `{other}`; valid values: fcfs, frfcfs"),
+            )),
+        }
+    }
+}
+
+/// DRAM page-policy selection in a scenario file (mapped onto
+/// `banshee_dram::PagePolicy` by the sim crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DramPagePolicyOverride {
+    /// Rows stay open between accesses.
+    Open,
+    /// Rows auto-precharge after every access.
+    Closed,
+}
+
+impl DramPagePolicyOverride {
+    /// The scenario-file spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            DramPagePolicyOverride::Open => "open",
+            DramPagePolicyOverride::Closed => "closed",
+        }
+    }
+
+    fn parse(v: &Value, path: &str) -> Result<Self, ScenarioError> {
+        match as_string(v, path)?.as_str() {
+            "open" => Ok(DramPagePolicyOverride::Open),
+            "closed" => Ok(DramPagePolicyOverride::Closed),
+            other => Err(err(
+                path,
+                format!("unknown page policy `{other}`; valid values: open, closed"),
+            )),
+        }
+    }
+}
+
 /// System-configuration overrides a scenario may apply to every cell.
 /// Pure data — `banshee_sim::SimConfig::apply_scenario_overrides` interprets
 /// it (the sim crate depends on this one, not vice versa).
@@ -89,6 +153,17 @@ pub struct ScenarioOverrides {
     pub large_pages: Option<bool>,
     /// Wrap designs with BATMAN bandwidth balancing.
     pub use_batman: Option<bool>,
+    /// Memory-scheduler policy for both DRAM devices.
+    pub dram_scheduler: Option<DramSchedulerOverride>,
+    /// Row-buffer page policy for both DRAM devices.
+    pub dram_page_policy: Option<DramPagePolicyOverride>,
+    /// Per-channel write-queue capacity for both DRAM devices (0 services
+    /// writes immediately; watermarks are rescaled proportionally).
+    pub dram_write_queue_depth: Option<usize>,
+    /// Bounded per-bank read-queue depth for both DRAM devices.
+    pub dram_read_queue_depth: Option<usize>,
+    /// Enable/disable periodic refresh (tREFI/tRFC) on both DRAM devices.
+    pub dram_refresh: Option<bool>,
 }
 
 impl ScenarioOverrides {
@@ -99,13 +174,18 @@ impl ScenarioOverrides {
 }
 
 /// The sweep matrix: cells are the cross product of workloads × designs ×
-/// `footprint_factors` × `seeds`.
+/// `footprint_factors` × `seeds` × the optional DRAM axes (`page_policies`,
+/// `write_queue_depths` — empty means "use the config's value", one cell).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSweep {
     /// Workload footprint as a multiple of the DRAM-cache capacity.
     pub footprint_factors: Vec<f64>,
     /// RNG seeds (one full matrix per seed).
     pub seeds: Vec<u64>,
+    /// DRAM page policies to sweep (empty: no sweep on this axis).
+    pub page_policies: Vec<DramPagePolicyOverride>,
+    /// DRAM write-queue depths to sweep (empty: no sweep on this axis).
+    pub write_queue_depths: Vec<usize>,
 }
 
 impl Default for ScenarioSweep {
@@ -113,6 +193,8 @@ impl Default for ScenarioSweep {
         ScenarioSweep {
             footprint_factors: vec![4.0],
             seeds: vec![42],
+            page_policies: Vec::new(),
+            write_queue_depths: Vec::new(),
         }
     }
 }
@@ -387,7 +469,11 @@ impl ScenarioSpec {
     /// Expand the number of cells this scenario describes (per design, if
     /// `designs` is empty).
     pub fn cells_per_design(&self) -> usize {
-        self.workloads.len() * self.sweep.footprint_factors.len() * self.sweep.seeds.len()
+        self.workloads.len()
+            * self.sweep.footprint_factors.len()
+            * self.sweep.seeds.len()
+            * self.sweep.page_policies.len().max(1)
+            * self.sweep.write_queue_depths.len().max(1)
     }
 
     fn from_value(value: &Value, base_dir: &Path) -> Result<ScenarioSpec, ScenarioError> {
@@ -843,7 +929,16 @@ fn bounded_f64(v: &Value, path: &str, lo: f64, hi: f64) -> Result<f64, ScenarioE
 
 fn parse_sweep(value: &Value) -> Result<ScenarioSweep, ScenarioError> {
     let obj = as_object(value, "scenario.sweep")?;
-    check_fields(obj, "scenario.sweep", &["footprint_factors", "seeds"])?;
+    check_fields(
+        obj,
+        "scenario.sweep",
+        &[
+            "footprint_factors",
+            "seeds",
+            "page_policies",
+            "write_queue_depths",
+        ],
+    )?;
     let mut sweep = ScenarioSweep::default();
     if let Some(v) = get(obj, "footprint_factors") {
         let items = as_array(v, "scenario.sweep.footprint_factors")?;
@@ -874,6 +969,44 @@ fn parse_sweep(value: &Value) -> Result<ScenarioSweep, ScenarioError> {
             .map(|(i, x)| as_u64(x, &format!("scenario.sweep.seeds[{i}]")))
             .collect::<Result<_, _>>()?;
     }
+    if let Some(v) = get(obj, "page_policies") {
+        let items = as_array(v, "scenario.sweep.page_policies")?;
+        if items.is_empty() {
+            return Err(err(
+                "scenario.sweep.page_policies",
+                "must not be empty (omit the field to skip the sweep)",
+            ));
+        }
+        sweep.page_policies = items
+            .iter()
+            .enumerate()
+            .map(|(i, x)| {
+                DramPagePolicyOverride::parse(x, &format!("scenario.sweep.page_policies[{i}]"))
+            })
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(v) = get(obj, "write_queue_depths") {
+        let items = as_array(v, "scenario.sweep.write_queue_depths")?;
+        if items.is_empty() {
+            return Err(err(
+                "scenario.sweep.write_queue_depths",
+                "must not be empty (omit the field to skip the sweep)",
+            ));
+        }
+        sweep.write_queue_depths = items
+            .iter()
+            .enumerate()
+            .map(|(i, x)| {
+                bounded_u64(
+                    x,
+                    &format!("scenario.sweep.write_queue_depths[{i}]"),
+                    0,
+                    4096,
+                )
+                .map(|n| n as usize)
+            })
+            .collect::<Result<_, _>>()?;
+    }
     Ok(sweep)
 }
 
@@ -895,6 +1028,11 @@ fn parse_overrides(value: &Value) -> Result<ScenarioOverrides, ScenarioError> {
             "latency_scale",
             "large_pages",
             "use_batman",
+            "dram_scheduler",
+            "dram_page_policy",
+            "dram_write_queue_depth",
+            "dram_read_queue_depth",
+            "dram_refresh",
         ],
     )?;
     let mut o = ScenarioOverrides::default();
@@ -950,6 +1088,29 @@ fn parse_overrides(value: &Value) -> Result<ScenarioOverrides, ScenarioError> {
     if let Some(v) = get(obj, "use_batman") {
         o.use_batman = Some(as_bool(v, &format!("{p}.use_batman"))?);
     }
+    if let Some(v) = get(obj, "dram_scheduler") {
+        o.dram_scheduler = Some(DramSchedulerOverride::parse(
+            v,
+            &format!("{p}.dram_scheduler"),
+        )?);
+    }
+    if let Some(v) = get(obj, "dram_page_policy") {
+        o.dram_page_policy = Some(DramPagePolicyOverride::parse(
+            v,
+            &format!("{p}.dram_page_policy"),
+        )?);
+    }
+    if let Some(v) = get(obj, "dram_write_queue_depth") {
+        o.dram_write_queue_depth =
+            Some(bounded_u64(v, &format!("{p}.dram_write_queue_depth"), 0, 4096)? as usize);
+    }
+    if let Some(v) = get(obj, "dram_read_queue_depth") {
+        o.dram_read_queue_depth =
+            Some(bounded_u64(v, &format!("{p}.dram_read_queue_depth"), 1, 1024)? as usize);
+    }
+    if let Some(v) = get(obj, "dram_refresh") {
+        o.dram_refresh = Some(as_bool(v, &format!("{p}.dram_refresh"))?);
+    }
     Ok(o)
 }
 
@@ -1001,6 +1162,65 @@ mod tests {
         assert_eq!(spec.overrides.cores, Some(8));
         assert_eq!(spec.overrides.large_pages, Some(true));
         assert_eq!(spec.cells_per_design(), 16);
+    }
+
+    #[test]
+    fn dram_knobs_parse_in_config_and_sweep() {
+        let json = r#"{
+            "name": "dram",
+            "workloads": [{"type": "builtin", "name": "mcf"}],
+            "sweep": {"page_policies": ["open", "closed"],
+                      "write_queue_depths": [0, 8, 32]},
+            "config": {"dram_scheduler": "fcfs", "dram_page_policy": "closed",
+                       "dram_write_queue_depth": 16, "dram_read_queue_depth": 4,
+                       "dram_refresh": false}
+        }"#;
+        let spec = ScenarioSpec::from_json_str(json, base()).unwrap();
+        assert_eq!(
+            spec.overrides.dram_scheduler,
+            Some(DramSchedulerOverride::Fcfs)
+        );
+        assert_eq!(
+            spec.overrides.dram_page_policy,
+            Some(DramPagePolicyOverride::Closed)
+        );
+        assert_eq!(spec.overrides.dram_write_queue_depth, Some(16));
+        assert_eq!(spec.overrides.dram_read_queue_depth, Some(4));
+        assert_eq!(spec.overrides.dram_refresh, Some(false));
+        assert_eq!(
+            spec.sweep.page_policies,
+            vec![DramPagePolicyOverride::Open, DramPagePolicyOverride::Closed]
+        );
+        assert_eq!(spec.sweep.write_queue_depths, vec![0, 8, 32]);
+        // 1 workload × 1 factor × 1 seed × 2 policies × 3 depths.
+        assert_eq!(spec.cells_per_design(), 6);
+    }
+
+    #[test]
+    fn dram_knob_errors_name_valid_values() {
+        let bad_sched = r#"{"name": "x", "workloads": [{"type": "builtin", "name": "mcf"}],
+            "config": {"dram_scheduler": "lifo"}}"#;
+        let e = ScenarioSpec::from_json_str(bad_sched, base())
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("fcfs, frfcfs"), "{e}");
+
+        let bad_policy = r#"{"name": "x", "workloads": [{"type": "builtin", "name": "mcf"}],
+            "sweep": {"page_policies": ["ajar"]}}"#;
+        let e = ScenarioSpec::from_json_str(bad_policy, base())
+            .unwrap_err()
+            .to_string();
+        assert!(
+            e.contains("open, closed") && e.contains("page_policies[0]"),
+            "{e}"
+        );
+
+        let empty_axis = r#"{"name": "x", "workloads": [{"type": "builtin", "name": "mcf"}],
+            "sweep": {"write_queue_depths": []}}"#;
+        let e = ScenarioSpec::from_json_str(empty_axis, base())
+            .unwrap_err()
+            .to_string();
+        assert!(e.contains("omit the field"), "{e}");
     }
 
     #[test]
