@@ -25,7 +25,7 @@
 
 use banshee_bench::runner::{ExperimentScale, Runner};
 use banshee_dcache::DramCacheDesign;
-use banshee_sim::run_one;
+use banshee_sim::System;
 use banshee_workloads::{SpecProgram, WorkloadKind};
 use serde::Serialize;
 use std::time::Instant;
@@ -36,9 +36,15 @@ struct DesignThroughput {
     design: String,
     /// Simulated instructions per timed run (warm-up + measured phase).
     instructions: u64,
-    /// Wall-clock seconds of the fastest repetition.
+    /// Wall-clock seconds of the fastest repetition (warm-up + measured).
     seconds: f64,
-    /// Simulated instructions per wall-clock second.
+    /// Wall-clock seconds the fastest repetition spent in warm-up. This is
+    /// the part a warmed-snapshot resume skips, so the split shows how much
+    /// of each design's cell cost snapshotting can recover.
+    warmup_seconds: f64,
+    /// Wall-clock seconds the fastest repetition spent in the measured phase.
+    measured_seconds: f64,
+    /// Simulated instructions per wall-clock second (whole run).
     instr_per_sec: f64,
 }
 
@@ -81,29 +87,45 @@ fn main() {
     );
     for design in designs {
         let mut best = f64::INFINITY;
+        let mut best_warmup = 0.0;
+        let mut best_measured = 0.0;
         for _ in 0..repeat {
             let mut cfg = runner.config(design);
             cfg.total_instructions = measured;
             cfg.warmup_instructions = warmup;
             let workload = runner.workload(kind);
+            let name = workload.name();
+            let mut system = System::new(cfg, &workload);
             let t0 = Instant::now();
-            let result = run_one(cfg, &workload);
-            let elapsed = t0.elapsed().as_secs_f64();
+            let warmed = system.warm_up();
+            let warmup_elapsed = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            let result = system.run_measured(&name, warmed);
+            let measured_elapsed = t1.elapsed().as_secs_f64();
             assert!(result.instructions > 0, "simulation ran no instructions");
-            best = best.min(elapsed);
+            let elapsed = warmup_elapsed + measured_elapsed;
+            if elapsed < best {
+                best = elapsed;
+                best_warmup = warmup_elapsed;
+                best_measured = measured_elapsed;
+            }
         }
         let total = measured + warmup;
         let ips = total as f64 / best;
         println!(
-            "  {:<24} {:>8.3} s   {:>12.0} instr/s",
+            "  {:<24} {:>8.3} s ({:>6.3} s warm-up + {:>6.3} s measured)   {:>12.0} instr/s",
             design.label(),
             best,
+            best_warmup,
+            best_measured,
             ips
         );
         rows.push(DesignThroughput {
             design: design.label(),
             instructions: total,
             seconds: best,
+            warmup_seconds: best_warmup,
+            measured_seconds: best_measured,
             instr_per_sec: ips,
         });
     }

@@ -9,7 +9,9 @@
 //!
 //! Flags: `--quick` (smaller runs), `--smoke` (tiny sanity runs),
 //! `--jobs N` (worker threads; default: available parallelism),
-//! `--no-store` (disable the persistent result store), `--help`.
+//! `--no-store` (disable the persistent result store), `--no-snapshot`
+//! (disable warmed-state snapshot capture/resume; also honoured as the
+//! `BANSHEE_NO_SNAPSHOT=1` environment variable), `--help`.
 //! Output: tables on stdout + JSON under `target/experiments/`, cell cache
 //! under `target/experiments/store/` (a re-run resumes from it), and a
 //! `run_summary.json` with per-experiment wall-clock times and scale
@@ -38,10 +40,13 @@ struct RunSummary {
     cores: usize,
     jobs: usize,
     store_enabled: bool,
+    snapshots_enabled: bool,
     started_unix_secs: u64,
     total_seconds: f64,
     cells_simulated: usize,
     cells_from_store: usize,
+    cells_resumed_warm: usize,
+    cells_cold: usize,
     simulation_seconds: f64,
     experiments: Vec<ExperimentTiming>,
 }
@@ -53,8 +58,14 @@ fn print_all(tables: Vec<Table>) {
 }
 
 fn print_usage() {
-    println!("usage: experiments [EXPERIMENT ...] [--quick | --smoke] [--jobs N] [--no-store]");
-    println!("       experiments scenario FILE... [--quick | --smoke] [--jobs N] [--no-store]");
+    println!(
+        "usage: experiments [EXPERIMENT ...] [--quick | --smoke] [--jobs N] [--no-store] \
+         [--no-snapshot]"
+    );
+    println!(
+        "       experiments scenario FILE... [--quick | --smoke] [--jobs N] [--no-store] \
+         [--no-snapshot]"
+    );
     println!();
     println!("Regenerates the paper's tables and figures. With no experiment");
     println!("names, runs everything (`all`).");
@@ -75,6 +86,10 @@ fn print_usage() {
     println!("  --no-store  disable the persistent result store (by default,");
     println!("              finished cells are cached under");
     println!("              target/experiments/store/ and re-runs resume)");
+    println!("  --no-snapshot  disable warmed-state snapshots (by default, each");
+    println!("              cell's post-warm-up machine state is cached beside the");
+    println!("              results and runs differing only in measured length");
+    println!("              resume from it; BANSHEE_NO_SNAPSHOT=1 does the same)");
     println!("  --help      print this message and exit");
     println!();
     println!("Tables are printed to stdout; raw numbers are written as JSON");
@@ -82,12 +97,14 @@ fn print_usage() {
     println!("wall-clock and cache metadata for the run.");
 }
 
-fn parse_args(args: &[String]) -> Result<(Vec<String>, bool, bool, usize, bool), String> {
+#[allow(clippy::type_complexity)]
+fn parse_args(args: &[String]) -> Result<(Vec<String>, bool, bool, usize, bool, bool), String> {
     let mut selected = Vec::new();
     let mut quick = false;
     let mut smoke = false;
     let mut jobs = 0usize;
     let mut no_store = false;
+    let mut no_snapshot = std::env::var("BANSHEE_NO_SNAPSHOT").is_ok_and(|v| v == "1");
     let mut i = 0;
     while i < args.len() {
         let arg = &args[i];
@@ -97,6 +114,8 @@ fn parse_args(args: &[String]) -> Result<(Vec<String>, bool, bool, usize, bool),
             smoke = true;
         } else if arg == "--no-store" {
             no_store = true;
+        } else if arg == "--no-snapshot" {
+            no_snapshot = true;
         } else if arg == "--jobs" {
             i += 1;
             let value = args
@@ -111,14 +130,15 @@ fn parse_args(args: &[String]) -> Result<(Vec<String>, bool, bool, usize, bool),
                 .map_err(|_| format!("invalid --jobs value '{value}'"))?;
         } else if arg.starts_with('-') {
             return Err(format!(
-                "unknown flag '{arg}'; valid flags: --quick, --smoke, --jobs N, --no-store, --help"
+                "unknown flag '{arg}'; valid flags: --quick, --smoke, --jobs N, --no-store, \
+                 --no-snapshot, --help"
             ));
         } else {
             selected.push(arg.clone());
         }
         i += 1;
     }
-    Ok((selected, quick, smoke, jobs, no_store))
+    Ok((selected, quick, smoke, jobs, no_store, no_snapshot))
 }
 
 fn main() {
@@ -127,7 +147,7 @@ fn main() {
         print_usage();
         return;
     }
-    let (mut selected, quick, smoke, jobs, no_store) = match parse_args(&args) {
+    let (mut selected, quick, smoke, jobs, no_store, no_snapshot) = match parse_args(&args) {
         Ok(parsed) => parsed,
         Err(message) => {
             eprintln!("{message}");
@@ -171,7 +191,10 @@ fn main() {
     } else {
         jobs
     };
-    let mut runner = Runner::new(scale).with_jobs(jobs).with_progress(true);
+    let mut runner = Runner::new(scale)
+        .with_jobs(jobs)
+        .with_progress(true)
+        .with_snapshots(!no_snapshot);
     if !no_store {
         runner = runner.with_store(output_dir().join("store"));
     }
@@ -359,10 +382,13 @@ fn main() {
         cores: scale.cores(),
         jobs: effective_jobs,
         store_enabled: !no_store,
+        snapshots_enabled: !no_snapshot && !no_store,
         started_unix_secs,
         total_seconds: started.elapsed().as_secs_f64(),
         cells_simulated: runner.counters.simulated(),
         cells_from_store: runner.counters.from_store(),
+        cells_resumed_warm: runner.counters.resumed_warm(),
+        cells_cold: runner.counters.cold(),
         simulation_seconds: runner.counters.simulated_time().as_secs_f64(),
         experiments: timings,
     };
@@ -370,9 +396,11 @@ fn main() {
         eprintln!("warning: failed to write run_summary.json ({err})");
     }
     eprintln!(
-        "done in {:.2}s ({} cells simulated, {} from store); JSON written under {}",
+        "done in {:.2}s ({} cells simulated, {} warm-resumed, {} from store); JSON written \
+         under {}",
         summary.total_seconds,
         summary.cells_simulated,
+        summary.cells_resumed_warm,
         summary.cells_from_store,
         output_dir().display()
     );

@@ -170,6 +170,11 @@ pub fn expand_cells(
                                     workload_label: coords.workload.clone(),
                                     design_label: coords.design.clone(),
                                     key_material,
+                                    // The instance key covers the scenario
+                                    // workload's full trace-shaping content,
+                                    // so same-named workloads from different
+                                    // scenario files never share an image.
+                                    workload_ident: instance.key_material(),
                                     config,
                                     factory: Arc::new(instance),
                                 },

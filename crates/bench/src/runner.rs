@@ -11,11 +11,11 @@
 use banshee_common::MemSize;
 use banshee_dcache::DramCacheDesign;
 use banshee_exec::{JobPool, ResultStore};
-use banshee_sim::{run_one, SimConfig, SimResult};
+use banshee_sim::{SimConfig, SimResult, System};
 use banshee_workloads::{TraceFactory, Workload, WorkloadKind};
 use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -96,6 +96,9 @@ pub struct CellReport {
     /// True if the result came from the persistent store rather than a
     /// fresh simulation.
     pub from_store: bool,
+    /// True if the simulation resumed from a warmed-state snapshot instead
+    /// of running warm-up cold (always false for store hits).
+    pub resumed_warm: bool,
     /// True if the cell's simulation panicked instead of producing a
     /// result (the whole batch fails once every cell has finished).
     pub panicked: bool,
@@ -116,6 +119,12 @@ pub struct PreparedCell {
     /// A canonical description of everything that affects this cell's
     /// result (keys the persistent store).
     pub key_material: String,
+    /// The canonical workload identity (kind, footprint, trace seed —
+    /// everything shaping the trace stream, independent of the simulation
+    /// config). Combined with the config's warm-up key material it keys the
+    /// store's warmed-snapshot namespace, so cells that differ only in
+    /// post-warm-up knobs share a warmed image.
+    pub workload_ident: String,
     /// The simulation configuration.
     pub config: SimConfig,
     /// Builds the per-core traces.
@@ -128,6 +137,7 @@ pub struct PreparedCell {
 pub struct RunnerCounters {
     simulated: Arc<AtomicUsize>,
     from_store: Arc<AtomicUsize>,
+    resumed_warm: Arc<AtomicUsize>,
     simulated_micros: Arc<AtomicU64>,
 }
 
@@ -142,6 +152,18 @@ impl RunnerCounters {
         self.from_store.load(Ordering::Relaxed)
     }
 
+    /// Simulated cells that resumed from a warmed-state snapshot (skipping
+    /// warm-up). The remainder — [`RunnerCounters::cold`] — ran warm-up
+    /// from scratch.
+    pub fn resumed_warm(&self) -> usize {
+        self.resumed_warm.load(Ordering::Relaxed)
+    }
+
+    /// Simulated cells that ran warm-up cold (no usable warmed image).
+    pub fn cold(&self) -> usize {
+        self.simulated().saturating_sub(self.resumed_warm())
+    }
+
     /// Total wall-clock time spent inside simulations, summed over cells
     /// (under parallel execution this exceeds elapsed time).
     pub fn simulated_time(&self) -> Duration {
@@ -153,6 +175,9 @@ impl RunnerCounters {
             self.from_store.fetch_add(1, Ordering::Relaxed);
         } else if !report.panicked {
             self.simulated.fetch_add(1, Ordering::Relaxed);
+            if report.resumed_warm {
+                self.resumed_warm.fetch_add(1, Ordering::Relaxed);
+            }
             self.simulated_micros
                 .fetch_add(report.duration.as_micros() as u64, Ordering::Relaxed);
         }
@@ -173,6 +198,10 @@ pub struct Runner {
     /// Directory of the persistent result store; `None` disables caching
     /// (every cell is recomputed).
     pub store_dir: Option<PathBuf>,
+    /// Capture and resume warmed-state snapshots through the result store
+    /// (no effect without a store). On by default; the `experiments` binary
+    /// turns it off for `--no-snapshot` / `BANSHEE_NO_SNAPSHOT=1`.
+    pub snapshots: bool,
     /// Print per-cell progress and wall-clock times to stderr.
     pub progress: bool,
     /// Tallies of simulated vs. store-resumed cells (shared across clones).
@@ -188,6 +217,7 @@ impl Runner {
             seed: 42,
             jobs: 0,
             store_dir: None,
+            snapshots: true,
             progress: false,
             counters: RunnerCounters::default(),
         }
@@ -202,6 +232,12 @@ impl Runner {
     /// Cache results persistently under `dir`.
     pub fn with_store(mut self, dir: impl Into<PathBuf>) -> Self {
         self.store_dir = Some(dir.into());
+        self
+    }
+
+    /// Enable or disable warmed-state snapshot capture/resume.
+    pub fn with_snapshots(mut self, snapshots: bool) -> Self {
+        self.snapshots = snapshots;
         self
     }
 
@@ -246,6 +282,17 @@ impl Runner {
         )
     }
 
+    /// The canonical workload identity for a built-in suite entry:
+    /// everything that shapes its trace stream, independent of the
+    /// simulation configuration (keys the warmed-snapshot namespace).
+    pub fn workload_ident(&self, kind: WorkloadKind) -> String {
+        let workload = self.workload(kind);
+        format!(
+            "{:?}|footprint={}|wseed={}",
+            workload.kind, workload.total_footprint_bytes, workload.seed
+        )
+    }
+
     /// Run one (design, workload) pair with the default configuration.
     pub fn run(&self, design: DramCacheDesign, kind: WorkloadKind) -> SimResult {
         self.run_with(self.config(design), kind)
@@ -265,9 +312,57 @@ impl Runner {
             workload_label: kind.name(),
             design_label: config.design.label(),
             key_material: self.cell_key_material(&config, kind),
+            workload_ident: self.workload_ident(kind),
             factory: Arc::new(self.workload(kind)),
             config,
         }
+    }
+
+    /// Simulate one prepared cell, resuming from (and capturing) a warmed
+    /// image through the store when snapshots are enabled. Returns the
+    /// result and whether the run resumed from a warmed image.
+    ///
+    /// A stale or corrupt image is *never* fatal: any resume failure is
+    /// reported and the cell re-runs warm-up cold, overwriting the bad
+    /// image with a fresh one.
+    fn simulate_cell(
+        cell: &PreparedCell,
+        store: Option<&ResultStore>,
+        snapshots: bool,
+    ) -> (SimResult, bool) {
+        let name = cell.factory.name();
+        let snap_key = System::warmed_key_material(&cell.config, &cell.workload_ident);
+        if snapshots {
+            if let Some(store) = store {
+                if let Some(image) = store.get_snapshot(&snap_key, SimConfig::MODEL_REVISION) {
+                    match System::resume_warmed(
+                        cell.config.clone(),
+                        &*cell.factory,
+                        &cell.workload_ident,
+                        &image,
+                    ) {
+                        Ok((system, executed)) => {
+                            return (system.run_measured(&name, Some(executed)), true);
+                        }
+                        Err(err) => eprintln!(
+                            "[exec] warning: discarding warmed image for {} x {} ({err}); re-warming",
+                            cell.workload_label, cell.design_label
+                        ),
+                    }
+                }
+            }
+        }
+        let mut system = System::new(cell.config.clone(), &*cell.factory);
+        let warmed = system.warm_up();
+        if snapshots {
+            if let (Some(store), Some(executed)) = (store, warmed) {
+                let image = system.warmed_image(&cell.workload_ident, executed);
+                if let Err(err) = store.put_snapshot(&snap_key, &image) {
+                    eprintln!("[exec] warning: failed to store a warmed image ({err})");
+                }
+            }
+        }
+        (system.run_measured(&name, warmed), false)
     }
 
     /// Run a batch of (config, workload) cells through the execution
@@ -345,6 +440,7 @@ impl Runner {
                         workload: cell.workload_label.clone(),
                         design: cell.design_label.clone(),
                         from_store: true,
+                        resumed_warm: false,
                         panicked: false,
                         duration: Duration::ZERO,
                     };
@@ -373,10 +469,19 @@ impl Runner {
 
         let pool = JobPool::new(self.jobs);
         let miss_cells: Vec<PreparedCell> = misses.iter().map(|&i| cells[i].clone()).collect();
+        // Set by the worker before it returns, read by the (same-thread)
+        // completion callback: whether each miss resumed from a warmed
+        // image.
+        let resumed_flags: Vec<AtomicBool> = (0..miss_cells.len())
+            .map(|_| AtomicBool::new(false))
+            .collect();
         let outputs = pool.run_with_progress(
             miss_cells,
-            |_index, cell| {
-                let result = run_one(cell.config.clone(), &*cell.factory);
+            |index, cell| {
+                let (result, resumed) = Self::simulate_cell(cell, store.as_ref(), self.snapshots);
+                if resumed {
+                    resumed_flags[index].store(true, Ordering::Relaxed);
+                }
                 // Persist from the worker, as soon as the cell finishes:
                 // a sweep interrupted mid-batch resumes from every
                 // completed cell, not just completed batches.
@@ -394,17 +499,19 @@ impl Runner {
                     workload: cell.workload_label.clone(),
                     design: cell.design_label.clone(),
                     from_store: false,
+                    resumed_warm: resumed_flags[completion.index].load(Ordering::Relaxed),
                     panicked: completion.panicked,
                     duration: completion.duration,
                 };
                 if self.progress {
                     eprintln!(
-                        "[exec] {}/{} {} x {} ({:.2}s){}",
+                        "[exec] {}/{} {} x {} ({:.2}s{}){}",
                         completion.completed,
                         completion.total,
                         report.workload,
                         report.design,
                         completion.duration.as_secs_f64(),
+                        if report.resumed_warm { ", warmed" } else { "" },
                         if completion.panicked { " PANICKED" } else { "" },
                     );
                 }
@@ -606,6 +713,52 @@ mod tests {
         m.insert("gcc".into(), "Banshee".into(), r.clone());
         assert_eq!(m.workloads(), ["gcc".to_string()]);
         assert_eq!(m.designs(), ["NoCache".to_string(), "Banshee".to_string()]);
+    }
+
+    #[test]
+    fn warmed_images_are_reused_and_reproduce_cold_results() {
+        let dir =
+            std::env::temp_dir().join(format!("banshee_runner_snap_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let kind = WorkloadKind::Spec(SpecProgram::Gcc);
+
+        // Pass 1: cold — simulates and leaves a warmed image behind.
+        let first = Runner::new(ExperimentScale::Smoke).with_store(&dir);
+        first.run(DramCacheDesign::Banshee, kind);
+        assert_eq!(first.counters.simulated(), 1);
+        assert_eq!(first.counters.resumed_warm(), 0);
+        assert_eq!(first.counters.cold(), 1);
+
+        // Pass 2: a different measurement budget misses the result cache
+        // but shares the warmed image (total_instructions is the only
+        // post-warm-up knob).
+        let second = Runner::new(ExperimentScale::Smoke).with_store(&dir);
+        let mut cfg = second.config(DramCacheDesign::Banshee);
+        cfg.total_instructions /= 2;
+        let resumed = second.run_with(cfg.clone(), kind);
+        assert_eq!(second.counters.simulated(), 1);
+        assert_eq!(second.counters.resumed_warm(), 1);
+        assert_eq!(second.counters.cold(), 0);
+
+        // The resumed result is byte-identical to a cold run of the same
+        // configuration (no store, no snapshots).
+        let cold = Runner::new(ExperimentScale::Smoke).run_with(cfg.clone(), kind);
+        assert_eq!(
+            serde_json::to_string_pretty(&resumed).unwrap(),
+            serde_json::to_string_pretty(&cold).unwrap()
+        );
+
+        // --no-snapshot: same store, third budget, must run cold.
+        let third = Runner::new(ExperimentScale::Smoke)
+            .with_store(&dir)
+            .with_snapshots(false);
+        let mut cfg3 = cfg;
+        cfg3.total_instructions /= 2;
+        third.run_with(cfg3, kind);
+        assert_eq!(third.counters.resumed_warm(), 0);
+        assert_eq!(third.counters.cold(), 1);
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -30,6 +30,8 @@ pub mod addr;
 pub mod config;
 pub mod fastdiv;
 pub mod hash;
+pub mod persist;
+pub mod replay;
 pub mod rng;
 pub mod stats;
 
@@ -37,6 +39,11 @@ pub use addr::{Addr, LineAddr, PageNum, CACHE_LINE_SIZE, LARGE_PAGE_SIZE, PAGE_S
 pub use config::{CyclesPerSec, MemSize};
 pub use fastdiv::FastDivMod;
 pub use hash::{fnv1a64, FnvHashMap, FnvHashSet, FnvHasher};
+pub use persist::{
+    Persist, SnapshotError, SnapshotHeader, SnapshotReader, SnapshotWriter, SNAPSHOT_FORMAT,
+    SNAPSHOT_MAGIC,
+};
+pub use replay::ReplaySet;
 pub use rng::{SplitMix64, XorShiftRng, ZipfSampler};
 pub use stats::{Counter, DramKind, StatSet, TrafficClass, TrafficStats};
 

@@ -1,0 +1,221 @@
+//! A hash set whose exact iteration order survives a snapshot round trip.
+//!
+//! [`FnvHashSet`](crate::FnvHashSet) iterates in table-layout order, which
+//! depends on the full insert/remove *history*, not just the final contents
+//! — rebuilding an equal set from its elements generally iterates
+//! differently. Components whose behaviour depends on set iteration order
+//! (HMA's eviction scan) would therefore diverge between a cold run and a
+//! snapshot-resumed run, while switching them to an order-defined container
+//! would change cold-run results and invalidate the golden fixtures.
+//!
+//! [`ReplaySet`] squares that circle: it *is* an `FnvHashSet` on the hot
+//! path (same hasher, same growth policy, same iteration order as the
+//! pre-snapshot code), but it journals every successful insert and remove.
+//! [`Persist`] writes the journal; restore replays it into a fresh set.
+//! Because the FNV hasher is deterministic and hashbrown's layout is a pure
+//! function of the operation sequence, the replayed set reproduces the
+//! original's internal layout — and therefore its iteration order — exactly.
+
+use crate::hash::FnvHashSet;
+use crate::persist::{Persist, SnapshotError, SnapshotReader, SnapshotWriter};
+use std::hash::Hash;
+
+/// A journaling wrapper around [`FnvHashSet`](crate::FnvHashSet) whose
+/// iteration order is reproduced exactly by a [`Persist`] round trip.
+///
+/// The journal grows by one entry per successful mutation, so this is meant
+/// for sets mutated by rare, batched events (page-migration epochs), not
+/// per-access bookkeeping.
+#[derive(Debug, Clone, Default)]
+pub struct ReplaySet<T> {
+    set: FnvHashSet<T>,
+    /// `(inserted, value)` for every mutation that changed the set, in order.
+    journal: Vec<(bool, T)>,
+}
+
+impl<T: Copy + Eq + Hash> ReplaySet<T> {
+    /// An empty set.
+    pub fn new() -> Self {
+        ReplaySet {
+            set: FnvHashSet::default(),
+            journal: Vec::new(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// True if no elements are present.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// True if `value` is in the set.
+    pub fn contains(&self, value: &T) -> bool {
+        self.set.contains(value)
+    }
+
+    /// Insert `value`; returns true if it was not already present.
+    pub fn insert(&mut self, value: T) -> bool {
+        let inserted = self.set.insert(value);
+        if inserted {
+            self.journal.push((true, value));
+        }
+        inserted
+    }
+
+    /// Remove `value`; returns true if it was present.
+    pub fn remove(&mut self, value: &T) -> bool {
+        let removed = self.set.remove(value);
+        if removed {
+            self.journal.push((false, *value));
+        }
+        removed
+    }
+
+    /// Iterate in the underlying hash table's layout order — identical to
+    /// iterating a plain `FnvHashSet` that saw the same operation sequence.
+    pub fn iter(&self) -> std::collections::hash_set::Iter<'_, T> {
+        self.set.iter()
+    }
+
+    /// Number of journaled mutations since construction.
+    pub fn journal_len(&self) -> usize {
+        self.journal.len()
+    }
+}
+
+impl<T: Copy + Eq + Hash + Persist> Persist for ReplaySet<T> {
+    fn save(&self, w: &mut SnapshotWriter) {
+        // The journal is the canonical state: replaying it reconstructs both
+        // the contents and the table layout. Never write the set itself.
+        w.seq_with(&self.journal, |w, (inserted, value)| {
+            w.bool(*inserted);
+            value.save(w);
+        });
+    }
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let len = r.seq_len(2)?;
+        let mut out = ReplaySet::new();
+        for _ in 0..len {
+            let inserted = r.bool()?;
+            let value = T::restore(r)?;
+            let changed = if inserted {
+                out.insert(value)
+            } else {
+                out.remove(&value)
+            };
+            if !changed {
+                return Err(SnapshotError::Corrupt(
+                    "ReplaySet journal entry had no effect (inconsistent image)".to_string(),
+                ));
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = ReplaySet::new();
+        assert!(s.insert(3u64));
+        assert!(s.insert(1));
+        assert!(!s.insert(3));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(&1));
+        assert!(s.remove(&3));
+        assert!(!s.remove(&3));
+        assert!(!s.contains(&3));
+        assert_eq!(s.journal_len(), 3);
+    }
+
+    #[test]
+    fn iteration_matches_plain_fnv_set() {
+        let mut replay = ReplaySet::new();
+        let mut plain = FnvHashSet::default();
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..2000 {
+            let v = rng.next_u64() % 512;
+            if rng.next_u64().is_multiple_of(3) {
+                replay.remove(&v);
+                plain.remove(&v);
+            } else {
+                replay.insert(v);
+                plain.insert(v);
+            }
+        }
+        assert_eq!(
+            replay.iter().copied().collect::<Vec<_>>(),
+            plain.iter().copied().collect::<Vec<_>>()
+        );
+    }
+
+    /// The property the whole module exists for: a restored set iterates in
+    /// exactly the same order as the original, across many histories.
+    #[test]
+    fn round_trip_reproduces_iteration_order() {
+        for seed in 0..50u64 {
+            let mut rng = SplitMix64::new(seed + 1);
+            let mut s = ReplaySet::new();
+            let ops = 100 + (seed as usize * 37) % 2400;
+            for _ in 0..ops {
+                let v = rng.next_u64() % 1024;
+                if rng.next_u64().is_multiple_of(3) {
+                    s.remove(&v);
+                } else {
+                    s.insert(v);
+                }
+            }
+            let mut w = SnapshotWriter::new();
+            s.save(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = SnapshotReader::new(&bytes);
+            let back = ReplaySet::<u64>::restore(&mut r).unwrap();
+            assert!(r.is_exhausted());
+            assert_eq!(
+                s.iter().copied().collect::<Vec<_>>(),
+                back.iter().copied().collect::<Vec<_>>(),
+                "iteration order diverged for seed {seed}"
+            );
+            let mut w2 = SnapshotWriter::new();
+            back.save(&mut w2);
+            assert_eq!(w2.into_bytes(), bytes, "save/restore/save drifted");
+        }
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_journal() {
+        // A remove of an element that was never inserted cannot come from a
+        // real journal.
+        let mut w = SnapshotWriter::new();
+        w.usize(1);
+        w.bool(false);
+        w.u64(42);
+        let bytes = w.into_bytes();
+        let mut r = SnapshotReader::new(&bytes);
+        assert!(matches!(
+            ReplaySet::<u64>::restore(&mut r),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        // So does a double insert.
+        let mut w = SnapshotWriter::new();
+        w.usize(2);
+        w.bool(true);
+        w.u64(7);
+        w.bool(true);
+        w.u64(7);
+        let bytes = w.into_bytes();
+        let mut r = SnapshotReader::new(&bytes);
+        assert!(matches!(
+            ReplaySet::<u64>::restore(&mut r),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+}

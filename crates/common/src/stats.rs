@@ -274,6 +274,80 @@ impl StatSet {
     }
 }
 
+impl crate::persist::Persist for TrafficClass {
+    fn save(&self, w: &mut crate::persist::SnapshotWriter) {
+        w.u8(self.index() as u8);
+    }
+    fn restore(
+        r: &mut crate::persist::SnapshotReader<'_>,
+    ) -> Result<Self, crate::persist::SnapshotError> {
+        let idx = r.u8()? as usize;
+        TrafficClass::ALL.get(idx).copied().ok_or_else(|| {
+            crate::persist::SnapshotError::Corrupt(format!(
+                "traffic class index {idx} out of range"
+            ))
+        })
+    }
+}
+
+impl crate::persist::Persist for TrafficStats {
+    fn save(&self, w: &mut crate::persist::SnapshotWriter) {
+        for v in self.in_package.iter().chain(self.off_package.iter()) {
+            w.u64(*v);
+        }
+    }
+    fn restore(
+        r: &mut crate::persist::SnapshotReader<'_>,
+    ) -> Result<Self, crate::persist::SnapshotError> {
+        let mut out = TrafficStats::new();
+        for i in 0..6 {
+            out.in_package[i] = r.u64()?;
+        }
+        for i in 0..6 {
+            out.off_package[i] = r.u64()?;
+        }
+        Ok(out)
+    }
+}
+
+impl crate::persist::Persist for Counter {
+    fn save(&self, w: &mut crate::persist::SnapshotWriter) {
+        w.u64(self.0);
+    }
+    fn restore(
+        r: &mut crate::persist::SnapshotReader<'_>,
+    ) -> Result<Self, crate::persist::SnapshotError> {
+        Ok(Counter(r.u64()?))
+    }
+}
+
+// Counter names are `&'static str` literals on the hot path, but a set
+// rebuilt from a snapshot has no literals to borrow — restored keys are
+// owned, exactly like the serde deserialization path. The BTreeMap already
+// iterates in sorted key order, so `save → restore → save` is
+// byte-identical.
+impl crate::persist::Persist for StatSet {
+    fn save(&self, w: &mut crate::persist::SnapshotWriter) {
+        w.usize(self.counters.len());
+        for (k, v) in self.counters.iter() {
+            w.str(k);
+            w.u64(*v);
+        }
+    }
+    fn restore(
+        r: &mut crate::persist::SnapshotReader<'_>,
+    ) -> Result<Self, crate::persist::SnapshotError> {
+        let len = r.seq_len(9)?;
+        let mut counters = BTreeMap::new();
+        for _ in 0..len {
+            let key = r.string()?;
+            let value = r.u64()?;
+            counters.insert(Cow::Owned(key), value);
+        }
+        Ok(StatSet { counters })
+    }
+}
+
 // Manual serde impls (the derive would need map impls for `Cow` keys). The
 // JSON shape matches what the former derived impl produced for a
 // `BTreeMap<String, u64>` field, so persisted results remain readable and

@@ -15,6 +15,7 @@
 
 use crate::config::BansheeConfig;
 use crate::tag_buffer::TagBufferEntry;
+use banshee_common::persist::{Persist, SnapshotError, SnapshotReader, SnapshotWriter};
 use banshee_common::Cycle;
 use banshee_dcache::SideEffect;
 
@@ -102,6 +103,31 @@ impl LazyCoherence {
             SideEffect::UpdatePageTable { updates },
             SideEffect::TlbShootdown,
         ]
+    }
+}
+
+impl Persist for LazyCoherence {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.u64(self.costs.flush_handler);
+        w.u64(self.costs.shootdown_initiator);
+        w.u64(self.costs.shootdown_slave);
+        w.u64(self.flushes);
+        w.u64(self.pte_updates);
+        w.u64(self.last_flush_cycle);
+        w.u64(self.flush_interval_sum);
+    }
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(LazyCoherence {
+            costs: CoherenceCosts {
+                flush_handler: r.u64()?,
+                shootdown_initiator: r.u64()?,
+                shootdown_slave: r.u64()?,
+            },
+            flushes: r.u64()?,
+            pte_updates: r.u64()?,
+            last_flush_cycle: r.u64()?,
+            flush_interval_sum: r.u64()?,
+        })
     }
 }
 

@@ -25,6 +25,7 @@ use crate::config::BansheeConfig;
 use crate::fbr::{FbrDecision, FrequencyReplacement};
 use crate::metadata::{MetadataEntry, MetadataTable, SET_METADATA_BYTES};
 use crate::tag_buffer::TagBuffer;
+use banshee_common::persist::{Persist, SnapshotError, SnapshotReader, SnapshotWriter};
 use banshee_common::{
     Addr, Cycle, FnvHashMap, FnvHashSet, PageNum, StatSet, TrafficClass, XorShiftRng,
     CACHE_LINE_SIZE,
@@ -550,6 +551,121 @@ impl DramCacheController for BansheeController {
         s.add("banshee_tag_buffer_lookups", tb_lookups);
         s.add("banshee_tag_buffer_hits", tb_hits);
         s
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        self.metadata.save(w);
+        w.seq(self.tag_buffers.iter());
+        self.fbr.save(w);
+        self.coherence.save(w);
+        // `resident` and `occupancy` are only ever probed by key (never
+        // iterated), so sorted encodings are canonical; the per-page dirty
+        // sets are only counted, so they sort too.
+        let mut resident: Vec<(&u64, &ResidentPage)> = self.resident.iter().collect();
+        resident.sort_unstable_by_key(|(unit, _)| **unit);
+        w.seq_with(&resident, |w, (unit, r)| {
+            w.u64(**unit);
+            w.u8(r.way);
+            w.u64(r.last_touch);
+            let mut lines: Vec<u32> = r.dirty_lines.iter().copied().collect();
+            lines.sort_unstable();
+            w.seq_with(&lines, |w, line| w.u32(*line));
+        });
+        let mut occupancy: Vec<(&(u64, u8), &u64)> = self.occupancy.iter().collect();
+        occupancy.sort_unstable_by_key(|((set, way), _)| (*set, *way));
+        w.seq_with(&occupancy, |w, ((set, way), unit)| {
+            w.u64(*set);
+            w.u8(*way);
+            w.u64(**unit);
+        });
+        self.demand.save(w);
+        self.rng.save(w);
+        w.u64(self.access_clock);
+        w.u64(self.replacements);
+        w.u64(self.counter_reads);
+        w.u64(self.counter_writes);
+        w.u64(self.tag_probes);
+        w.u64(self.set_full_flushes);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let metadata = MetadataTable::restore(r)?;
+        if metadata.num_sets() != self.metadata.num_sets() {
+            return Err(SnapshotError::Corrupt(format!(
+                "banshee image has {} metadata sets, controller has {}",
+                metadata.num_sets(),
+                self.metadata.num_sets()
+            )));
+        }
+        self.metadata = metadata;
+        let tag_buffers: Vec<TagBuffer> = r.seq(64)?;
+        if tag_buffers.len() != self.tag_buffers.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "banshee image has {} tag buffers, controller has {}",
+                tag_buffers.len(),
+                self.tag_buffers.len()
+            )));
+        }
+        self.tag_buffers = tag_buffers;
+        self.fbr = FrequencyReplacement::restore(r)?;
+        self.coherence = LazyCoherence::restore(r)?;
+        let resident_len = r.seq_len(25)?;
+        self.resident.clear();
+        for _ in 0..resident_len {
+            let unit = r.u64()?;
+            let way = r.u8()?;
+            let last_touch = r.u64()?;
+            let line_count = r.seq_len(4)?;
+            let mut dirty_lines = FnvHashSet::default();
+            for _ in 0..line_count {
+                dirty_lines.insert(r.u32()?);
+            }
+            let prev = self.resident.insert(
+                unit,
+                ResidentPage {
+                    way,
+                    dirty_lines,
+                    last_touch,
+                },
+            );
+            if prev.is_some() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "duplicate resident unit {unit}"
+                )));
+            }
+        }
+        let occupancy_len = r.seq_len(17)?;
+        if occupancy_len != resident_len {
+            return Err(SnapshotError::Corrupt(format!(
+                "banshee occupancy holds {occupancy_len} entries but residency \
+                 holds {resident_len}"
+            )));
+        }
+        self.occupancy.clear();
+        for _ in 0..occupancy_len {
+            let set = r.u64()?;
+            let way = r.u8()?;
+            let unit = r.u64()?;
+            if !self.resident.contains_key(&unit) {
+                return Err(SnapshotError::Corrupt(format!(
+                    "occupancy references non-resident unit {unit}"
+                )));
+            }
+            if self.occupancy.insert((set, way), unit).is_some() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "duplicate occupancy entry for set {set} way {way}"
+                )));
+            }
+        }
+        self.demand = DemandStats::restore(r)?;
+        self.rng = XorShiftRng::restore(r)?;
+        self.access_clock = r.u64()?;
+        self.replacements = r.u64()?;
+        self.counter_reads = r.u64()?;
+        self.counter_writes = r.u64()?;
+        self.tag_probes = r.u64()?;
+        self.set_full_flushes = r.u64()?;
+        Ok(())
     }
 }
 

@@ -16,6 +16,7 @@
 //! fit in the 32-byte budget — the arithmetic checked by
 //! [`CacheSetMetadata::fits_in_32_bytes`].
 
+use banshee_common::persist::{Persist, SnapshotError, SnapshotReader, SnapshotWriter};
 use serde::{Deserialize, Serialize};
 
 /// Size in bytes of one set's metadata record in the tag row.
@@ -177,6 +178,64 @@ impl MetadataTable {
     /// Total resident pages across all sets (for tests/statistics).
     pub fn total_cached(&self) -> usize {
         self.sets.iter().map(|s| s.cached_occupancy()).sum()
+    }
+}
+
+impl Persist for MetadataEntry {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.u64(self.unit);
+        w.u32(self.count);
+        w.bool(self.valid);
+    }
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(MetadataEntry {
+            unit: r.u64()?,
+            count: r.u32()?,
+            valid: r.bool()?,
+        })
+    }
+}
+
+impl Persist for CacheSetMetadata {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.seq(self.cached.iter());
+        w.seq(self.candidates.iter());
+    }
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(CacheSetMetadata {
+            cached: r.seq(13)?,
+            candidates: r.seq(13)?,
+        })
+    }
+}
+
+impl Persist for MetadataTable {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.seq(self.sets.iter());
+    }
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let sets: Vec<CacheSetMetadata> = r.seq(16)?;
+        if sets.is_empty() {
+            return Err(SnapshotError::Corrupt(
+                "metadata table has no sets".to_string(),
+            ));
+        }
+        let (ways, candidates) = (sets[0].cached.len(), sets[0].candidates.len());
+        if ways == 0 {
+            return Err(SnapshotError::Corrupt(
+                "metadata table has no ways".to_string(),
+            ));
+        }
+        if sets
+            .iter()
+            .any(|s| s.cached.len() != ways || s.candidates.len() != candidates)
+        {
+            return Err(SnapshotError::Corrupt(
+                "metadata sets disagree on geometry".to_string(),
+            ));
+        }
+        let set_div = banshee_common::FastDivMod::new(sets.len() as u64);
+        Ok(MetadataTable { sets, set_div })
     }
 }
 

@@ -18,6 +18,7 @@
 //!   the caller through [`TagBuffer::needs_flush`] or the
 //!   [`InsertOutcome::ThresholdReached`] return value.
 
+use banshee_common::persist::{Persist, SnapshotError, SnapshotReader, SnapshotWriter};
 use banshee_common::{FastDivMod, PageNum};
 use banshee_memhier::PteMapInfo;
 
@@ -309,6 +310,95 @@ impl TagBuffer {
     }
 }
 
+impl Persist for TagBuffer {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.usize(self.sets.len());
+        w.usize(self.ways);
+        w.f64(self.flush_threshold);
+        w.u64(self.clock);
+        w.usize(self.remap_entries);
+        w.u64(self.lookups);
+        w.u64(self.hits);
+        w.u64(self.flushes);
+        w.seq_with(&self.sets, |w, set| {
+            w.seq_with(set, |w, slot| {
+                w.bool(slot.valid);
+                w.bool(slot.remap);
+                slot.page.save(w);
+                slot.info.save(w);
+                w.u64(slot.touched);
+            });
+        });
+    }
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let num_sets = r.usize()?;
+        let ways = r.usize()?;
+        if num_sets == 0 || ways == 0 {
+            return Err(SnapshotError::Corrupt(
+                "tag buffer has empty geometry".to_string(),
+            ));
+        }
+        let flush_threshold = r.f64()?;
+        if !(0.0..=1.0).contains(&flush_threshold) {
+            return Err(SnapshotError::Corrupt(format!(
+                "tag buffer flush threshold {flush_threshold} out of range"
+            )));
+        }
+        let clock = r.u64()?;
+        let remap_entries = r.usize()?;
+        let lookups = r.u64()?;
+        let hits = r.u64()?;
+        let flushes = r.u64()?;
+        let outer = r.seq_len(8)?;
+        if outer != num_sets {
+            return Err(SnapshotError::Corrupt(format!(
+                "tag buffer set sequence length {outer} != declared {num_sets}"
+            )));
+        }
+        let mut sets = Vec::with_capacity(num_sets);
+        let mut actual_remaps = 0usize;
+        for _ in 0..num_sets {
+            let inner = r.seq_len(20)?;
+            if inner != ways {
+                return Err(SnapshotError::Corrupt(format!(
+                    "tag buffer way sequence length {inner} != declared {ways}"
+                )));
+            }
+            let mut set = Vec::with_capacity(ways);
+            for _ in 0..ways {
+                let slot = Slot {
+                    valid: r.bool()?,
+                    remap: r.bool()?,
+                    page: PageNum::restore(r)?,
+                    info: PteMapInfo::restore(r)?,
+                    touched: r.u64()?,
+                };
+                if slot.valid && slot.remap {
+                    actual_remaps += 1;
+                }
+                set.push(slot);
+            }
+            sets.push(set);
+        }
+        if actual_remaps != remap_entries {
+            return Err(SnapshotError::Corrupt(format!(
+                "tag buffer claims {remap_entries} remap entries but holds {actual_remaps}"
+            )));
+        }
+        Ok(TagBuffer {
+            sets,
+            ways,
+            set_div: FastDivMod::new(num_sets as u64),
+            flush_threshold,
+            clock,
+            remap_entries,
+            lookups,
+            hits,
+            flushes,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -483,6 +573,66 @@ mod tests {
             let drained = tb.drain();
             prop_assert_eq!(tb.remap_entries(), 0);
             prop_assert!(drained.len() <= tb.capacity());
+        }
+
+        /// save → restore → save is byte-identical, and the restored buffer
+        /// behaves identically under further operations.
+        #[test]
+        fn prop_persist_round_trip(
+            ops in proptest::collection::vec((0u64..64, 0u8..3), 0..200),
+            tail in proptest::collection::vec((0u64..64, 0u8..3), 0..50),
+        ) {
+            let apply = |tb: &mut TagBuffer, page: u64, op: u8| match op {
+                0 => {
+                    tb.insert_clean(PageNum::new(page), PteMapInfo::NOT_CACHED);
+                }
+                1 => {
+                    let _ = tb.insert_remap(PageNum::new(page), PteMapInfo::cached_in(1));
+                }
+                _ => {
+                    tb.lookup(PageNum::new(page));
+                }
+            };
+            let mut tb = TagBuffer::new(32, 4, 1.0);
+            for (page, op) in ops {
+                apply(&mut tb, page, op);
+            }
+            let mut w = SnapshotWriter::new();
+            tb.save(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = SnapshotReader::new(&bytes);
+            let mut back = TagBuffer::restore(&mut r).unwrap();
+            prop_assert!(r.is_exhausted());
+            let mut w = SnapshotWriter::new();
+            back.save(&mut w);
+            prop_assert_eq!(w.into_bytes(), bytes.clone());
+            // Diverge-free: identical tails leave identical state behind.
+            for (page, op) in tail {
+                apply(&mut tb, page, op);
+                apply(&mut back, page, op);
+            }
+            prop_assert_eq!(tb.remap_entries(), back.remap_entries());
+            prop_assert_eq!(tb.lookups(), back.lookups());
+            prop_assert_eq!(tb.hits(), back.hits());
+            let (mut wa, mut wb) = (SnapshotWriter::new(), SnapshotWriter::new());
+            tb.save(&mut wa);
+            back.save(&mut wb);
+            prop_assert_eq!(wa.into_bytes(), wb.into_bytes());
+        }
+
+        /// Truncating a snapshot at any point is a typed error, not a panic.
+        #[test]
+        fn prop_persist_truncation_is_typed(cut in 0usize..64) {
+            let mut tb = TagBuffer::new(32, 4, 1.0);
+            for page in 0..8 {
+                let _ = tb.insert_remap(PageNum::new(page), PteMapInfo::cached_in(1));
+            }
+            let mut w = SnapshotWriter::new();
+            tb.save(&mut w);
+            let bytes = w.into_bytes();
+            let cut = cut.min(bytes.len().saturating_sub(1));
+            let mut r = SnapshotReader::new(&bytes[..cut]);
+            prop_assert!(TagBuffer::restore(&mut r).is_err());
         }
     }
 }

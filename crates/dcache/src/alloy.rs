@@ -24,9 +24,21 @@
 use crate::controller::{DemandStats, DramCacheController};
 use crate::design::DCacheConfig;
 use crate::plan::{DramOp, MemRequest, PlanSink, RequestKind};
+use banshee_common::persist::{Persist, SnapshotError, SnapshotReader, SnapshotWriter};
 use banshee_common::{
     Addr, Cycle, FastDivMod, FnvHashMap, LineAddr, StatSet, TrafficClass, XorShiftRng,
 };
+
+/// Every counter name [`AlloyCache::bump`] can record, used to re-intern the
+/// `&'static str` keys when restoring a snapshot.
+const STAT_KEYS: [&str; 6] = [
+    "alloy_hits",
+    "alloy_misses",
+    "alloy_fills",
+    "alloy_dirty_victim_writebacks",
+    "alloy_writeback_hits",
+    "alloy_writeback_misses",
+];
 
 /// Per-slot state of the direct-mapped cache.
 #[derive(Debug, Clone, Copy, Default)]
@@ -208,6 +220,69 @@ impl DramCacheController for AlloyCache {
             s.add(k, *v);
         }
         s
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.usize(self.slots.len());
+        w.seq_with(&self.slots, |w, s| {
+            w.bool(s.valid);
+            w.bool(s.dirty);
+            w.u64(s.tag);
+        });
+        self.demand.save(w);
+        self.rng.save(w);
+        // The stats map is only read through the name-sorted StatSet, so a
+        // sorted encoding is canonical.
+        let mut stats: Vec<(&&'static str, &u64)> = self.stats.iter().collect();
+        stats.sort_unstable_by_key(|(k, _)| **k);
+        w.seq_with(&stats, |w, (k, v)| {
+            w.str(k);
+            w.u64(**v);
+        });
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let slot_count = r.usize()?;
+        if slot_count != self.slots.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "alloy image has {slot_count} slots, controller has {}",
+                self.slots.len()
+            )));
+        }
+        let len = r.seq_len(10)?;
+        if len != slot_count {
+            return Err(SnapshotError::Corrupt(format!(
+                "alloy slot sequence length {len} != declared {slot_count}"
+            )));
+        }
+        for i in 0..len {
+            self.slots[i] = Slot {
+                valid: r.bool()?,
+                dirty: r.bool()?,
+                tag: r.u64()?,
+            };
+        }
+        self.demand = DemandStats::restore(r)?;
+        self.rng = XorShiftRng::restore(r)?;
+        self.stats.clear();
+        let stats_len = r.seq_len(10)?;
+        for _ in 0..stats_len {
+            let key = r.string()?;
+            let value = r.u64()?;
+            let interned = STAT_KEYS
+                .iter()
+                .find(|k| **k == key)
+                .copied()
+                .ok_or_else(|| {
+                    SnapshotError::Corrupt(format!("unknown alloy stat counter {key:?}"))
+                })?;
+            if self.stats.insert(interned, value).is_some() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "duplicate alloy stat counter {key:?}"
+                )));
+            }
+        }
+        Ok(())
     }
 }
 

@@ -2,6 +2,7 @@
 
 use crate::controller::{DemandStats, DramCacheController};
 use crate::plan::{DramOp, MemRequest, PlanSink, RequestKind};
+use banshee_common::persist::{Persist, SnapshotError, SnapshotReader, SnapshotWriter};
 use banshee_common::{Cycle, StatSet, TrafficClass};
 
 /// The system only contains in-package DRAM with infinite capacity
@@ -59,6 +60,15 @@ impl DramCacheController for CacheOnly {
 
     fn stats(&self) -> StatSet {
         StatSet::new()
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        self.demand.save(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.demand = DemandStats::restore(r)?;
+        Ok(())
     }
 }
 

@@ -1,6 +1,7 @@
 //! The trait every DRAM-cache design implements.
 
 use crate::plan::{MemRequest, PlanSink};
+use banshee_common::persist::{Persist, SnapshotError, SnapshotReader, SnapshotWriter};
 use banshee_common::{Cycle, PageNum, StatSet};
 use banshee_memhier::PteMapInfo;
 
@@ -76,6 +77,20 @@ pub trait DramCacheController {
     /// Design-specific named counters (tag-buffer flushes, footprint sizes,
     /// pages remapped, ...).
     fn stats(&self) -> StatSet;
+
+    /// Serialise the controller's mutable state (cache contents, counters,
+    /// RNG streams) into a warmed-state snapshot. Configuration is *not*
+    /// saved: a restored controller is always built cold from the same
+    /// [`crate::DCacheConfig`] first, then [`DramCacheController::load_state`]
+    /// overwrites its mutable state.
+    fn save_state(&self, w: &mut SnapshotWriter);
+
+    /// Restore mutable state previously written by
+    /// [`DramCacheController::save_state`] into this (freshly built)
+    /// controller. Returns a typed error on corrupt or mismatched images;
+    /// the controller may be left partially updated and must be discarded
+    /// by the caller on error.
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError>;
 }
 
 /// Shared bookkeeping for demand hit/miss accounting, embedded by the
@@ -135,6 +150,27 @@ impl DemandStats {
     /// (accesses, misses) so far.
     pub fn totals(&self) -> (u64, u64) {
         (self.accesses, self.misses)
+    }
+}
+
+impl Persist for DemandStats {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.u64(self.accesses);
+        w.u64(self.misses);
+        w.u64(self.window_accesses);
+        w.u64(self.window_misses);
+        w.u64(self.window_size);
+        w.f64(self.recent_miss_rate);
+    }
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(DemandStats {
+            accesses: r.u64()?,
+            misses: r.u64()?,
+            window_accesses: r.u64()?,
+            window_misses: r.u64()?,
+            window_size: r.u64()?,
+            recent_miss_rate: r.f64()?,
+        })
     }
 }
 

@@ -16,6 +16,7 @@
 //! profiled per-workload average the paper uses.
 
 use banshee_common::addr::LINES_PER_PAGE;
+use banshee_common::persist::{Persist, SnapshotError, SnapshotReader, SnapshotWriter};
 use banshee_common::{FnvHashMap, PageNum};
 
 pub use banshee_common::addr::LINES_PER_PAGE as PAGE_LINES;
@@ -110,6 +111,50 @@ impl FootprintPredictor {
     }
 }
 
+impl Persist for FootprintPredictor {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.u64(self.granularity);
+        w.u64(self.footprint_sum);
+        w.u64(self.completed);
+        // The map is only ever probed by key, never iterated, so a sorted
+        // encoding keeps the image canonical without changing behaviour.
+        let mut touched: Vec<(&PageNum, &u64)> = self.touched.iter().collect();
+        touched.sort_unstable_by_key(|(p, _)| p.raw());
+        w.seq_with(&touched, |w, (page, mask)| {
+            page.save(w);
+            w.u64(**mask);
+        });
+    }
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let granularity = r.u64()?;
+        if granularity == 0 || granularity > LINES_PER_PAGE {
+            return Err(SnapshotError::Corrupt(format!(
+                "footprint granularity {granularity} out of range"
+            )));
+        }
+        let footprint_sum = r.u64()?;
+        let completed = r.u64()?;
+        let len = r.seq_len(16)?;
+        let mut touched = FnvHashMap::default();
+        for _ in 0..len {
+            let page = PageNum::restore(r)?;
+            let mask = r.u64()?;
+            if touched.insert(page, mask).is_some() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "duplicate footprint page {}",
+                    page.raw()
+                )));
+            }
+        }
+        Ok(FootprintPredictor {
+            touched,
+            granularity,
+            footprint_sum,
+            completed,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,6 +242,42 @@ mod tests {
                 // Predictions are multiples of the granularity except when
                 // capped at the full page.
                 prop_assert!(pred.is_multiple_of(gran) || pred == 64);
+            }
+        }
+
+        /// save → restore → save is byte-identical and predictions survive
+        /// the round trip, including the in-flight (filled, not yet
+        /// evicted) pages.
+        #[test]
+        fn prop_persist_round_trip(
+            touches in proptest::collection::vec((0u64..64, 0u64..64, 0u8..2), 0..80),
+            gran in 1u64..16,
+        ) {
+            let mut p = FootprintPredictor::new(gran);
+            for (i, (first, line, evict)) in touches.iter().enumerate() {
+                let page = PageNum::new((i % 8) as u64);
+                p.on_fill(page, *first);
+                p.on_access(page, *line);
+                if *evict == 1 {
+                    p.on_evict(page);
+                }
+            }
+            let snap = |p: &FootprintPredictor| {
+                let mut w = SnapshotWriter::new();
+                p.save(&mut w);
+                w.into_bytes()
+            };
+            let bytes = snap(&p);
+            let mut r = SnapshotReader::new(&bytes);
+            let back = FootprintPredictor::restore(&mut r).unwrap();
+            prop_assert!(r.is_exhausted());
+            prop_assert_eq!(snap(&back), bytes.clone());
+            prop_assert_eq!(p.predicted_lines(), back.predicted_lines());
+            // Truncation anywhere strictly inside the image is typed.
+            let cut = bytes.len() / 2;
+            let mut r = SnapshotReader::new(&bytes[..cut]);
+            if bytes.len() > cut {
+                prop_assert!(FootprintPredictor::restore(&mut r).is_err());
             }
         }
     }

@@ -17,8 +17,10 @@
 use crate::controller::{DemandStats, DramCacheController};
 use crate::design::DCacheConfig;
 use crate::plan::{DramOp, MemRequest, PlanSink, RequestKind, SideEffect};
+use banshee_common::persist::{Persist, SnapshotError, SnapshotReader, SnapshotWriter};
 use banshee_common::{
-    Cycle, CyclesPerSec, FnvHashMap, FnvHashSet, PageNum, StatSet, TrafficClass, PAGE_SIZE,
+    Cycle, CyclesPerSec, FnvHashMap, FnvHashSet, PageNum, ReplaySet, StatSet, TrafficClass,
+    PAGE_SIZE,
 };
 use banshee_memhier::PteMapInfo;
 
@@ -48,7 +50,12 @@ impl Default for HmaPolicy {
 #[derive(Debug)]
 pub struct Hma {
     capacity_pages: u64,
-    cached: FnvHashSet<PageNum>,
+    /// Resident pages. A [`ReplaySet`] rather than a plain hash set because
+    /// the eviction scan in [`DramCacheController::epoch`] iterates it, and
+    /// iteration order must survive a snapshot round trip for a resumed run
+    /// to stay byte-identical with a cold one — while staying bit-identical
+    /// to plain `FnvHashSet` iteration on cold runs.
+    cached: ReplaySet<PageNum>,
     /// Access counts within the current interval.
     counts: FnvHashMap<PageNum, u64>,
     policy: HmaPolicy,
@@ -69,7 +76,7 @@ impl Hma {
     pub fn with_policy(config: &DCacheConfig, policy: HmaPolicy) -> Self {
         Hma {
             capacity_pages: config.capacity_pages().max(1),
-            cached: FnvHashSet::default(),
+            cached: ReplaySet::new(),
             counts: FnvHashMap::default(),
             policy,
             cpu_clock: CyclesPerSec::ghz(2.7),
@@ -228,6 +235,53 @@ impl DramCacheController for Hma {
         s.add("hma_intervals", self.intervals);
         s.add("hma_resident_pages", self.cached.len() as u64);
         s
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.u64(self.capacity_pages);
+        w.u64(self.migrations_in);
+        w.u64(self.migrations_out);
+        w.u64(self.intervals);
+        // Residency iteration order is semantic (the eviction scan walks
+        // it), so the ReplaySet persists its mutation journal; the counts
+        // map feeds a fully sorted ranking, so a sorted encoding is
+        // canonical.
+        self.cached.save(w);
+        let mut counts: Vec<(&PageNum, &u64)> = self.counts.iter().collect();
+        counts.sort_unstable_by_key(|(p, _)| p.raw());
+        w.seq_with(&counts, |w, (page, count)| {
+            page.save(w);
+            w.u64(**count);
+        });
+        self.demand.save(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let capacity_pages = r.u64()?;
+        if capacity_pages != self.capacity_pages {
+            return Err(SnapshotError::Corrupt(format!(
+                "hma image capacity {capacity_pages} pages != controller {}",
+                self.capacity_pages
+            )));
+        }
+        self.migrations_in = r.u64()?;
+        self.migrations_out = r.u64()?;
+        self.intervals = r.u64()?;
+        self.cached = ReplaySet::restore(r)?;
+        let len = r.seq_len(16)?;
+        self.counts.clear();
+        for _ in 0..len {
+            let page = PageNum::restore(r)?;
+            let count = r.u64()?;
+            if self.counts.insert(page, count).is_some() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "duplicate hma access count for page {}",
+                    page.raw()
+                )));
+            }
+        }
+        self.demand = DemandStats::restore(r)?;
+        Ok(())
     }
 }
 

@@ -2,6 +2,7 @@
 
 use crate::controller::{DemandStats, DramCacheController};
 use crate::plan::{DramOp, MemRequest, PlanSink, RequestKind};
+use banshee_common::persist::{Persist, SnapshotError, SnapshotReader, SnapshotWriter};
 use banshee_common::{Cycle, StatSet, TrafficClass};
 
 /// No DRAM cache at all — the system only has off-package DRAM. Figure 4
@@ -55,6 +56,15 @@ impl DramCacheController for NoCache {
 
     fn stats(&self) -> StatSet {
         StatSet::new()
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        self.demand.save(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.demand = DemandStats::restore(r)?;
+        Ok(())
     }
 }
 

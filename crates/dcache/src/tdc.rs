@@ -33,6 +33,7 @@ use crate::controller::{DemandStats, DramCacheController};
 use crate::design::DCacheConfig;
 use crate::footprint::FootprintPredictor;
 use crate::plan::{DramOp, MemRequest, PlanSink, RequestKind};
+use banshee_common::persist::{Persist, SnapshotError, SnapshotReader, SnapshotWriter};
 use banshee_common::{
     Addr, Cycle, FnvHashMap, PageNum, StatSet, TrafficClass, CACHE_LINE_SIZE, PAGE_SIZE,
 };
@@ -273,6 +274,101 @@ impl DramCacheController for Tdc {
         s.add("tdc_map_probes", self.map_probes);
         s.add("tdc_map_updates", self.map_updates);
         s
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.u64(self.capacity_pages);
+        w.u64(self.fills);
+        w.u64(self.evictions);
+        w.u64(self.map_probes);
+        w.u64(self.map_updates);
+        // The frame map is only probed by key, so a sorted encoding is
+        // canonical; the FIFO and free-slot stack are order-semantic and go
+        // out verbatim.
+        let mut frames: Vec<(&PageNum, &Frame)> = self.frames.iter().collect();
+        frames.sort_unstable_by_key(|(p, _)| p.raw());
+        w.seq_with(&frames, |w, (page, frame)| {
+            page.save(w);
+            w.u64(frame.slot);
+            w.u64(frame.dirty_mask);
+        });
+        w.seq(self.fifo.iter());
+        w.seq(self.free_slots.iter());
+        self.demand.save(w);
+        self.footprint.save(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let capacity_pages = r.u64()?;
+        if capacity_pages != self.capacity_pages {
+            return Err(SnapshotError::Corrupt(format!(
+                "tdc image capacity {capacity_pages} pages != controller {}",
+                self.capacity_pages
+            )));
+        }
+        self.fills = r.u64()?;
+        self.evictions = r.u64()?;
+        self.map_probes = r.u64()?;
+        self.map_updates = r.u64()?;
+        let frame_count = r.seq_len(24)?;
+        self.frames.clear();
+        for _ in 0..frame_count {
+            let page = PageNum::restore(r)?;
+            let frame = Frame {
+                slot: r.u64()?,
+                dirty_mask: r.u64()?,
+            };
+            if frame.slot >= self.capacity_pages {
+                return Err(SnapshotError::Corrupt(format!(
+                    "tdc frame slot {} out of range",
+                    frame.slot
+                )));
+            }
+            if self.frames.insert(page, frame).is_some() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "duplicate tdc frame for page {}",
+                    page.raw()
+                )));
+            }
+        }
+        let fifo_len = r.seq_len(8)?;
+        if fifo_len != frame_count {
+            return Err(SnapshotError::Corrupt(format!(
+                "tdc fifo holds {fifo_len} pages but the map holds {frame_count}"
+            )));
+        }
+        self.fifo.clear();
+        for _ in 0..fifo_len {
+            let page = PageNum::restore(r)?;
+            if !self.frames.contains_key(&page) {
+                return Err(SnapshotError::Corrupt(format!(
+                    "tdc fifo page {} missing from the frame map",
+                    page.raw()
+                )));
+            }
+            self.fifo.push_back(page);
+        }
+        let free_len = r.seq_len(8)?;
+        if free_len as u64 + frame_count as u64 != self.capacity_pages {
+            return Err(SnapshotError::Corrupt(format!(
+                "tdc free slots ({free_len}) + resident pages ({frame_count}) \
+                 != capacity ({})",
+                self.capacity_pages
+            )));
+        }
+        self.free_slots.clear();
+        for _ in 0..free_len {
+            let slot = r.u64()?;
+            if slot >= self.capacity_pages {
+                return Err(SnapshotError::Corrupt(format!(
+                    "tdc free slot {slot} out of range"
+                )));
+            }
+            self.free_slots.push(slot);
+        }
+        self.demand = DemandStats::restore(r)?;
+        self.footprint = FootprintPredictor::restore(r)?;
+        Ok(())
     }
 }
 

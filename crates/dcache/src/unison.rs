@@ -22,6 +22,7 @@ use crate::controller::{DemandStats, DramCacheController};
 use crate::design::DCacheConfig;
 use crate::footprint::FootprintPredictor;
 use crate::plan::{DramOp, MemRequest, PlanSink, RequestKind};
+use banshee_common::persist::{Persist, SnapshotError, SnapshotReader, SnapshotWriter};
 use banshee_common::{
     Addr, Cycle, FastDivMod, PageNum, StatSet, TrafficClass, CACHE_LINE_SIZE, PAGE_SIZE,
 };
@@ -232,6 +233,64 @@ impl DramCacheController for UnisonCache {
             self.footprint.mean_footprint().round() as u64,
         );
         s
+    }
+
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.usize(self.sets.len());
+        w.usize(self.ways);
+        w.u64(self.clock);
+        w.u64(self.fills);
+        w.u64(self.dirty_lines_written_back);
+        w.seq_with(&self.sets, |w, set| {
+            w.seq_with(set, |w, way| {
+                w.bool(way.valid);
+                way.page.save(w);
+                w.u64(way.dirty_mask);
+                w.u64(way.touched);
+            });
+        });
+        self.demand.save(w);
+        self.footprint.save(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let sets = r.usize()?;
+        let ways = r.usize()?;
+        if sets != self.sets.len() || ways != self.ways {
+            return Err(SnapshotError::Corrupt(format!(
+                "unison image geometry {sets}x{ways} != controller {}x{}",
+                self.sets.len(),
+                self.ways
+            )));
+        }
+        self.clock = r.u64()?;
+        self.fills = r.u64()?;
+        self.dirty_lines_written_back = r.u64()?;
+        let outer = r.seq_len(8)?;
+        if outer != sets {
+            return Err(SnapshotError::Corrupt(format!(
+                "unison set sequence length {outer} != declared {sets}"
+            )));
+        }
+        for set in self.sets.iter_mut() {
+            let inner = r.seq_len(25)?;
+            if inner != ways {
+                return Err(SnapshotError::Corrupt(format!(
+                    "unison way sequence length {inner} != declared {ways}"
+                )));
+            }
+            for way in set.iter_mut() {
+                *way = PageWay {
+                    valid: r.bool()?,
+                    page: PageNum::restore(r)?,
+                    dirty_mask: r.u64()?,
+                    touched: r.u64()?,
+                };
+            }
+        }
+        self.demand = DemandStats::restore(r)?;
+        self.footprint = FootprintPredictor::restore(r)?;
+        Ok(())
     }
 }
 

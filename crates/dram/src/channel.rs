@@ -30,6 +30,7 @@
 //! fixed-capacity); no access allocates.
 
 use crate::config::{DramConfig, PagePolicy, SchedulerKind};
+use banshee_common::persist::{Persist, SnapshotError, SnapshotReader, SnapshotWriter};
 use banshee_common::{Addr, Cycle, FastDivMod, TrafficClass};
 
 /// What the row buffer did for an access.
@@ -493,6 +494,128 @@ impl Channel {
         } else {
             (self.busy_cycles as f64 / elapsed as f64).min(1.0)
         }
+    }
+
+    /// Serialize the channel's mutable state (bank rows and timing debts,
+    /// write queue, refresh phase, counters). Configuration and the derived
+    /// dividers are not written — the restoring channel is built cold from
+    /// the same [`DramConfig`].
+    pub fn save_state(&self, w: &mut SnapshotWriter) {
+        w.seq_with(&self.banks, |w, bank| {
+            match bank.open_row {
+                Some(row) => {
+                    w.bool(true);
+                    w.u64(row);
+                }
+                None => w.bool(false),
+            }
+            w.u64(bank.busy_until);
+            w.u64(bank.ras_until);
+            w.seq_with(&bank.ring, |w, t| w.u64(*t));
+            w.u32(bank.ring_idx);
+        });
+        w.u64(self.bus_free);
+        // The write queue is drained via `swap_remove`, so element order is
+        // semantic — write it verbatim.
+        w.seq_with(&self.write_queue, |w, e| {
+            w.u32(e.bank);
+            w.u64(e.row);
+            w.u64(e.bytes);
+            e.class.save(w);
+            w.u64(e.enqueued);
+            w.u64(e.seq);
+        });
+        w.u64(self.next_refresh);
+        w.u64(self.write_seq);
+        w.u64(self.busy_cycles);
+        w.u64(self.accesses);
+        w.u64(self.row_hits);
+        w.u64(self.row_conflicts);
+        w.u64(self.refreshes);
+        w.u64(self.writes_buffered);
+        w.u64(self.write_drains);
+        for v in self.transferred.iter().chain(self.queued.iter()) {
+            w.u64(*v);
+        }
+    }
+
+    /// Restore mutable state saved by [`Channel::save_state`] into a channel
+    /// built from the same configuration. Geometry mismatches and internally
+    /// inconsistent images return [`SnapshotError::Corrupt`].
+    pub fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let bank_count = r.seq_len(22)?;
+        if bank_count != self.banks.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "channel image has {bank_count} banks, configuration has {}",
+                self.banks.len()
+            )));
+        }
+        for bank in &mut self.banks {
+            bank.open_row = if r.bool()? { Some(r.u64()?) } else { None };
+            bank.busy_until = r.u64()?;
+            bank.ras_until = r.u64()?;
+            let ring_len = r.seq_len(8)?;
+            if ring_len != bank.ring.len() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "bank ring holds {ring_len} slots, configuration has {}",
+                    bank.ring.len()
+                )));
+            }
+            for slot in bank.ring.iter_mut() {
+                *slot = r.u64()?;
+            }
+            let ring_idx = r.u32()?;
+            if ring_idx as usize >= bank.ring.len() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "bank ring index {ring_idx} out of range"
+                )));
+            }
+            bank.ring_idx = ring_idx;
+        }
+        self.bus_free = r.u64()?;
+        let queued_writes = r.seq_len(34)?;
+        if self.config.write_queue_depth == 0 && queued_writes > 0 {
+            return Err(SnapshotError::Corrupt(
+                "image has queued writes but the write queue is disabled".to_string(),
+            ));
+        }
+        if queued_writes > self.config.write_queue_depth {
+            return Err(SnapshotError::Corrupt(format!(
+                "image has {queued_writes} queued writes, queue depth is {}",
+                self.config.write_queue_depth
+            )));
+        }
+        self.write_queue.clear();
+        for _ in 0..queued_writes {
+            let bank = r.u32()?;
+            if bank as usize >= self.banks.len() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "queued write targets bank {bank}, channel has {}",
+                    self.banks.len()
+                )));
+            }
+            self.write_queue.push(WriteEntry {
+                bank,
+                row: r.u64()?,
+                bytes: r.u64()?,
+                class: TrafficClass::restore(r)?,
+                enqueued: r.u64()?,
+                seq: r.u64()?,
+            });
+        }
+        self.next_refresh = r.u64()?;
+        self.write_seq = r.u64()?;
+        self.busy_cycles = r.u64()?;
+        self.accesses = r.u64()?;
+        self.row_hits = r.u64()?;
+        self.row_conflicts = r.u64()?;
+        self.refreshes = r.u64()?;
+        self.writes_buffered = r.u64()?;
+        self.write_drains = r.u64()?;
+        for v in self.transferred.iter_mut().chain(self.queued.iter_mut()) {
+            *v = r.u64()?;
+        }
+        Ok(())
     }
 }
 

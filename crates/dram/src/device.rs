@@ -2,6 +2,7 @@
 
 use crate::channel::{Channel, ChannelAccess};
 use crate::config::DramConfig;
+use banshee_common::persist::{Persist, SnapshotError, SnapshotReader, SnapshotWriter};
 use banshee_common::{Addr, Cycle, DramKind, FastDivMod, TrafficClass, TrafficStats, PAGE_SIZE};
 
 /// Result of an access at the device level.
@@ -210,6 +211,41 @@ impl DramDevice {
             hits as f64 / total as f64
         }
     }
+
+    /// Serialize the device's mutable state: every channel plus the
+    /// device-level traffic and latency accounting. Kind and configuration
+    /// are not written — the restoring device is built cold from the same
+    /// configuration.
+    pub fn save_state(&self, w: &mut SnapshotWriter) {
+        w.usize(self.channels.len());
+        for ch in &self.channels {
+            ch.save_state(w);
+        }
+        self.traffic.save(w);
+        self.untimed.save(w);
+        w.u64(self.access_count);
+        w.u64(self.total_latency);
+    }
+
+    /// Restore state saved by [`DramDevice::save_state`] into a device built
+    /// from the same configuration.
+    pub fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let channels = r.usize()?;
+        if channels != self.channels.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "device image has {channels} channels, configuration has {}",
+                self.channels.len()
+            )));
+        }
+        for ch in &mut self.channels {
+            ch.load_state(r)?;
+        }
+        self.traffic = TrafficStats::restore(r)?;
+        self.untimed = TrafficStats::restore(r)?;
+        self.access_count = r.u64()?;
+        self.total_latency = r.u64()?;
+        Ok(())
+    }
 }
 
 /// The pair of DRAM devices every DRAM-cache design operates on.
@@ -259,6 +295,19 @@ impl DualDram {
         let mut t = self.in_package.traffic().clone();
         t.merge(self.off_package.traffic());
         t
+    }
+
+    /// Serialize both devices' mutable state.
+    pub fn save_state(&self, w: &mut SnapshotWriter) {
+        self.in_package.save_state(w);
+        self.off_package.save_state(w);
+    }
+
+    /// Restore state saved by [`DualDram::save_state`] into a pair built
+    /// from the same configurations.
+    pub fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.in_package.load_state(r)?;
+        self.off_package.load_state(r)
     }
 }
 
@@ -413,6 +462,69 @@ mod tests {
         assert_eq!(t.bytes(DramKind::InPackage, TrafficClass::HitData), 64);
         assert_eq!(t.bytes(DramKind::OffPackage, TrafficClass::MissData), 64);
         assert_eq!(t.grand_total(), 128);
+    }
+
+    /// A warmed device, snapshotted and restored into a cold-built twin,
+    /// must behave identically on subsequent traffic — including queued
+    /// writes, open rows and refresh phase.
+    #[test]
+    fn save_restore_round_trip_is_behavior_identical() {
+        use banshee_common::persist::{SnapshotReader, SnapshotWriter};
+        let mk = || DramDevice::new(DramKind::InPackage, DramConfig::in_package_default());
+        let mut warm = mk();
+        for i in 0..300u64 {
+            let addr = Addr::new((i * 7919) % (1 << 22));
+            warm.access(i * 13, addr, 64, TrafficClass::HitData, i % 4 == 0);
+        }
+        let mut w = SnapshotWriter::new();
+        warm.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut restored = mk();
+        let mut r = SnapshotReader::new(&bytes);
+        restored.load_state(&mut r).expect("restore");
+        assert!(r.is_exhausted());
+
+        // Same traffic after the snapshot point → same timing and counters.
+        for i in 300..400u64 {
+            let addr = Addr::new((i * 104_729) % (1 << 22));
+            let a = warm.access(i * 17, addr, 64, TrafficClass::MissData, i % 3 == 0);
+            let b = restored.access(i * 17, addr, 64, TrafficClass::MissData, i % 3 == 0);
+            assert_eq!(a, b, "divergence at access {i}");
+        }
+        warm.drain_writes(1_000_000);
+        restored.drain_writes(1_000_000);
+        assert_eq!(warm.traffic(), restored.traffic());
+        assert_eq!(warm.refresh_count(), restored.refresh_count());
+        assert_eq!(warm.write_drain_count(), restored.write_drain_count());
+        assert_eq!(warm.mean_latency(), restored.mean_latency());
+
+        // save → restore → save is byte-identical.
+        let mut again = SnapshotWriter::new();
+        let mut second = mk();
+        let mut r2 = SnapshotReader::new(&bytes);
+        second.load_state(&mut r2).expect("restore twice");
+        second.save_state(&mut again);
+        assert_eq!(again.into_bytes(), bytes);
+    }
+
+    /// Restoring into a device with different geometry must fail with a
+    /// typed error, not panic or silently mis-restore.
+    #[test]
+    fn restore_rejects_mismatched_geometry() {
+        use banshee_common::persist::{SnapshotReader, SnapshotWriter};
+        let warm = DramDevice::new(DramKind::InPackage, DramConfig::in_package_default());
+        let mut w = SnapshotWriter::new();
+        warm.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut other_cfg = DramConfig::in_package_default();
+        other_cfg.channels += 1;
+        let mut other = DramDevice::new(DramKind::InPackage, other_cfg);
+        let mut r = SnapshotReader::new(&bytes);
+        assert!(matches!(
+            other.load_state(&mut r),
+            Err(banshee_common::SnapshotError::Corrupt(_))
+        ));
     }
 
     #[test]

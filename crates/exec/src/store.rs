@@ -12,6 +12,7 @@
 //! sweep killed mid-write leaves no corrupt entry behind and the next run
 //! resumes from every cell that completed.
 
+use banshee_common::SnapshotHeader;
 use serde::Value;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -135,6 +136,70 @@ impl ResultStore {
         Ok(path)
     }
 
+    /// The file a warmed-state snapshot for `key_material` lives at: a
+    /// second content-addressed namespace (`snapshots/*.snap`) beside the
+    /// JSON results, keyed the same way (FNV-1a of the material).
+    pub fn snapshot_path(&self, key_material: &str) -> PathBuf {
+        self.dir
+            .join("snapshots")
+            .join(format!("{:016x}.snap", fnv1a64(key_material.as_bytes())))
+    }
+
+    /// Fetch the warmed-state image stored for `key_material`, or `None` on
+    /// a miss.
+    ///
+    /// The image's header is screened before it is returned: bad magic, an
+    /// unknown format, a model revision other than `expected_revision` or a
+    /// key hash that is not FNV-1a of `key_material` all count as misses —
+    /// a stale or foreign image is recomputed, never resumed. (The caller's
+    /// resume path re-validates and checks the body, so even a crafted
+    /// header cannot smuggle in wrong state.)
+    pub fn get_snapshot(&self, key_material: &str, expected_revision: u32) -> Option<Vec<u8>> {
+        let bytes = std::fs::read(self.snapshot_path(key_material)).ok()?;
+        let header = SnapshotHeader::peek(&bytes).ok()?;
+        header
+            .validate(expected_revision, fnv1a64(key_material.as_bytes()))
+            .ok()?;
+        Some(bytes)
+    }
+
+    /// True if a screening-valid snapshot for `key_material` exists.
+    pub fn contains_snapshot(&self, key_material: &str, expected_revision: u32) -> bool {
+        self.get_snapshot(key_material, expected_revision).is_some()
+    }
+
+    /// Store a warmed-state image for `key_material`, replacing any previous
+    /// one. Written via temp file + rename like the JSON entries, so a
+    /// killed sweep never leaves a torn image behind.
+    pub fn put_snapshot(&self, key_material: &str, image: &[u8]) -> io::Result<PathBuf> {
+        let path = self.snapshot_path(key_material);
+        let dir = path.parent().expect("snapshot path has a parent");
+        std::fs::create_dir_all(dir)?;
+        static PUT_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = PUT_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = dir.join(format!(
+            ".{:016x}.{}.{}.tmp",
+            fnv1a64(key_material.as_bytes()),
+            std::process::id(),
+            seq
+        ));
+        std::fs::write(&tmp, image)?;
+        std::fs::rename(&tmp, &path)?;
+        Ok(path)
+    }
+
+    /// Number of snapshot images currently stored.
+    pub fn snapshot_count(&self) -> usize {
+        std::fs::read_dir(self.dir.join("snapshots"))
+            .map(|entries| {
+                entries
+                    .filter_map(|e| e.ok())
+                    .filter(|e| e.path().extension().and_then(|x| x.to_str()) == Some("snap"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
     /// Number of entries (files) currently in the store.
     pub fn len(&self) -> usize {
         std::fs::read_dir(&self.dir)
@@ -246,6 +311,41 @@ mod tests {
         assert_ne!(stale, text, "format field must appear in the entry");
         std::fs::write(store.entry_path("cell"), stale).unwrap();
         assert_eq!(store.get("cell"), None);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn snapshot_namespace_round_trips_and_screens_headers() {
+        use banshee_common::SnapshotWriter;
+        let store = temp_store();
+        let key = "design=X|workload=Y|seed=1";
+        let header = SnapshotHeader {
+            model_revision: 2,
+            key_hash: fnv1a64(key.as_bytes()),
+            instructions: 42,
+        };
+        let mut w = SnapshotWriter::with_header(header);
+        w.u64(0xDEAD);
+        let image = w.into_bytes();
+
+        assert_eq!(store.get_snapshot(key, 2), None);
+        assert_eq!(store.snapshot_count(), 0);
+        store.put_snapshot(key, &image).unwrap();
+        assert_eq!(store.get_snapshot(key, 2), Some(image.clone()));
+        assert!(store.contains_snapshot(key, 2));
+        assert_eq!(store.snapshot_count(), 1);
+        // Snapshots live beside, not among, the JSON entries.
+        assert!(store.is_empty());
+
+        // A stale model revision is a miss, never resumed.
+        assert_eq!(store.get_snapshot(key, 3), None);
+        // A different key's image planted at this key's path is a miss.
+        let other_key = "some other cell";
+        std::fs::copy(store.snapshot_path(key), store.snapshot_path(other_key)).unwrap();
+        assert_eq!(store.get_snapshot(other_key, 2), None);
+        // Garbage and truncation are misses too, not panics.
+        std::fs::write(store.snapshot_path(key), b"BSHSNAP").unwrap();
+        assert_eq!(store.get_snapshot(key, 2), None);
         let _ = std::fs::remove_dir_all(store.dir());
     }
 

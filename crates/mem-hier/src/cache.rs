@@ -23,6 +23,7 @@
 //! evicts the least-recently-touched way, FIFO the oldest-inserted one, and
 //! Random draws from the same RNG stream.
 
+use banshee_common::persist::{Persist, SnapshotError, SnapshotReader, SnapshotWriter};
 use banshee_common::{FastDivMod, LineAddr, XorShiftRng};
 use serde::{Deserialize, Serialize};
 
@@ -429,6 +430,125 @@ impl SetAssocCache {
     }
 }
 
+impl ReplacementPolicy {
+    fn persist_tag(self) -> u8 {
+        match self {
+            ReplacementPolicy::Lru => 0,
+            ReplacementPolicy::Fifo => 1,
+            ReplacementPolicy::Random => 2,
+        }
+    }
+
+    fn from_persist_tag(tag: u8) -> Result<Self, SnapshotError> {
+        match tag {
+            0 => Ok(ReplacementPolicy::Lru),
+            1 => Ok(ReplacementPolicy::Fifo),
+            2 => Ok(ReplacementPolicy::Random),
+            other => Err(SnapshotError::Corrupt(format!(
+                "unknown replacement policy tag {other}"
+            ))),
+        }
+    }
+}
+
+impl Persist for Way {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.bool(self.valid);
+        w.bool(self.dirty);
+        w.u64(self.tag);
+        w.u8(self.next);
+        w.u8(self.prev);
+    }
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Way {
+            valid: r.bool()?,
+            dirty: r.bool()?,
+            tag: r.u64()?,
+            next: r.u8()?,
+            prev: r.u8()?,
+        })
+    }
+}
+
+impl Persist for SetState {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.u8(self.head);
+        w.u8(self.tail);
+        w.u64(self.valid_mask);
+    }
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(SetState {
+            head: r.u8()?,
+            tail: r.u8()?,
+            valid_mask: r.u64()?,
+        })
+    }
+}
+
+// The full replacement state round-trips: every way with its recency-list
+// links, every set's list endpoints and valid bitmap, the Random-policy RNG
+// stream and the hit/miss counters. Geometry is stored too, so a restored
+// cache is self-contained; `set_div` is derived from it.
+impl Persist for SetAssocCache {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.usize(self.sets.len());
+        w.usize(self.ways);
+        w.u8(self.policy.persist_tag());
+        for way in &self.ways_flat {
+            way.save(w);
+        }
+        for set in &self.sets {
+            set.save(w);
+        }
+        self.rng.save(w);
+        w.u64(self.hits);
+        w.u64(self.misses);
+        w.u64(self.writebacks);
+    }
+
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let num_sets = r.usize()?;
+        let ways = r.usize()?;
+        if num_sets == 0 || ways == 0 || ways > 64 {
+            return Err(SnapshotError::Corrupt(format!(
+                "invalid cache geometry: {num_sets} sets x {ways} ways"
+            )));
+        }
+        let policy = ReplacementPolicy::from_persist_tag(r.u8()?)?;
+        let total_ways = num_sets
+            .checked_mul(ways)
+            .ok_or_else(|| SnapshotError::Corrupt("cache geometry overflows".to_string()))?;
+        // Each way encodes to at least 12 bytes; reject counts the image
+        // cannot possibly hold before allocating.
+        if total_ways.saturating_mul(12) > r.remaining() {
+            return Err(SnapshotError::Corrupt(format!(
+                "cache claims {total_ways} way(s) but only {} byte(s) remain",
+                r.remaining()
+            )));
+        }
+        let mut ways_flat = Vec::with_capacity(total_ways);
+        for _ in 0..total_ways {
+            ways_flat.push(Way::restore(r)?);
+        }
+        let mut sets = Vec::with_capacity(num_sets);
+        for _ in 0..num_sets {
+            sets.push(SetState::restore(r)?);
+        }
+        let rng = XorShiftRng::restore(r)?;
+        Ok(SetAssocCache {
+            ways_flat,
+            sets,
+            ways,
+            policy,
+            set_div: FastDivMod::new(num_sets as u64),
+            rng,
+            hits: r.u64()?,
+            misses: r.u64()?,
+            writebacks: r.u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -630,7 +750,70 @@ mod tests {
         }
     }
 
+    fn snapshot_of(c: &SetAssocCache) -> Vec<u8> {
+        let mut w = banshee_common::SnapshotWriter::new();
+        c.save(&mut w);
+        w.into_bytes()
+    }
+
+    #[test]
+    fn persist_rejects_corrupt_geometry_and_truncation() {
+        let mut c = small_cache(ReplacementPolicy::Lru);
+        c.access(LineAddr::new(3), true);
+        let bytes = snapshot_of(&c);
+        // Truncated mid-way.
+        let mut r = banshee_common::SnapshotReader::new(&bytes[..bytes.len() / 2]);
+        assert!(SetAssocCache::restore(&mut r).is_err());
+        // 65-way geometry is rejected before any allocation.
+        let mut bad = bytes.clone();
+        bad[8..16].copy_from_slice(&65u64.to_le_bytes());
+        let mut r = banshee_common::SnapshotReader::new(&bad);
+        assert!(SetAssocCache::restore(&mut r).is_err());
+        // An absurd set count cannot OOM the reader.
+        let mut bad = bytes;
+        bad[0..8].copy_from_slice(&(u64::MAX / 16).to_le_bytes());
+        let mut r = banshee_common::SnapshotReader::new(&bad);
+        assert!(SetAssocCache::restore(&mut r).is_err());
+    }
+
     proptest! {
+        /// save → restore → save is byte-identical and the restored cache
+        /// behaves identically under further accesses.
+        #[test]
+        fn prop_persist_round_trip(
+            ops in proptest::collection::vec((0u64..512, 0u8..3), 0..200),
+            policy in 0u8..3,
+            tail in proptest::collection::vec((0u64..512, 0u8..2), 0..50),
+        ) {
+            let policy = match policy {
+                0 => ReplacementPolicy::Lru,
+                1 => ReplacementPolicy::Fifo,
+                _ => ReplacementPolicy::Random,
+            };
+            let mut c = SetAssocCache::new(2048, 4, policy);
+            for (l, op) in ops {
+                match op {
+                    0 => { c.access(LineAddr::new(l), false); }
+                    1 => { c.access(LineAddr::new(l), true); }
+                    _ => { c.invalidate(LineAddr::new(l)); }
+                }
+            }
+            let bytes = snapshot_of(&c);
+            let mut r = banshee_common::SnapshotReader::new(&bytes);
+            let mut back = SetAssocCache::restore(&mut r).unwrap();
+            prop_assert!(r.is_exhausted());
+            prop_assert_eq!(snapshot_of(&back), bytes);
+            for (l, write) in tail {
+                prop_assert_eq!(
+                    c.access(LineAddr::new(l), write == 1),
+                    back.access(LineAddr::new(l), write == 1)
+                );
+            }
+            prop_assert_eq!(c.hits(), back.hits());
+            prop_assert_eq!(c.misses(), back.misses());
+            prop_assert_eq!(c.writebacks(), back.writebacks());
+        }
+
         /// Occupancy never exceeds capacity and accounting is consistent.
         #[test]
         fn prop_occupancy_bounded(lines in proptest::collection::vec(0u64..4096, 1..300)) {

@@ -9,6 +9,7 @@
 //! [`HierarchyOutcome`] reports.
 
 use crate::cache::{ReplacementPolicy, SetAssocCache};
+use banshee_common::persist::{Persist, SnapshotError, SnapshotReader, SnapshotWriter};
 use banshee_common::{Cycle, LineAddr, MemSize, PageNum};
 use serde::{Deserialize, Serialize};
 
@@ -313,6 +314,103 @@ impl CacheHierarchy {
     }
 }
 
+impl Persist for HierarchyConfig {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.usize(self.cores);
+        w.u64(self.l1_size.as_bytes());
+        w.usize(self.l1_ways);
+        w.u64(self.l1_latency);
+        w.u64(self.l2_size.as_bytes());
+        w.usize(self.l2_ways);
+        w.u64(self.l2_latency);
+        w.u64(self.llc_size.as_bytes());
+        w.usize(self.llc_ways);
+        w.u64(self.llc_latency);
+    }
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(HierarchyConfig {
+            cores: r.usize()?,
+            l1_size: MemSize::bytes(r.u64()?),
+            l1_ways: r.usize()?,
+            l1_latency: r.u64()?,
+            l2_size: MemSize::bytes(r.u64()?),
+            l2_ways: r.usize()?,
+            l2_latency: r.u64()?,
+            llc_size: MemSize::bytes(r.u64()?),
+            llc_ways: r.usize()?,
+            llc_latency: r.u64()?,
+        })
+    }
+}
+
+impl Persist for CacheHierarchy {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.config.save(w);
+        w.seq(self.l1.iter());
+        w.seq(self.l2.iter());
+        self.llc.save(w);
+        w.u64(self.llc_accesses);
+        w.u64(self.llc_misses);
+        w.seq(self.llc_presence.iter());
+        // page_scratch is a reusable out-buffer, cleared before every use —
+        // deliberately not persisted.
+    }
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let config = HierarchyConfig::restore(r)?;
+        if config.cores == 0 || config.cores > 64 {
+            return Err(SnapshotError::Corrupt(format!(
+                "hierarchy core count {} out of range",
+                config.cores
+            )));
+        }
+        let n = r.seq_len(64)?;
+        if n != config.cores {
+            return Err(SnapshotError::Corrupt(format!(
+                "expected {} L1 caches, found {n}",
+                config.cores
+            )));
+        }
+        let mut l1 = Vec::with_capacity(n);
+        for _ in 0..n {
+            l1.push(SetAssocCache::restore(r)?);
+        }
+        let n = r.seq_len(64)?;
+        if n != config.cores {
+            return Err(SnapshotError::Corrupt(format!(
+                "expected {} L2 caches, found {n}",
+                config.cores
+            )));
+        }
+        let mut l2 = Vec::with_capacity(n);
+        for _ in 0..n {
+            l2.push(SetAssocCache::restore(r)?);
+        }
+        let llc = SetAssocCache::restore(r)?;
+        let llc_accesses = r.u64()?;
+        let llc_misses = r.u64()?;
+        let n = r.seq_len(8)?;
+        if n != llc.num_sets() * llc.ways() {
+            return Err(SnapshotError::Corrupt(format!(
+                "LLC presence mask length {n} does not match geometry"
+            )));
+        }
+        let mut llc_presence = Vec::with_capacity(n);
+        for _ in 0..n {
+            llc_presence.push(r.u64()?);
+        }
+        Ok(CacheHierarchy {
+            config,
+            l1,
+            l2,
+            llc,
+            llc_accesses,
+            llc_misses,
+            llc_presence,
+            page_scratch: Vec::new(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -416,5 +514,61 @@ mod tests {
     fn core_index_checked() {
         let mut h = tiny();
         let _ = h.access(5, LineAddr::new(0), false);
+    }
+
+    #[test]
+    fn persist_round_trip_matches_future_behaviour() {
+        use banshee_common::{SnapshotReader, SnapshotWriter};
+        let mut h = tiny();
+        for i in 0..800u64 {
+            h.access(
+                (i % 2) as usize,
+                LineAddr::new(i * 7 % 512 * 64),
+                i % 3 == 0,
+            );
+        }
+        let mut w = SnapshotWriter::new();
+        h.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapshotReader::new(&bytes);
+        let mut back = CacheHierarchy::restore(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        let mut w2 = SnapshotWriter::new();
+        back.save(&mut w2);
+        assert_eq!(
+            w2.into_bytes(),
+            bytes,
+            "save → restore → save must be stable"
+        );
+        // Identical behaviour afterwards, including writeback sets.
+        for i in 0..400u64 {
+            let a = h.access(
+                (i % 2) as usize,
+                LineAddr::new(i * 13 % 700 * 64),
+                i % 4 == 0,
+            );
+            let b = back.access(
+                (i % 2) as usize,
+                LineAddr::new(i * 13 % 700 * 64),
+                i % 4 == 0,
+            );
+            assert_eq!(a, b);
+        }
+        assert_eq!(h.llc_miss_count(), back.llc_miss_count());
+    }
+
+    #[test]
+    fn persist_rejects_mismatched_geometry() {
+        use banshee_common::{SnapshotReader, SnapshotWriter};
+        let h = tiny();
+        let mut w = SnapshotWriter::new();
+        h.save(&mut w);
+        let bytes = w.into_bytes();
+        // Claim 3 cores while the cache sections still describe 2.
+        let mut bad = bytes.clone();
+        bad[0..8].copy_from_slice(&3u64.to_le_bytes());
+        assert!(CacheHierarchy::restore(&mut SnapshotReader::new(&bad)).is_err());
+        let mut r = SnapshotReader::new(&bytes[..40]);
+        assert!(CacheHierarchy::restore(&mut r).is_err());
     }
 }

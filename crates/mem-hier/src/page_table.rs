@@ -14,6 +14,7 @@
 //! forward walk (with first-touch physical frame allocation) and the reverse
 //! map, including alias support.
 
+use banshee_common::persist::{Persist, SnapshotError, SnapshotReader, SnapshotWriter};
 use banshee_common::{FnvHashMap, PageNum};
 use serde::{Deserialize, Serialize};
 
@@ -191,6 +192,112 @@ impl PageTable {
     }
 }
 
+impl Persist for PageSize {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.u8(match self {
+            PageSize::Base4K => 0,
+            PageSize::Large2M => 1,
+        });
+    }
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        match r.u8()? {
+            0 => Ok(PageSize::Base4K),
+            1 => Ok(PageSize::Large2M),
+            t => Err(SnapshotError::Corrupt(format!("unknown page size tag {t}"))),
+        }
+    }
+}
+
+impl Persist for PteMapInfo {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.bool(self.cached);
+        w.u8(self.way);
+    }
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(PteMapInfo {
+            cached: r.bool()?,
+            way: r.u8()?,
+        })
+    }
+}
+
+impl Persist for Pte {
+    fn save(&self, w: &mut SnapshotWriter) {
+        self.ppage.save(w);
+        self.info.save(w);
+        self.size.save(w);
+    }
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Pte {
+            ppage: PageNum::restore(r)?,
+            info: PteMapInfo::restore(r)?,
+            size: PageSize::restore(r)?,
+        })
+    }
+}
+
+impl Persist for PageTable {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.u64(self.next_frame);
+        w.u64(self.pte_updates);
+        // Hash maps iterate in arbitrary order; serialise sorted by key so
+        // save → restore → save is byte-identical.
+        let mut entries: Vec<(&u64, &Pte)> = self.entries.iter().collect();
+        entries.sort_unstable_by_key(|(v, _)| **v);
+        w.seq_with(&entries, |w, (vpage, pte)| {
+            w.u64(**vpage);
+            pte.save(w);
+        });
+        let mut reverse: Vec<(&PageNum, &Vec<u64>)> = self.reverse.iter().collect();
+        reverse.sort_unstable_by_key(|(p, _)| p.raw());
+        w.seq_with(&reverse, |w, (ppage, vpages)| {
+            ppage.save(w);
+            // The rmap Vec order is semantic (`mapping_of` reads the first
+            // element), so it is preserved verbatim, not sorted.
+            w.seq(vpages.iter());
+        });
+    }
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let next_frame = r.u64()?;
+        let pte_updates = r.u64()?;
+        let len = r.seq_len(19)?;
+        let mut entries = FnvHashMap::default();
+        entries.reserve(len);
+        for _ in 0..len {
+            let vpage = r.u64()?;
+            let pte = Pte::restore(r)?;
+            if entries.insert(vpage, pte).is_some() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "duplicate page-table entry for vpage {vpage}"
+                )));
+            }
+        }
+        let len = r.seq_len(12)?;
+        let mut reverse: FnvHashMap<PageNum, Vec<u64>> = FnvHashMap::default();
+        reverse.reserve(len);
+        for _ in 0..len {
+            let ppage = PageNum::restore(r)?;
+            let n = r.seq_len(8)?;
+            let mut vpages = Vec::with_capacity(n);
+            for _ in 0..n {
+                vpages.push(r.u64()?);
+            }
+            if reverse.insert(ppage, vpages).is_some() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "duplicate reverse-map entry for ppage {}",
+                    ppage.raw()
+                )));
+            }
+        }
+        Ok(PageTable {
+            entries,
+            reverse,
+            next_frame,
+            pte_updates,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,6 +372,53 @@ mod tests {
             0
         );
         assert_eq!(pt.pte_update_count(), 0);
+    }
+
+    #[test]
+    fn persist_round_trip_is_byte_identical_and_keeps_rmap_order() {
+        use banshee_common::{Persist, SnapshotReader, SnapshotWriter};
+        let mut pt = PageTable::new();
+        for v in [10u64, 3, 99, 7] {
+            pt.translate_or_map(v, PageSize::Base4K);
+        }
+        pt.translate_or_map(500, PageSize::Large2M);
+        pt.alias(10, 20).unwrap();
+        pt.alias(10, 30).unwrap();
+        let ppage = pt.translate(10).unwrap().ppage;
+        pt.update_mapping(ppage, PteMapInfo::cached_in(2));
+        let mut w = SnapshotWriter::new();
+        pt.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapshotReader::new(&bytes);
+        let back = PageTable::restore(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        let mut w2 = SnapshotWriter::new();
+        back.save(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes);
+        // Reverse-map order survives, so mapping_of picks the same PTE.
+        assert_eq!(back.reverse_lookup(ppage), pt.reverse_lookup(ppage));
+        assert_eq!(back.mapping_of(ppage), pt.mapping_of(ppage));
+        assert_eq!(back.len(), pt.len());
+        assert_eq!(back.pte_update_count(), pt.pte_update_count());
+        // A fresh allocation lands on the same frame in both tables.
+        let mut pt2 = pt.clone();
+        let mut back2 = back;
+        assert_eq!(
+            pt2.translate_or_map(9999, PageSize::Base4K),
+            back2.translate_or_map(9999, PageSize::Base4K)
+        );
+    }
+
+    #[test]
+    fn persist_rejects_duplicate_entries_and_truncation() {
+        use banshee_common::{Persist, SnapshotReader, SnapshotWriter};
+        let mut pt = PageTable::new();
+        pt.translate_or_map(1, PageSize::Base4K);
+        let mut w = SnapshotWriter::new();
+        pt.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapshotReader::new(&bytes[..bytes.len() - 2]);
+        assert!(PageTable::restore(&mut r).is_err());
     }
 
     #[test]

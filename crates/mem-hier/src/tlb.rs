@@ -9,6 +9,7 @@
 //! [`Tlb::shootdown`] or a targeted [`Tlb::invalidate`] is called.
 
 use crate::page_table::{PageSize, PteMapInfo};
+use banshee_common::persist::{Persist, SnapshotError, SnapshotReader, SnapshotWriter};
 use banshee_common::PageNum;
 
 /// One TLB entry.
@@ -72,6 +73,11 @@ impl Tlb {
     /// Number of full flushes (shootdowns) performed.
     pub fn shootdowns(&self) -> u64 {
         self.shootdowns
+    }
+
+    /// Number of entries the TLB can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Number of currently resident entries.
@@ -149,6 +155,70 @@ impl Tlb {
     pub fn shootdown(&mut self) {
         self.slots.clear();
         self.shootdowns += 1;
+    }
+}
+
+impl Persist for TlbEntry {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.u64(self.vpage);
+        self.ppage.save(w);
+        self.info.save(w);
+        self.size.save(w);
+    }
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(TlbEntry {
+            vpage: r.u64()?,
+            ppage: PageNum::restore(r)?,
+            info: PteMapInfo::restore(r)?,
+            size: PageSize::restore(r)?,
+        })
+    }
+}
+
+impl Persist for Tlb {
+    fn save(&self, w: &mut SnapshotWriter) {
+        w.usize(self.capacity);
+        w.u64(self.clock);
+        w.u64(self.hits);
+        w.u64(self.misses);
+        w.u64(self.shootdowns);
+        // Slot order is semantic: lookups scan front-to-back and eviction
+        // uses swap_remove, so the exact Vec layout must survive the trip.
+        w.seq_with(&self.slots, |w, s| {
+            s.entry.save(w);
+            w.u64(s.touched);
+        });
+    }
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let capacity = r.usize()?;
+        if capacity == 0 {
+            return Err(SnapshotError::Corrupt("TLB capacity is zero".to_string()));
+        }
+        let clock = r.u64()?;
+        let hits = r.u64()?;
+        let misses = r.u64()?;
+        let shootdowns = r.u64()?;
+        let len = r.seq_len(27)?;
+        if len > capacity {
+            return Err(SnapshotError::Corrupt(format!(
+                "TLB holds {len} entries but capacity is {capacity}"
+            )));
+        }
+        let mut slots = Vec::with_capacity(capacity);
+        for _ in 0..len {
+            slots.push(Slot {
+                entry: TlbEntry::restore(r)?,
+                touched: r.u64()?,
+            });
+        }
+        Ok(Tlb {
+            slots,
+            capacity,
+            clock,
+            hits,
+            misses,
+            shootdowns,
+        })
     }
 }
 
@@ -237,5 +307,49 @@ mod tests {
     #[should_panic]
     fn zero_capacity_rejected() {
         let _ = Tlb::new(0);
+    }
+
+    #[test]
+    fn persist_round_trip_preserves_lru_order() {
+        use banshee_common::{SnapshotReader, SnapshotWriter};
+        let mut tlb = Tlb::new(2);
+        tlb.fill(entry(1, PteMapInfo::NOT_CACHED));
+        tlb.fill(entry(2, PteMapInfo::cached_in(1)));
+        tlb.lookup(1); // 2 becomes LRU
+        let mut w = SnapshotWriter::new();
+        tlb.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapshotReader::new(&bytes);
+        let mut back = Tlb::restore(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        let mut w2 = SnapshotWriter::new();
+        back.save(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes);
+        // The restored TLB evicts the same victim the original would.
+        back.fill(entry(3, PteMapInfo::NOT_CACHED));
+        tlb.fill(entry(3, PteMapInfo::NOT_CACHED));
+        for vpage in [1u64, 2, 3] {
+            assert_eq!(tlb.lookup(vpage).is_some(), back.lookup(vpage).is_some());
+        }
+        assert_eq!(tlb.hits(), back.hits());
+        assert_eq!(tlb.misses(), back.misses());
+    }
+
+    #[test]
+    fn persist_rejects_overfull_and_truncated() {
+        use banshee_common::{SnapshotReader, SnapshotWriter};
+        let mut tlb = Tlb::new(2);
+        tlb.fill(entry(1, PteMapInfo::NOT_CACHED));
+        tlb.fill(entry(2, PteMapInfo::NOT_CACHED));
+        let mut w = SnapshotWriter::new();
+        tlb.save(&mut w);
+        let bytes = w.into_bytes();
+        // Shrink the recorded capacity below the resident count.
+        let mut bad = bytes.clone();
+        bad[0..8].copy_from_slice(&1u64.to_le_bytes());
+        assert!(Tlb::restore(&mut SnapshotReader::new(&bad)).is_err());
+        // Truncation mid-slot is a typed error, not a panic.
+        let mut r = SnapshotReader::new(&bytes[..bytes.len() - 4]);
+        assert!(Tlb::restore(&mut r).is_err());
     }
 }

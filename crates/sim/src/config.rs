@@ -166,6 +166,19 @@ impl SimConfig {
         format!("model-rev={}|{self:?}", Self::MODEL_REVISION)
     }
 
+    /// Key material for *warmed-state snapshots*: like
+    /// [`SimConfig::cache_key_material`] but with the measurement budget
+    /// (`total_instructions`) normalised away, because the warmed state at
+    /// the end of warm-up is identical for every run that differs only in
+    /// how long it measures afterwards. Two configurations share a warmed
+    /// image exactly when this string (plus the workload name, appended by
+    /// the snapshot layer) is equal.
+    pub fn warmup_key_material(&self) -> String {
+        let mut normalized = self.clone();
+        normalized.total_instructions = 0;
+        format!("model-rev={}|warmup|{normalized:?}", Self::MODEL_REVISION)
+    }
+
     /// Apply a scenario file's system-config overrides (see
     /// `banshee_workloads::ScenarioOverrides`) to this configuration.
     ///
@@ -326,6 +339,27 @@ mod tests {
             base.cache_key_material(),
             SimConfig::test_default(DramCacheDesign::Tdc).cache_key_material()
         );
+    }
+
+    #[test]
+    fn warmup_key_material_normalises_only_the_budget() {
+        let base = SimConfig::test_default(DramCacheDesign::Banshee);
+        let mut longer = base.clone();
+        longer.total_instructions *= 2;
+        // Different budgets are different result-store cells but share a
+        // warmed image.
+        assert_ne!(base.cache_key_material(), longer.cache_key_material());
+        assert_eq!(base.warmup_key_material(), longer.warmup_key_material());
+        // Everything else re-keys the snapshot too.
+        let mut other_warmup = base.clone();
+        other_warmup.warmup_instructions += 1;
+        assert_ne!(
+            base.warmup_key_material(),
+            other_warmup.warmup_key_material()
+        );
+        let mut other_seed = base.clone();
+        other_seed.seed += 1;
+        assert_ne!(base.warmup_key_material(), other_seed.warmup_key_material());
     }
 
     #[test]

@@ -7,9 +7,10 @@
 //! non-memory instructions at the issue width, overlaps up to
 //! `mlp` outstanding LLC misses, and stalls only when the window is full.
 
+use banshee_common::persist::{Persist, SnapshotError, SnapshotReader, SnapshotWriter};
 use banshee_common::{Addr, Cycle};
 use banshee_memhier::{PageSize, PteMapInfo, Tlb, TlbEntry};
-use banshee_workloads::TraceGenerator;
+use banshee_workloads::{TraceCursor, TraceGenerator};
 use std::collections::VecDeque;
 
 /// One core's architectural state.
@@ -26,8 +27,9 @@ pub struct CoreModel {
     issue_width: u32,
     /// The core's TLB.
     pub tlb: Tlb,
-    /// The workload trace this core executes.
-    pub trace: Box<dyn TraceGenerator>,
+    /// The workload trace this core executes, wrapped in a position-tracking
+    /// cursor so snapshots can record and replay the trace position.
+    pub trace: TraceCursor,
     /// Cycles lost waiting on a full MLP window (reported as a statistic).
     pub stall_cycles: Cycle,
 }
@@ -60,9 +62,54 @@ impl CoreModel {
             mlp: mlp.max(1),
             issue_width: issue_width.max(1),
             tlb: Tlb::new(tlb_entries.max(1)),
-            trace,
+            trace: TraceCursor::new(trace),
             stall_cycles: 0,
         }
+    }
+
+    /// Serialize the core's mutable state. The trace generator itself is
+    /// opaque; only its cursor position is written — the restoring side
+    /// rebuilds the generator from the workload factory and fast-forwards.
+    pub fn save_state(&self, w: &mut SnapshotWriter) {
+        w.u64(self.clock);
+        w.u64(self.instructions);
+        w.u64(self.stall_cycles);
+        // The MLP window drains front-to-back — order is semantic.
+        w.seq(self.outstanding.iter());
+        self.tlb.save(w);
+        w.u64(self.trace.consumed());
+    }
+
+    /// Restore state saved by [`CoreModel::save_state`] into a freshly built
+    /// core (same id, geometry and workload trace at position zero).
+    pub fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.clock = r.u64()?;
+        self.instructions = r.u64()?;
+        self.stall_cycles = r.u64()?;
+        let outstanding: Vec<Cycle> = r.seq(8)?;
+        if outstanding.len() > self.mlp {
+            return Err(SnapshotError::Corrupt(format!(
+                "core image has {} outstanding misses, MLP window is {}",
+                outstanding.len(),
+                self.mlp
+            )));
+        }
+        self.outstanding.clear();
+        self.outstanding.extend(outstanding);
+        let tlb = Tlb::restore(r)?;
+        if tlb.capacity() != self.tlb.capacity() {
+            return Err(SnapshotError::Corrupt(format!(
+                "core image TLB holds {} entries, configuration has {}",
+                tlb.capacity(),
+                self.tlb.capacity()
+            )));
+        }
+        self.tlb = tlb;
+        let consumed = r.u64()?;
+        self.trace
+            .fast_forward(consumed)
+            .map_err(SnapshotError::Corrupt)?;
+        Ok(())
     }
 
     /// Account for the instructions preceding (and including) a memory

@@ -4,7 +4,11 @@ use crate::config::SimConfig;
 use crate::core_model::{CoreModel, Translation};
 use crate::factory::build_controller;
 use crate::result::SimResult;
-use banshee_common::{Addr, Cycle, LineAddr, PageNum, StatSet, XorShiftRng};
+use banshee_common::persist::Persist;
+use banshee_common::{
+    fnv1a64, Addr, Cycle, LineAddr, PageNum, SnapshotError, SnapshotHeader, SnapshotReader,
+    SnapshotWriter, StatSet, TrafficStats, XorShiftRng,
+};
 use banshee_dcache::{DramCacheController, MemRequest, PlanSink, SideEffect};
 use banshee_dram::DualDram;
 use banshee_memhier::{CacheHierarchy, HitLevel, PageSize, PageTable, TlbEntry};
@@ -88,27 +92,28 @@ impl System {
     /// controller state evolution) but its traffic, miss and cycle counts are
     /// excluded from the reported statistics.
     pub fn run(mut self, workload_name: &str) -> SimResult {
-        let mut executed: u64 = 0;
+        let warmed = self.warm_up();
+        self.run_measured(workload_name, warmed)
+    }
+
+    /// Execute instructions until the warm-up boundary is crossed and return
+    /// the number executed (`None` only when warm-up and budget are both
+    /// zero, i.e. there is nothing to run at all).
+    ///
+    /// The system is left exactly at the *warm point*: the step that crossed
+    /// the boundary has retired but its epoch check has not yet run — that
+    /// pending check belongs to the measured phase and is performed by
+    /// [`System::run_measured`]. This is the state [`System::warmed_image`]
+    /// captures and [`System::resume_warmed`] reconstructs.
+    pub fn warm_up(&mut self) -> Option<u64> {
         let warmup = self.config.warmup_instructions;
         let budget = self.config.total_instructions;
-        let mut baseline: Option<MeasurementBaseline> = None;
-
+        let mut executed: u64 = 0;
         while executed < warmup + budget {
-            // Advance the core that is furthest behind in time.
-            let core_id = self
-                .cores
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, c)| c.clock)
-                .map(|(i, _)| i)
-                .expect("at least one core");
-            let retired = self.step_core(core_id);
-            executed += retired;
-
-            if baseline.is_none() && executed >= warmup {
-                baseline = Some(self.snapshot());
+            executed += self.step_laggard();
+            if executed >= warmup {
+                return Some(executed);
             }
-
             // Periodic controller maintenance (HMA remapping, BATMAN
             // rebalancing).
             if executed >= self.next_epoch_at {
@@ -116,14 +121,169 @@ impl System {
                 self.run_epoch();
             }
         }
+        None
+    }
 
-        let baseline = baseline.unwrap_or_default();
+    /// Run the measured phase from the warm point (`warmed` as returned by
+    /// [`System::warm_up`], or the instruction count carried in a resumed
+    /// image) and collect the result.
+    pub fn run_measured(mut self, workload_name: &str, warmed: Option<u64>) -> SimResult {
+        let Some(mut executed) = warmed else {
+            return self.collect(workload_name, 0, MeasurementBaseline::default());
+        };
+        let baseline = self.counter_baseline();
+        let warmup = self.config.warmup_instructions;
+        let budget = self.config.total_instructions;
+        // The step that crossed the warm-up boundary still owes its epoch
+        // check (in the unsplit loop it ran right after the baseline
+        // capture).
+        if executed >= self.next_epoch_at {
+            self.next_epoch_at += self.config.epoch_instructions;
+            self.run_epoch();
+        }
+        while executed < warmup + budget {
+            executed += self.step_laggard();
+            if executed >= self.next_epoch_at {
+                self.next_epoch_at += self.config.epoch_instructions;
+                self.run_epoch();
+            }
+        }
         self.collect(workload_name, executed, baseline)
+    }
+
+    /// Advance the core that is furthest behind in time by one access.
+    fn step_laggard(&mut self) -> u64 {
+        let core_id = self
+            .cores
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| c.clock)
+            .map(|(i, _)| i)
+            .expect("at least one core");
+        self.step_core(core_id)
+    }
+
+    /// The canonical key material naming a warmed state: the configuration's
+    /// warm-up key material plus a caller-chosen canonical workload identity
+    /// (the display name for simple callers; the experiment harness passes
+    /// its full workload key so same-named workloads with different
+    /// footprints or trace seeds never share an image). Two runs share a
+    /// warmed image exactly when this string matches.
+    pub fn warmed_key_material(config: &SimConfig, workload_ident: &str) -> String {
+        format!("{}|workload={workload_ident}", config.warmup_key_material())
+    }
+
+    /// The identity hash stored in a warmed image's header: FNV-1a over
+    /// [`System::warmed_key_material`].
+    pub fn warmed_key_hash(config: &SimConfig, workload_ident: &str) -> u64 {
+        fnv1a64(Self::warmed_key_material(config, workload_ident).as_bytes())
+    }
+
+    /// Serialise the machine at the warm point into a self-describing image
+    /// (header + one framed section per subsystem). `executed` is the value
+    /// returned by [`System::warm_up`]; it rides in the header so resuming
+    /// knows where the measured phase starts. `workload_ident` must be the
+    /// same canonical workload identity later passed to
+    /// [`System::resume_warmed`].
+    pub fn warmed_image(&self, workload_ident: &str, executed: u64) -> Vec<u8> {
+        let header = SnapshotHeader {
+            model_revision: SimConfig::MODEL_REVISION,
+            key_hash: Self::warmed_key_hash(&self.config, workload_ident),
+            instructions: executed,
+        };
+        let mut w = SnapshotWriter::with_header(header);
+        w.section("cores", |w| {
+            w.usize(self.cores.len());
+            for core in &self.cores {
+                core.save_state(w);
+            }
+        });
+        w.section("hierarchy", |w| self.hierarchy.save(w));
+        w.section("page_table", |w| self.page_table.save(w));
+        w.section("controller", |w| self.controller.save_state(w));
+        w.section("dram", |w| self.dram.save_state(w));
+        w.section("system", |w| {
+            self.rng.save(w);
+            w.u64(self.next_epoch_at);
+            self.os_stats.save(w);
+            self.planned.save(w);
+        });
+        w.into_bytes()
+    }
+
+    /// Rebuild a system at the warm point from a warmed image.
+    ///
+    /// The image's header is validated first: a [`SnapshotError::StaleRevision`]
+    /// or [`SnapshotError::KeyMismatch`] means the image was captured by a
+    /// different model revision or for a different (configuration, workload)
+    /// pair and must be discarded — resuming it would silently change
+    /// results. On success returns the system plus the executed-instruction
+    /// count to pass to [`System::run_measured`].
+    pub fn resume_warmed(
+        config: SimConfig,
+        workload: &dyn TraceFactory,
+        workload_ident: &str,
+        image: &[u8],
+    ) -> Result<(System, u64), SnapshotError> {
+        let expected_key = Self::warmed_key_hash(&config, workload_ident);
+        let mut r = SnapshotReader::new(image);
+        let header = r.header()?;
+        header.validate(SimConfig::MODEL_REVISION, expected_key)?;
+        let mut system = System::new(config, workload);
+        system.load_state(&mut r)?;
+        if !r.is_exhausted() {
+            return Err(SnapshotError::Corrupt(format!(
+                "{} bytes of trailing data after the system image",
+                r.remaining()
+            )));
+        }
+        Ok((system, header.instructions))
+    }
+
+    /// Restore every subsystem from the sections written by
+    /// [`System::warmed_image`] into this freshly built (cold) system.
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        r.section("cores", |r| {
+            let n = r.usize()?;
+            if n != self.cores.len() {
+                return Err(SnapshotError::Corrupt(format!(
+                    "image has {n} cores, configuration has {}",
+                    self.cores.len()
+                )));
+            }
+            for core in self.cores.iter_mut() {
+                core.load_state(r)?;
+            }
+            Ok(())
+        })?;
+        r.section("hierarchy", |r| {
+            let restored = CacheHierarchy::restore(r)?;
+            if restored.config() != self.hierarchy.config() {
+                return Err(SnapshotError::Corrupt(
+                    "image SRAM hierarchy geometry differs from the configuration".to_string(),
+                ));
+            }
+            self.hierarchy = restored;
+            Ok(())
+        })?;
+        r.section("page_table", |r| {
+            self.page_table = PageTable::restore(r)?;
+            Ok(())
+        })?;
+        r.section("controller", |r| self.controller.load_state(r))?;
+        r.section("dram", |r| self.dram.load_state(r))?;
+        r.section("system", |r| {
+            self.rng = XorShiftRng::restore(r)?;
+            self.next_epoch_at = r.u64()?;
+            self.os_stats = StatSet::restore(r)?;
+            self.planned = TrafficStats::restore(r)?;
+            Ok(())
+        })
     }
 
     /// Capture the counters at the end of warm-up so they can be excluded
     /// from the measured phase.
-    fn snapshot(&self) -> MeasurementBaseline {
+    fn counter_baseline(&self) -> MeasurementBaseline {
         let (accesses, misses) = self.controller.demand_stats();
         MeasurementBaseline {
             instructions: self.cores.iter().map(|c| c.instructions).sum(),
@@ -559,6 +719,98 @@ mod tests {
         if r.stats.get("hma_migrations_in") > 0 {
             assert!(r.stats.get("stall_all_cycles") > 0);
         }
+    }
+
+    #[test]
+    fn resumed_run_is_byte_identical_to_cold() {
+        // The acceptance bar of the snapshot subsystem: resuming from a
+        // warmed image must reproduce the cold run's SimResult *byte for
+        // byte*. HMA is included because its residency set survives via a
+        // mutation journal, the subtlest of the persisted structures.
+        for design in [DramCacheDesign::Banshee, DramCacheDesign::Hma] {
+            let w = workload();
+            let cfg = SimConfig::test_default(design);
+            let cold = run_one(cfg.clone(), &w);
+            let cold_json = serde_json::to_string_pretty(&cold).unwrap();
+
+            let mut sys = System::new(cfg.clone(), &w);
+            let warmed = sys.warm_up().expect("non-empty run");
+            let image = sys.warmed_image(&w.name(), warmed);
+
+            let (resumed, executed) = System::resume_warmed(cfg, &w, &w.name(), &image).unwrap();
+            assert_eq!(executed, warmed);
+            // save → restore → save is byte-identical.
+            assert_eq!(resumed.warmed_image(&w.name(), executed), image);
+            let result = resumed.run_measured(&w.name(), Some(executed));
+            assert_eq!(serde_json::to_string_pretty(&result).unwrap(), cold_json);
+        }
+    }
+
+    #[test]
+    fn warmed_image_is_shared_across_measurement_budgets() {
+        // total_instructions is the only post-warm-up knob: an image captured
+        // under one budget must resume — and reproduce the cold result —
+        // under another.
+        let w = workload();
+        let cfg = SimConfig::test_default(DramCacheDesign::Banshee);
+        let mut sys = System::new(cfg.clone(), &w);
+        let warmed = sys.warm_up().unwrap();
+        let image = sys.warmed_image(&w.name(), warmed);
+
+        let mut shorter = cfg.clone();
+        shorter.total_instructions /= 2;
+        let (resumed, executed) =
+            System::resume_warmed(shorter.clone(), &w, &w.name(), &image).unwrap();
+        let resumed_result = resumed.run_measured(&w.name(), Some(executed));
+        let cold = run_one(shorter, &w);
+        assert_eq!(
+            serde_json::to_string_pretty(&resumed_result).unwrap(),
+            serde_json::to_string_pretty(&cold).unwrap()
+        );
+    }
+
+    #[test]
+    fn stale_or_foreign_images_are_typed_errors() {
+        let w = workload();
+        let cfg = SimConfig::test_default(DramCacheDesign::Banshee);
+        let mut sys = System::new(cfg.clone(), &w);
+        let warmed = sys.warm_up().unwrap();
+        let image = sys.warmed_image(&w.name(), warmed);
+
+        // An image captured by an older model revision is stale, never
+        // silently resumed. Bytes 12..16 hold the header's revision field
+        // (after the 8-byte magic and 4-byte format version).
+        let mut stale = image.clone();
+        stale[12..16].copy_from_slice(&(SimConfig::MODEL_REVISION + 1).to_le_bytes());
+        match System::resume_warmed(cfg.clone(), &w, &w.name(), &stale) {
+            Err(SnapshotError::StaleRevision { found, expected }) => {
+                assert_eq!(found, SimConfig::MODEL_REVISION + 1);
+                assert_eq!(expected, SimConfig::MODEL_REVISION);
+            }
+            Err(other) => panic!("expected StaleRevision, got {other:?}"),
+            Ok(_) => panic!("expected StaleRevision, got Ok"),
+        }
+
+        // A different seed is a different warmed state.
+        let mut other = cfg.clone();
+        other.seed += 1;
+        assert!(matches!(
+            System::resume_warmed(other, &w, &w.name(), &image),
+            Err(SnapshotError::KeyMismatch { .. })
+        ));
+
+        // Truncation is a typed error, not a panic.
+        assert!(System::resume_warmed(cfg, &w, &w.name(), &image[..image.len() - 9]).is_err());
+    }
+
+    #[test]
+    fn empty_run_yields_empty_result() {
+        let mut cfg = SimConfig::test_default(DramCacheDesign::NoCache);
+        cfg.warmup_instructions = 0;
+        cfg.total_instructions = 0;
+        let r = run_one(cfg, &workload());
+        assert_eq!(r.instructions, 0);
+        assert_eq!(r.cycles, 0);
     }
 
     #[test]

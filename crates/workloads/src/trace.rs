@@ -65,9 +65,108 @@ pub trait TraceFactory: Send + Sync {
     fn build_traces(&self, cores: usize) -> Vec<Box<dyn TraceGenerator>>;
 }
 
+/// A position-tracking wrapper around a [`TraceGenerator`].
+///
+/// Generators are deterministic but opaque (closures over RNG state, file
+/// cursors), so snapshots persist only the *number of accesses consumed*;
+/// resuming rebuilds the generator through its [`TraceFactory`] and
+/// fast-forwards to the recorded position. Replaying the generator alone is
+/// orders of magnitude cheaper than re-simulating the machine it fed.
+#[derive(Debug)]
+pub struct TraceCursor {
+    gen: Box<dyn TraceGenerator>,
+    consumed: u64,
+}
+
+impl TraceCursor {
+    /// Wrap a freshly built generator at position zero.
+    pub fn new(gen: Box<dyn TraceGenerator>) -> Self {
+        TraceCursor { gen, consumed: 0 }
+    }
+
+    /// Produce the next access, advancing the cursor.
+    pub fn next_access(&mut self) -> MemoryAccess {
+        self.consumed += 1;
+        self.gen.next_access()
+    }
+
+    /// Number of accesses pulled from the generator so far.
+    pub fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// The wrapped generator's benchmark name.
+    pub fn name(&self) -> &str {
+        self.gen.name()
+    }
+
+    /// The wrapped generator's virtual footprint in bytes.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.gen.footprint_bytes()
+    }
+
+    /// Advance a freshly built cursor to `target` accesses consumed,
+    /// discarding the replayed accesses. Returns an error message if the
+    /// cursor is already past `target` (the image and the generator
+    /// disagree).
+    pub fn fast_forward(&mut self, target: u64) -> Result<(), String> {
+        if self.consumed > target {
+            return Err(format!(
+                "trace cursor at {} cannot rewind to {target}",
+                self.consumed
+            ));
+        }
+        while self.consumed < target {
+            self.next_access();
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for dyn TraceGenerator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TraceGenerator({})", self.name())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    struct CountingTrace(u64);
+    impl TraceGenerator for CountingTrace {
+        fn next_access(&mut self) -> MemoryAccess {
+            self.0 += 1;
+            MemoryAccess::load(Addr::new(self.0 * 64), 3)
+        }
+        fn name(&self) -> &str {
+            "counting"
+        }
+        fn footprint_bytes(&self) -> u64 {
+            1 << 20
+        }
+    }
+
+    #[test]
+    fn cursor_counts_and_fast_forwards() {
+        let mut original = TraceCursor::new(Box::new(CountingTrace(0)));
+        for _ in 0..57 {
+            original.next_access();
+        }
+        assert_eq!(original.consumed(), 57);
+
+        // A fresh cursor fast-forwarded to the same position produces the
+        // same continuation.
+        let mut replay = TraceCursor::new(Box::new(CountingTrace(0)));
+        replay.fast_forward(57).unwrap();
+        assert_eq!(replay.consumed(), 57);
+        for _ in 0..10 {
+            assert_eq!(replay.next_access(), original.next_access());
+        }
+
+        // Rewinding is an error, not a silent mismatch.
+        assert!(replay.fast_forward(5).is_err());
+    }
 
     #[test]
     fn access_constructors() {

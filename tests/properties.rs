@@ -133,3 +133,73 @@ proptest! {
         prop_assert_eq!(banshee.demand_stats().0, stream.len() as u64);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Warmed-snapshot properties. A full-system image composes every component's
+// `Persist` implementation (caches, TLBs, page table, design state, DRAM
+// queues, RNG streams, trace cursors), so one system-level round trip
+// exercises all of them — across every design in the figure-4 lineup and
+// arbitrary seeds — and header/byte-level damage must surface as a typed
+// `SnapshotError`, mirroring `trace_file.rs`'s corruption cases.
+
+mod snapshot_props {
+    use banshee_repro::dcache::DramCacheDesign;
+    use banshee_repro::sim::{SimConfig, System};
+    use banshee_repro::workloads::{SpecProgram, Workload, WorkloadKind};
+    use proptest::prelude::*;
+
+    fn warmed(design_ix: usize, seed: u64) -> (SimConfig, Workload, Vec<u8>, u64) {
+        let designs = DramCacheDesign::figure4_lineup();
+        let design = designs[design_ix % designs.len()];
+        let mut cfg = SimConfig::test_default(design);
+        cfg.warmup_instructions = 20_000;
+        cfg.total_instructions = 20_000;
+        cfg.seed = seed;
+        let w = Workload::new(WorkloadKind::Spec(SpecProgram::Mcf), 8 << 20, seed ^ 1);
+        let mut system = System::new(cfg.clone(), &w);
+        let executed = system.warm_up().expect("non-zero budget always warms");
+        let image = system.warmed_image(&w.name(), executed);
+        (cfg, w, image, executed)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// save → restore → save is byte-identical for the whole system.
+        #[test]
+        fn warmed_image_round_trips(design_ix in 0usize..7, seed in 0u64..1000) {
+            let (cfg, w, image, executed) = warmed(design_ix, seed);
+            let (resumed, at) =
+                System::resume_warmed(cfg, &w, &w.name(), &image).expect("own image resumes");
+            prop_assert_eq!(at, executed);
+            prop_assert_eq!(resumed.warmed_image(&w.name(), at), image);
+        }
+
+        /// Truncation anywhere strictly inside the image, and damage to any
+        /// header byte the validator covers, are typed errors; arbitrary
+        /// single-byte corruption never panics.
+        #[test]
+        fn damaged_images_are_typed_errors(
+            design_ix in 0usize..7,
+            cut_permille in 0usize..1000,
+            flip in 0usize..1 << 20,
+        ) {
+            let (cfg, w, image, _) = warmed(design_ix, 7);
+            let cut = image.len() * cut_permille / 1000;
+            prop_assert!(
+                System::resume_warmed(cfg.clone(), &w, &w.name(), &image[..cut]).is_err(),
+                "image truncated to {} of {} bytes resumed", cut, image.len()
+            );
+            let mut corrupt = image.clone();
+            let at = flip % corrupt.len();
+            corrupt[at] ^= 0xff;
+            // Damage within the validated header prefix (magic, format,
+            // revision, key hash) must be rejected; elsewhere the restore
+            // may succeed or fail, but must return rather than panic.
+            let outcome = System::resume_warmed(cfg, &w, &w.name(), &corrupt);
+            if at < 24 {
+                prop_assert!(outcome.is_err(), "corrupt header byte {} accepted", at);
+            }
+        }
+    }
+}
