@@ -18,10 +18,14 @@
 //! metadata.
 
 use banshee_bench::experiments::{self, run_main_matrix, scale_from_flags, EXPERIMENT_NAMES};
-use banshee_bench::runner::Runner;
+use banshee_bench::runner::{CellRecord, Runner};
 use banshee_bench::table::{output_dir, write_json, Table};
+use banshee_common::telemetry::{
+    CellProfile, ProfileBreakdown, ProfileComponent, ProfileEntry, TelemetryConfig,
+};
 use banshee_exec::JobPool;
 use serde::Serialize;
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// Wall-clock time of one experiment block within a run.
@@ -29,6 +33,32 @@ use std::time::Instant;
 struct ExperimentTiming {
     name: String,
     seconds: f64,
+}
+
+/// Per-cell wall-clock row in `run_summary.json`.
+#[derive(Debug, Clone, Serialize)]
+struct CellTiming {
+    workload: String,
+    design: String,
+    from_store: bool,
+    resumed_warm: bool,
+    seconds: f64,
+    instructions: u64,
+    instr_per_sec: f64,
+}
+
+impl From<&CellRecord> for CellTiming {
+    fn from(r: &CellRecord) -> Self {
+        CellTiming {
+            workload: r.workload.clone(),
+            design: r.design.clone(),
+            from_store: r.from_store,
+            resumed_warm: r.resumed_warm,
+            seconds: r.seconds,
+            instructions: r.instructions,
+            instr_per_sec: r.instr_per_sec,
+        }
+    }
 }
 
 /// Metadata written to `target/experiments/run_summary.json` so per-PR
@@ -41,6 +71,7 @@ struct RunSummary {
     jobs: usize,
     store_enabled: bool,
     snapshots_enabled: bool,
+    telemetry_enabled: bool,
     started_unix_secs: u64,
     total_seconds: f64,
     cells_simulated: usize,
@@ -49,6 +80,45 @@ struct RunSummary {
     cells_cold: usize,
     simulation_seconds: f64,
     experiments: Vec<ExperimentTiming>,
+    cells: Vec<CellTiming>,
+    self_profile: Option<ProfileBreakdown>,
+}
+
+/// Sum the per-cell self-profiles into one run-wide breakdown (None when
+/// no cell deposited a profile, i.e. telemetry was off).
+fn aggregate_profile(cells: &[CellProfile]) -> Option<ProfileBreakdown> {
+    if cells.is_empty() {
+        return None;
+    }
+    let mut seconds = vec![0.0f64; ProfileComponent::ALL.len()];
+    let mut calls = vec![0u64; ProfileComponent::ALL.len()];
+    for cell in cells {
+        for entry in &cell.profile.entries {
+            if let Some(i) = ProfileComponent::ALL
+                .iter()
+                .position(|c| c.label() == entry.component)
+            {
+                seconds[i] += entry.seconds;
+                calls[i] += entry.calls;
+            }
+        }
+    }
+    let total: f64 = seconds.iter().sum();
+    let entries = ProfileComponent::ALL
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| calls[i] > 0)
+        .map(|(i, c)| ProfileEntry {
+            component: c.label().to_string(),
+            seconds: seconds[i],
+            share: if total > 0.0 { seconds[i] / total } else { 0.0 },
+            calls: calls[i],
+        })
+        .collect();
+    Some(ProfileBreakdown {
+        entries,
+        total_seconds: total,
+    })
 }
 
 fn print_all(tables: Vec<Table>) {
@@ -60,11 +130,11 @@ fn print_all(tables: Vec<Table>) {
 fn print_usage() {
     println!(
         "usage: experiments [EXPERIMENT ...] [--quick | --smoke] [--jobs N] [--no-store] \
-         [--no-snapshot]"
+         [--no-snapshot] [--telemetry DIR] [--telemetry-interval N]"
     );
     println!(
         "       experiments scenario FILE... [--quick | --smoke] [--jobs N] [--no-store] \
-         [--no-snapshot]"
+         [--no-snapshot] [--telemetry DIR] [--telemetry-interval N]"
     );
     println!();
     println!("Regenerates the paper's tables and figures. With no experiment");
@@ -90,55 +160,112 @@ fn print_usage() {
     println!("              cell's post-warm-up machine state is cached beside the");
     println!("              results and runs differing only in measured length");
     println!("              resume from it; BANSHEE_NO_SNAPSHOT=1 does the same)");
+    println!("  --telemetry DIR  record time-resolved telemetry for every");
+    println!("              simulated cell: epoch-sampled time series (JSON + CSV),");
+    println!("              a Chrome-traceable event trace, and a self-profile in");
+    println!("              run_summary.json. Files land under DIR. Store hits are");
+    println!("              re-simulated so each cell emits its series; results are");
+    println!("              byte-identical with telemetry on or off.");
+    println!("              (BANSHEE_TELEMETRY=DIR does the same)");
+    println!("  --telemetry-interval N  sample every N instructions (default");
+    println!("              100000; BANSHEE_TELEMETRY_INTERVAL=N does the same)");
     println!("  --help      print this message and exit");
     println!();
     println!("Tables are printed to stdout; raw numbers are written as JSON");
     println!("under target/experiments/, and run_summary.json records scale,");
-    println!("wall-clock and cache metadata for the run.");
+    println!("wall-clock, cache and per-cell timing metadata for the run.");
 }
 
-#[allow(clippy::type_complexity)]
-fn parse_args(args: &[String]) -> Result<(Vec<String>, bool, bool, usize, bool, bool), String> {
-    let mut selected = Vec::new();
-    let mut quick = false;
-    let mut smoke = false;
-    let mut jobs = 0usize;
-    let mut no_store = false;
-    let mut no_snapshot = std::env::var("BANSHEE_NO_SNAPSHOT").is_ok_and(|v| v == "1");
+/// Parsed command line (plus the environment variables that alias flags).
+#[derive(Debug, Clone, Default)]
+struct CliArgs {
+    selected: Vec<String>,
+    quick: bool,
+    smoke: bool,
+    jobs: usize,
+    no_store: bool,
+    no_snapshot: bool,
+    telemetry_dir: Option<PathBuf>,
+    telemetry_interval: Option<u64>,
+}
+
+fn parse_args(args: &[String]) -> Result<CliArgs, String> {
+    let mut cli = CliArgs {
+        no_snapshot: std::env::var("BANSHEE_NO_SNAPSHOT").is_ok_and(|v| v == "1"),
+        telemetry_dir: std::env::var("BANSHEE_TELEMETRY")
+            .ok()
+            .filter(|v| !v.is_empty())
+            .map(PathBuf::from),
+        ..CliArgs::default()
+    };
+    if let Ok(value) = std::env::var("BANSHEE_TELEMETRY_INTERVAL") {
+        cli.telemetry_interval = Some(
+            value
+                .parse()
+                .map_err(|_| format!("invalid BANSHEE_TELEMETRY_INTERVAL value '{value}'"))?,
+        );
+    }
     let mut i = 0;
     while i < args.len() {
         let arg = &args[i];
         if arg == "--quick" {
-            quick = true;
+            cli.quick = true;
         } else if arg == "--smoke" {
-            smoke = true;
+            cli.smoke = true;
         } else if arg == "--no-store" {
-            no_store = true;
+            cli.no_store = true;
         } else if arg == "--no-snapshot" {
-            no_snapshot = true;
+            cli.no_snapshot = true;
         } else if arg == "--jobs" {
             i += 1;
             let value = args
                 .get(i)
                 .ok_or_else(|| "--jobs requires a value".to_string())?;
-            jobs = value
+            cli.jobs = value
                 .parse()
                 .map_err(|_| format!("invalid --jobs value '{value}'"))?;
         } else if let Some(value) = arg.strip_prefix("--jobs=") {
-            jobs = value
+            cli.jobs = value
                 .parse()
                 .map_err(|_| format!("invalid --jobs value '{value}'"))?;
+        } else if arg == "--telemetry" {
+            i += 1;
+            let value = args
+                .get(i)
+                .ok_or_else(|| "--telemetry requires a directory".to_string())?;
+            cli.telemetry_dir = Some(PathBuf::from(value));
+        } else if let Some(value) = arg.strip_prefix("--telemetry=") {
+            cli.telemetry_dir = Some(PathBuf::from(value));
+        } else if arg == "--telemetry-interval" {
+            i += 1;
+            let value = args
+                .get(i)
+                .ok_or_else(|| "--telemetry-interval requires a value".to_string())?;
+            cli.telemetry_interval = Some(
+                value
+                    .parse()
+                    .map_err(|_| format!("invalid --telemetry-interval value '{value}'"))?,
+            );
+        } else if let Some(value) = arg.strip_prefix("--telemetry-interval=") {
+            cli.telemetry_interval = Some(
+                value
+                    .parse()
+                    .map_err(|_| format!("invalid --telemetry-interval value '{value}'"))?,
+            );
         } else if arg.starts_with('-') {
             return Err(format!(
                 "unknown flag '{arg}'; valid flags: --quick, --smoke, --jobs N, --no-store, \
-                 --no-snapshot, --help"
+                 --no-snapshot, --telemetry DIR, --telemetry-interval N, --help"
             ));
         } else {
-            selected.push(arg.clone());
+            cli.selected.push(arg.clone());
         }
         i += 1;
     }
-    Ok((selected, quick, smoke, jobs, no_store, no_snapshot))
+    if cli.telemetry_interval == Some(0) {
+        return Err("--telemetry-interval must be at least 1".to_string());
+    }
+    Ok(cli)
 }
 
 fn main() {
@@ -147,13 +274,23 @@ fn main() {
         print_usage();
         return;
     }
-    let (mut selected, quick, smoke, jobs, no_store, no_snapshot) = match parse_args(&args) {
+    let cli = match parse_args(&args) {
         Ok(parsed) => parsed,
         Err(message) => {
             eprintln!("{message}");
             std::process::exit(2);
         }
     };
+    let CliArgs {
+        mut selected,
+        quick,
+        smoke,
+        jobs,
+        no_store,
+        no_snapshot,
+        telemetry_dir,
+        telemetry_interval,
+    } = cli;
     if selected.is_empty() {
         selected.push("all".to_string());
     }
@@ -197,6 +334,18 @@ fn main() {
         .with_snapshots(!no_snapshot);
     if !no_store {
         runner = runner.with_store(output_dir().join("store"));
+    }
+    if let Some(dir) = &telemetry_dir {
+        let mut tel_config = TelemetryConfig::default();
+        if let Some(interval) = telemetry_interval {
+            tel_config.interval_instructions = interval;
+        }
+        runner = runner.with_telemetry(dir, tel_config);
+        eprintln!(
+            "telemetry on: sampling every {} instructions, files under {}",
+            tel_config.interval_instructions,
+            dir.display()
+        );
     }
     eprintln!(
         "running {} at {:?} scale ({} instructions per run, {} cores) with {} worker{}{}",
@@ -383,6 +532,7 @@ fn main() {
         jobs: effective_jobs,
         store_enabled: !no_store,
         snapshots_enabled: !no_snapshot && !no_store,
+        telemetry_enabled: telemetry_dir.is_some(),
         started_unix_secs,
         total_seconds: started.elapsed().as_secs_f64(),
         cells_simulated: runner.counters.simulated(),
@@ -391,6 +541,13 @@ fn main() {
         cells_cold: runner.counters.cold(),
         simulation_seconds: runner.counters.simulated_time().as_secs_f64(),
         experiments: timings,
+        cells: runner
+            .counters
+            .cell_records()
+            .iter()
+            .map(CellTiming::from)
+            .collect(),
+        self_profile: aggregate_profile(&runner.counters.cell_profiles()),
     };
     if let Err(err) = write_json("run_summary", &summary) {
         eprintln!("warning: failed to write run_summary.json ({err})");

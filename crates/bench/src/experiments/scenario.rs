@@ -192,6 +192,23 @@ pub fn expand_cells(
 pub fn run(runner: &Runner, spec: &ScenarioSpec) -> Result<ScenarioReport, String> {
     let (coords, prepared): (Vec<CellCoords>, Vec<PreparedCell>) =
         expand_cells(runner, spec)?.into_iter().unzip();
+    // A scenario's `telemetry` block parameterizes the recorder but never
+    // activates it: only when the harness already runs with telemetry on do
+    // the scenario's knobs replace the defaults (on a clone, so the caller's
+    // runner is untouched).
+    let mut runner = runner.clone();
+    if let (Some(options), Some(knobs)) = (runner.telemetry.as_mut(), spec.telemetry.as_ref()) {
+        if let Some(interval) = knobs.interval_instructions {
+            options.config.interval_instructions = interval;
+        }
+        if let Some(samples) = knobs.max_samples {
+            options.config.max_samples = samples;
+        }
+        if let Some(events) = knobs.max_events {
+            options.config.max_events = events;
+        }
+    }
+    let runner = &runner;
     let results = runner.run_prepared(prepared);
     let cells = coords
         .into_iter()

@@ -8,6 +8,9 @@
 //! cell-for-cell to sequential runs (the pool preserves input order), and
 //! interrupted sweeps resume by skipping cells the store already holds.
 
+use banshee_common::telemetry::{
+    slug, CellProfile, ProfileCollector, TelemetryConfig, TelemetrySink,
+};
 use banshee_common::MemSize;
 use banshee_dcache::DramCacheDesign;
 use banshee_exec::{JobPool, ResultStore};
@@ -16,7 +19,7 @@ use banshee_workloads::{TraceFactory, Workload, WorkloadKind};
 use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// How big an experiment run should be.
@@ -104,6 +107,44 @@ pub struct CellReport {
     pub panicked: bool,
     /// Wall-clock time the cell took (zero for store hits).
     pub duration: Duration,
+    /// Instructions simulated for this cell in this process: warm-up plus
+    /// measured phase for cold runs, the measured phase alone for
+    /// snapshot-resumed runs, and the stored result's measured instructions
+    /// for store hits.
+    pub instructions: u64,
+}
+
+impl CellReport {
+    /// Simulated instructions per wall-clock second (zero for store hits).
+    pub fn instr_per_sec(&self) -> f64 {
+        let secs = self.duration.as_secs_f64();
+        if secs > 0.0 && !self.from_store {
+            self.instructions as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A compact per-cell wall-clock record, kept by [`RunnerCounters`] so the
+/// `experiments` binary can report per-cell timing in `run_summary.json`.
+#[derive(Debug, Clone)]
+pub struct CellRecord {
+    /// Workload label.
+    pub workload: String,
+    /// Design label.
+    pub design: String,
+    /// True if the result came from the persistent store.
+    pub from_store: bool,
+    /// True if the run resumed from a warmed snapshot.
+    pub resumed_warm: bool,
+    /// Wall-clock seconds (zero for store hits).
+    pub seconds: f64,
+    /// Instructions simulated in this process (see
+    /// [`CellReport::instructions`]).
+    pub instructions: u64,
+    /// Simulated instructions per wall-clock second (zero for store hits).
+    pub instr_per_sec: f64,
 }
 
 /// A fully-prepared execution cell: configuration, workload factory,
@@ -139,6 +180,8 @@ pub struct RunnerCounters {
     from_store: Arc<AtomicUsize>,
     resumed_warm: Arc<AtomicUsize>,
     simulated_micros: Arc<AtomicU64>,
+    cells: Arc<Mutex<Vec<CellRecord>>>,
+    profiles: ProfileCollector,
 }
 
 impl RunnerCounters {
@@ -170,6 +213,24 @@ impl RunnerCounters {
         Duration::from_micros(self.simulated_micros.load(Ordering::Relaxed))
     }
 
+    /// Per-cell wall-clock records, in completion order (store hits first).
+    /// Panicked cells are not recorded.
+    pub fn cell_records(&self) -> Vec<CellRecord> {
+        self.cells.lock().map(|c| c.clone()).unwrap_or_default()
+    }
+
+    /// The shared collector simulated cells deposit their telemetry
+    /// self-profiles into (populated only when telemetry is enabled).
+    pub fn profile_collector(&self) -> ProfileCollector {
+        self.profiles.clone()
+    }
+
+    /// Self-profiles collected so far (one per simulated cell, telemetry
+    /// runs only).
+    pub fn cell_profiles(&self) -> Vec<CellProfile> {
+        self.profiles.lock().map(|p| p.clone()).unwrap_or_default()
+    }
+
     fn record(&self, report: &CellReport) {
         if report.from_store {
             self.from_store.fetch_add(1, Ordering::Relaxed);
@@ -181,7 +242,30 @@ impl RunnerCounters {
             self.simulated_micros
                 .fetch_add(report.duration.as_micros() as u64, Ordering::Relaxed);
         }
+        if !report.panicked {
+            if let Ok(mut cells) = self.cells.lock() {
+                cells.push(CellRecord {
+                    workload: report.workload.clone(),
+                    design: report.design.clone(),
+                    from_store: report.from_store,
+                    resumed_warm: report.resumed_warm,
+                    seconds: report.duration.as_secs_f64(),
+                    instructions: report.instructions,
+                    instr_per_sec: report.instr_per_sec(),
+                });
+            }
+        }
     }
+}
+
+/// Telemetry settings for a runner: where the per-cell files go and how the
+/// recorder samples.
+#[derive(Debug, Clone)]
+pub struct TelemetryOptions {
+    /// Output directory for `telemetry_<cell>.{json,csv,trace.json}` files.
+    pub dir: PathBuf,
+    /// Recorder settings (sampling interval and buffer capacities).
+    pub config: TelemetryConfig,
 }
 
 /// Builds configurations and runs (workload, design) pairs.
@@ -204,6 +288,12 @@ pub struct Runner {
     pub snapshots: bool,
     /// Print per-cell progress and wall-clock times to stderr.
     pub progress: bool,
+    /// Time-resolved telemetry: when set, every simulated cell records
+    /// epoch samples, an event trace and a self-profile, exported under
+    /// [`TelemetryOptions::dir`]. Store hits are bypassed (re-simulated) so
+    /// each cell actually emits telemetry; results are byte-identical
+    /// either way.
+    pub telemetry: Option<TelemetryOptions>,
     /// Tallies of simulated vs. store-resumed cells (shared across clones).
     pub counters: RunnerCounters,
 }
@@ -219,6 +309,7 @@ impl Runner {
             store_dir: None,
             snapshots: true,
             progress: false,
+            telemetry: None,
             counters: RunnerCounters::default(),
         }
     }
@@ -244,6 +335,16 @@ impl Runner {
     /// Print per-cell progress to stderr.
     pub fn with_progress(mut self, progress: bool) -> Self {
         self.progress = progress;
+        self
+    }
+
+    /// Record time-resolved telemetry for every simulated cell, exporting
+    /// the files under `dir`.
+    pub fn with_telemetry(mut self, dir: impl Into<PathBuf>, config: TelemetryConfig) -> Self {
+        self.telemetry = Some(TelemetryOptions {
+            dir: dir.into(),
+            config,
+        });
         self
     }
 
@@ -318,21 +419,55 @@ impl Runner {
         }
     }
 
+    /// The file-name label for one cell's telemetry outputs: the cell's
+    /// batch slot plus slugged workload and design labels, e.g.
+    /// `003_gcc_banshee`.
+    fn telemetry_cell_label(slot: usize, cell: &PreparedCell) -> String {
+        format!(
+            "{:03}_{}_{}",
+            slot,
+            slug(&cell.workload_label),
+            slug(&cell.design_label)
+        )
+    }
+
+    /// Attach the runner's telemetry settings to a system about to run its
+    /// measured phase. `resumed` carries the executed-instruction count when
+    /// the system was resumed from a warmed image.
+    fn attach_telemetry(
+        &self,
+        system: &mut System,
+        slot: usize,
+        cell: &PreparedCell,
+        resumed: Option<u64>,
+    ) {
+        let Some(tel) = &self.telemetry else { return };
+        let label = Self::telemetry_cell_label(slot, cell);
+        system.enable_telemetry(tel.config);
+        system.set_telemetry_sink(TelemetrySink::new(&tel.dir, &label));
+        system.set_profile_output(label, self.counters.profiles.clone());
+        if let Some(executed) = resumed {
+            system.note_snapshot_resume(executed);
+        }
+    }
+
     /// Simulate one prepared cell, resuming from (and capturing) a warmed
     /// image through the store when snapshots are enabled. Returns the
-    /// result and whether the run resumed from a warmed image.
+    /// result, whether the run resumed from a warmed image, and the number
+    /// of instructions simulated in this process.
     ///
     /// A stale or corrupt image is *never* fatal: any resume failure is
     /// reported and the cell re-runs warm-up cold, overwriting the bad
     /// image with a fresh one.
     fn simulate_cell(
+        &self,
+        slot: usize,
         cell: &PreparedCell,
         store: Option<&ResultStore>,
-        snapshots: bool,
-    ) -> (SimResult, bool) {
+    ) -> (SimResult, bool, u64) {
         let name = cell.factory.name();
         let snap_key = System::warmed_key_material(&cell.config, &cell.workload_ident);
-        if snapshots {
+        if self.snapshots {
             if let Some(store) = store {
                 if let Some(image) = store.get_snapshot(&snap_key, SimConfig::MODEL_REVISION) {
                     match System::resume_warmed(
@@ -341,8 +476,11 @@ impl Runner {
                         &cell.workload_ident,
                         &image,
                     ) {
-                        Ok((system, executed)) => {
-                            return (system.run_measured(&name, Some(executed)), true);
+                        Ok((mut system, executed)) => {
+                            self.attach_telemetry(&mut system, slot, cell, Some(executed));
+                            let result = system.run_measured(&name, Some(executed));
+                            let instructions = result.instructions;
+                            return (result, true, instructions);
                         }
                         Err(err) => eprintln!(
                             "[exec] warning: discarding warmed image for {} x {} ({err}); re-warming",
@@ -353,8 +491,9 @@ impl Runner {
             }
         }
         let mut system = System::new(cell.config.clone(), &*cell.factory);
+        self.attach_telemetry(&mut system, slot, cell, None);
         let warmed = system.warm_up();
-        if snapshots {
+        if self.snapshots {
             if let (Some(store), Some(executed)) = (store, warmed) {
                 let image = system.warmed_image(&cell.workload_ident, executed);
                 if let Err(err) = store.put_snapshot(&snap_key, &image) {
@@ -362,7 +501,9 @@ impl Runner {
                 }
             }
         }
-        (system.run_measured(&name, warmed), false)
+        let result = system.run_measured(&name, warmed);
+        let instructions = result.instructions + warmed.unwrap_or(0);
+        (result, false, instructions)
     }
 
     /// Run a batch of (config, workload) cells through the execution
@@ -430,9 +571,16 @@ impl Runner {
         let mut duplicates: Vec<(usize, usize)> = Vec::new(); // (slot, misses idx)
         let mut hits = 0usize;
         for (index, cell) in cells.iter().enumerate() {
-            let cached = store
-                .as_ref()
-                .and_then(|s| s.get_decoded::<SimResult>(&cell.key_material));
+            // With telemetry on, store hits are bypassed: every cell must
+            // actually simulate to emit its time series (results are
+            // byte-identical, and the store is refreshed on completion).
+            let cached = if self.telemetry.is_some() {
+                None
+            } else {
+                store
+                    .as_ref()
+                    .and_then(|s| s.get_decoded::<SimResult>(&cell.key_material))
+            };
             match cached {
                 Some(result) => {
                     let report = CellReport {
@@ -443,6 +591,7 @@ impl Runner {
                         resumed_warm: false,
                         panicked: false,
                         duration: Duration::ZERO,
+                        instructions: result.instructions,
                     };
                     self.counters.record(&report);
                     observe(&report);
@@ -475,13 +624,17 @@ impl Runner {
         let resumed_flags: Vec<AtomicBool> = (0..miss_cells.len())
             .map(|_| AtomicBool::new(false))
             .collect();
+        let instr_counts: Vec<AtomicU64> =
+            (0..miss_cells.len()).map(|_| AtomicU64::new(0)).collect();
         let outputs = pool.run_with_progress(
             miss_cells,
             |index, cell| {
-                let (result, resumed) = Self::simulate_cell(cell, store.as_ref(), self.snapshots);
+                let (result, resumed, instructions) =
+                    self.simulate_cell(misses[index], cell, store.as_ref());
                 if resumed {
                     resumed_flags[index].store(true, Ordering::Relaxed);
                 }
+                instr_counts[index].store(instructions, Ordering::Relaxed);
                 // Persist from the worker, as soon as the cell finishes:
                 // a sweep interrupted mid-batch resumes from every
                 // completed cell, not just completed batches.
@@ -502,15 +655,17 @@ impl Runner {
                     resumed_warm: resumed_flags[completion.index].load(Ordering::Relaxed),
                     panicked: completion.panicked,
                     duration: completion.duration,
+                    instructions: instr_counts[completion.index].load(Ordering::Relaxed),
                 };
                 if self.progress {
                     eprintln!(
-                        "[exec] {}/{} {} x {} ({:.2}s{}){}",
+                        "[exec] {}/{} {} x {} ({:.2}s, {:.2} Minstr/s{}){}",
                         completion.completed,
                         completion.total,
                         report.workload,
                         report.design,
                         completion.duration.as_secs_f64(),
+                        report.instr_per_sec() / 1e6,
                         if report.resumed_warm { ", warmed" } else { "" },
                         if completion.panicked { " PANICKED" } else { "" },
                     );

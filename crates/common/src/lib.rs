@@ -19,6 +19,9 @@
 //! * [`config`] — capacity/latency helper constructors and a few
 //!   configuration structs shared between the DRAM model and the system
 //!   simulator.
+//! * [`telemetry`] — the time-resolved observability layer: an epoch-sampled
+//!   time series, a bounded ring of rare structured events, and wall-clock
+//!   self-profiling, all behind a zero-cost-when-off [`telemetry::Recorder`].
 //!
 //! Everything here is `no_std`-shaped in spirit (no I/O, no globals) but the
 //! crate itself uses `std` for convenience.
@@ -34,6 +37,7 @@ pub mod persist;
 pub mod replay;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 
 pub use addr::{Addr, LineAddr, PageNum, CACHE_LINE_SIZE, LARGE_PAGE_SIZE, PAGE_SIZE};
 pub use config::{CyclesPerSec, MemSize};
@@ -46,6 +50,7 @@ pub use persist::{
 pub use replay::ReplaySet;
 pub use rng::{SplitMix64, XorShiftRng, ZipfSampler};
 pub use stats::{Counter, DramKind, StatSet, TrafficClass, TrafficStats};
+pub use telemetry::{Recorder, TelemetryConfig, TelemetryError};
 
 /// A timestamp or duration measured in CPU cycles (2.7 GHz by default).
 ///

@@ -1,0 +1,1361 @@
+//! Time-resolved telemetry: epoch-sampled time series, a bounded ring of
+//! rare structured events, and wall-clock self-profiling of the simulator.
+//!
+//! Everything the harness reported before this module existed was an
+//! end-of-run aggregate; the paper's story, however, is about *dynamics* —
+//! lazy remaps, counter halvings, write-queue drains and warmup convergence
+//! all happen over time. The [`Recorder`] threads through the system
+//! simulator and captures three kinds of data:
+//!
+//! 1. **Time series** ([`Sample`] / [`TimeSeries`]) — every
+//!    `interval_instructions` retired instructions the simulator snapshots
+//!    cumulative counters into a [`SampleCumulative`], and the recorder
+//!    turns consecutive snapshots into *windowed deltas*: IPC, MPKI,
+//!    per-class traffic bytes, DRAM queue occupancy and row-hit rate, plus
+//!    free-form per-design gauges (tag-buffer occupancy, FBR state, ...).
+//!    Consecutive measured-phase sample deltas telescope: summing them
+//!    reproduces the final aggregate `TrafficStats` exactly, which the test
+//!    suite asserts.
+//! 2. **Event trace** ([`Event`] / [`EventRing`]) — rare discrete events
+//!    (epoch remap plans, FBR halvings, write-queue drains, refreshes,
+//!    TLB shootdowns, snapshot resume) in a bounded ring that overwrites
+//!    the oldest entries, exportable as Chrome `trace.json` for timeline
+//!    viewing (chrome://tracing, Perfetto).
+//! 3. **Self-profile** ([`Profiler`]) — scoped wall-clock attribution of
+//!    simulation time to components (address translation, SRAM hierarchy,
+//!    design controller, DRAM timing, ...), surfaced per cell in
+//!    `run_summary.json`.
+//!
+//! The recorder is **zero-cost when off**: [`Recorder::Off`] is a fieldless
+//! variant, every hot-path call site guards on the single-discriminant test
+//! [`Recorder::is_off`], and `SimResult`s are byte-identical with telemetry
+//! on or off (asserted by `crates/sim/tests/telemetry_equivalence.rs`).
+//!
+//! Sink I/O failures are *typed* ([`TelemetryError`]) and callers degrade
+//! them to warnings — telemetry must never fail a run that would otherwise
+//! have produced results.
+
+use crate::stats::{DramKind, TrafficClass, TrafficStats};
+use crate::Cycle;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Core clock in GHz, used only to convert cycle timestamps into the
+/// microseconds Chrome trace viewers expect. Matches
+/// `CyclesPerSec::ghz(2.7)` used by the simulator configs.
+const CORE_GHZ: f64 = 2.7;
+
+// ---------------------------------------------------------------------------
+// Configuration
+
+/// Knobs for the recorder. Deliberately *not* part of `SimConfig`: telemetry
+/// must never influence cache keys, snapshots or simulation results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Retired instructions between time-series samples.
+    pub interval_instructions: u64,
+    /// Time-series capacity; once full, *new* samples are dropped (and
+    /// counted) so the early warmup-convergence window is always retained.
+    pub max_samples: usize,
+    /// Event-ring capacity; once full, the *oldest* events are overwritten
+    /// so the trace always covers the most recent window.
+    pub max_events: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            interval_instructions: 100_000,
+            max_samples: 8192,
+            max_events: 4096,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cumulative snapshots and windowed samples
+
+/// Per-DRAM-device cumulative telemetry counters plus point-in-time queue
+/// gauges, gathered by `banshee_dram` at each sample boundary.
+///
+/// `read_queue` / `write_queue` are occupancy *at the sample instant*; the
+/// remaining fields are cumulative since the device was built.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramTelemetry {
+    /// In-flight reads across all banks at the sample instant.
+    pub read_queue: u64,
+    /// Buffered writes across all channels at the sample instant.
+    pub write_queue: u64,
+    /// Cumulative timed accesses.
+    pub accesses: u64,
+    /// Cumulative row-buffer hits.
+    pub row_hits: u64,
+    /// Cumulative refresh operations.
+    pub refreshes: u64,
+    /// Cumulative write-queue watermark drains.
+    pub write_drains: u64,
+}
+
+/// A snapshot of the simulator's cumulative counters at one sample boundary.
+/// The recorder differences consecutive snapshots to produce a [`Sample`].
+#[derive(Debug, Clone, Default)]
+pub struct SampleCumulative {
+    /// Instructions retired so far (warmup + measured).
+    pub instructions: u64,
+    /// Max core clock, in cycles.
+    pub cycles: Cycle,
+    /// DRAM-cache demand accesses so far.
+    pub dram_cache_accesses: u64,
+    /// DRAM-cache demand misses so far.
+    pub dram_cache_misses: u64,
+    /// LLC misses so far.
+    pub llc_misses: u64,
+    /// Combined DRAM traffic so far.
+    pub traffic: TrafficStats,
+    /// In-package DRAM device counters.
+    pub in_dram: DramTelemetry,
+    /// Off-package DRAM device counters.
+    pub off_dram: DramTelemetry,
+}
+
+/// Windowed per-DRAM metrics inside one [`Sample`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DramSample {
+    /// Read-queue occupancy at the sample instant.
+    pub read_queue: u64,
+    /// Write-queue occupancy at the sample instant.
+    pub write_queue: u64,
+    /// Timed accesses in this window.
+    pub accesses: u64,
+    /// Row-buffer hits in this window.
+    pub row_hits: u64,
+    /// Row-hit rate over this window (0 when the window had no accesses).
+    pub row_hit_rate: f64,
+    /// Refresh operations in this window.
+    pub refreshes: u64,
+    /// Write-queue drains in this window.
+    pub write_drains: u64,
+}
+
+/// One time-series point: cumulative position plus windowed deltas since the
+/// previous sample.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Instructions retired at this sample (cumulative, warmup included).
+    pub instructions: u64,
+    /// Max core clock at this sample (cumulative cycles).
+    pub cycles: u64,
+    /// True if this sample's window lies (at least partly) in warmup.
+    pub warmup: bool,
+    /// Instructions retired in this window.
+    pub delta_instructions: u64,
+    /// Cycles elapsed in this window.
+    pub delta_cycles: u64,
+    /// Instructions per cycle over this window.
+    pub ipc: f64,
+    /// DRAM-cache misses per kilo-instruction over this window.
+    pub mpki: f64,
+    /// DRAM-cache demand accesses in this window.
+    pub dram_cache_accesses: u64,
+    /// DRAM-cache demand misses in this window.
+    pub dram_cache_misses: u64,
+    /// LLC misses in this window.
+    pub llc_misses: u64,
+    /// Traffic moved in this window, by (DRAM kind, class).
+    pub traffic: TrafficStats,
+    /// In-package DRAM window metrics.
+    pub in_dram: DramSample,
+    /// Off-package DRAM window metrics.
+    pub off_dram: DramSample,
+    /// Design-specific gauges (tag-buffer occupancy, FBR threshold, resident
+    /// pages, ...) by name; cumulative or point-in-time per the name's
+    /// convention, as pushed by the controller.
+    pub gauges: Vec<(String, f64)>,
+}
+
+/// Fixed-capacity sample buffer. Once full, new samples are *dropped* (and
+/// counted) rather than evicting old ones: warmup-convergence analysis needs
+/// the beginning of the run, and a correctly sized capacity never drops.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    samples: Vec<Sample>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TimeSeries {
+    /// An empty series that will hold at most `capacity` samples.
+    pub fn new(capacity: usize) -> Self {
+        TimeSeries {
+            samples: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Append a sample, or count it as dropped if the series is full.
+    pub fn push(&mut self, sample: Sample) {
+        if self.samples.len() < self.capacity {
+            self.samples.push(sample);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The retained samples, oldest first.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Number of samples that did not fit.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Structured events
+
+/// The kinds of rare discrete events the trace records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A controller epoch produced a remap/maintenance plan.
+    EpochPlan,
+    /// Banshee flushed tag buffers (lazy-coherence round or set-full flush).
+    TagBufferFlush,
+    /// The FBR sampler halved its frequency counters.
+    FbrHalving,
+    /// A DRAM channel drained its write queue past the watermark.
+    WriteDrain,
+    /// A DRAM rank refresh (tREFI/tRFC) window.
+    Refresh,
+    /// The OS broadcast a TLB shootdown.
+    TlbShootdown,
+    /// A batch of page-table entries was updated.
+    PteUpdateBatch,
+    /// A page's dirty lines were flushed out of the DRAM cache.
+    PageFlush,
+    /// The cell resumed from a warmed snapshot instead of re-warming.
+    SnapshotResume,
+    /// Warmup ended; measurement began.
+    MeasurementStart,
+}
+
+impl EventKind {
+    /// All event kinds, in display order.
+    pub const ALL: [EventKind; 10] = [
+        EventKind::EpochPlan,
+        EventKind::TagBufferFlush,
+        EventKind::FbrHalving,
+        EventKind::WriteDrain,
+        EventKind::Refresh,
+        EventKind::TlbShootdown,
+        EventKind::PteUpdateBatch,
+        EventKind::PageFlush,
+        EventKind::SnapshotResume,
+        EventKind::MeasurementStart,
+    ];
+
+    /// Stable label used in trace files.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::EpochPlan => "epoch_plan",
+            EventKind::TagBufferFlush => "tag_buffer_flush",
+            EventKind::FbrHalving => "fbr_halving",
+            EventKind::WriteDrain => "write_drain",
+            EventKind::Refresh => "refresh",
+            EventKind::TlbShootdown => "tlb_shootdown",
+            EventKind::PteUpdateBatch => "pte_update_batch",
+            EventKind::PageFlush => "page_flush",
+            EventKind::SnapshotResume => "snapshot_resume",
+            EventKind::MeasurementStart => "measurement_start",
+        }
+    }
+}
+
+/// One recorded event occurrence (or, for polled kinds, a batch of `count`
+/// occurrences detected within one sample window).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Instructions retired when the event was recorded.
+    pub instructions: u64,
+    /// Core clock when the event was recorded.
+    pub cycles: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// How many times (>1 for polled kinds batched per sample window).
+    pub count: u64,
+}
+
+/// Bounded event ring: keeps the most recent `capacity` events, counting
+/// (but discarding) older ones.
+#[derive(Debug, Clone, Default)]
+pub struct EventRing {
+    buf: Vec<Event>,
+    capacity: usize,
+    head: usize,
+    total: u64,
+}
+
+impl EventRing {
+    /// An empty ring holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        EventRing {
+            buf: Vec::new(),
+            capacity,
+            head: 0,
+            total: 0,
+        }
+    }
+
+    /// Record an event, overwriting the oldest if the ring is full.
+    pub fn push(&mut self, event: Event) {
+        self.total += 1;
+        if self.capacity == 0 {
+            return;
+        }
+        if self.buf.len() < self.capacity {
+            self.buf.push(event);
+        } else {
+            self.buf[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Events in chronological order (oldest retained first).
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        let (tail, front) = self.buf.split_at(self.head);
+        front.iter().chain(tail.iter())
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Events lost to overwriting.
+    pub fn dropped(&self) -> u64 {
+        self.total - self.buf.len() as u64
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Gauge names whose *cumulative* values, when they increase between
+/// consecutive samples, generate a polled [`Event`] of the paired kind with
+/// `count` = the increase. Controllers expose these via `telemetry_gauges`;
+/// the recorder turns their deltas into events so rare design-internal
+/// maintenance shows up on the timeline without per-occurrence hooks.
+pub const EVENT_GAUGES: [(&str, EventKind); 2] = [
+    ("tag_buffer_flushes", EventKind::TagBufferFlush),
+    ("fbr_counter_halvings", EventKind::FbrHalving),
+];
+
+// ---------------------------------------------------------------------------
+// Self-profiling
+
+/// Simulator components wall-clock time is attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProfileComponent {
+    /// Virtual-to-physical translation (TLB + page table).
+    Translate,
+    /// The SRAM cache hierarchy (L1/L2/LLC).
+    SramHierarchy,
+    /// The DRAM-cache design controller (plan construction).
+    DesignController,
+    /// DRAM device timing (plan execution).
+    DramExecute,
+    /// Controller epoch maintenance (remap planning and execution).
+    EpochMaintenance,
+    /// OS side effects (page moves, shootdowns, flushes).
+    SideEffects,
+    /// Telemetry sampling itself.
+    TelemetrySampling,
+}
+
+impl ProfileComponent {
+    /// All components, in display order.
+    pub const ALL: [ProfileComponent; 7] = [
+        ProfileComponent::Translate,
+        ProfileComponent::SramHierarchy,
+        ProfileComponent::DesignController,
+        ProfileComponent::DramExecute,
+        ProfileComponent::EpochMaintenance,
+        ProfileComponent::SideEffects,
+        ProfileComponent::TelemetrySampling,
+    ];
+
+    /// Stable label used in profile reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProfileComponent::Translate => "translate",
+            ProfileComponent::SramHierarchy => "sram_hierarchy",
+            ProfileComponent::DesignController => "design_controller",
+            ProfileComponent::DramExecute => "dram_execute",
+            ProfileComponent::EpochMaintenance => "epoch_maintenance",
+            ProfileComponent::SideEffects => "side_effects",
+            ProfileComponent::TelemetrySampling => "telemetry_sampling",
+        }
+    }
+
+    /// Index into dense per-component arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Accumulates wall-clock time per [`ProfileComponent`].
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    nanos: [u64; ProfileComponent::ALL.len()],
+    calls: [u64; ProfileComponent::ALL.len()],
+}
+
+impl Profiler {
+    /// A zeroed profiler.
+    pub fn new() -> Self {
+        Profiler::default()
+    }
+
+    /// Charge `elapsed` to `component`.
+    #[inline]
+    pub fn record(&mut self, component: ProfileComponent, elapsed: Duration) {
+        let i = component.index();
+        self.nanos[i] += elapsed.as_nanos() as u64;
+        self.calls[i] += 1;
+    }
+
+    /// Total time attributed so far.
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.nanos.iter().sum())
+    }
+
+    /// Summarise into a serializable breakdown, components in display order.
+    pub fn breakdown(&self) -> ProfileBreakdown {
+        let total_nanos: u64 = self.nanos.iter().sum();
+        let entries = ProfileComponent::ALL
+            .iter()
+            .map(|&c| {
+                let i = c.index();
+                ProfileEntry {
+                    component: c.label().to_string(),
+                    seconds: self.nanos[i] as f64 / 1e9,
+                    share: if total_nanos == 0 {
+                        0.0
+                    } else {
+                        self.nanos[i] as f64 / total_nanos as f64
+                    },
+                    calls: self.calls[i],
+                }
+            })
+            .collect();
+        ProfileBreakdown {
+            entries,
+            total_seconds: total_nanos as f64 / 1e9,
+        }
+    }
+}
+
+/// One component's share of attributed simulation time.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProfileEntry {
+    /// Component label (see [`ProfileComponent::label`]).
+    pub component: String,
+    /// Attributed wall-clock seconds.
+    pub seconds: f64,
+    /// Fraction of total attributed time (0 when nothing was attributed).
+    pub share: f64,
+    /// Number of timed scopes.
+    pub calls: u64,
+}
+
+/// The full self-profile of one simulated cell.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProfileBreakdown {
+    /// Per-component rows, in [`ProfileComponent::ALL`] order.
+    pub entries: Vec<ProfileEntry>,
+    /// Total attributed wall-clock seconds.
+    pub total_seconds: f64,
+}
+
+/// A cell's label paired with its profile, collected across worker threads
+/// into `run_summary.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellProfile {
+    /// The cell label (`workload x design` with sweep coordinates).
+    pub cell: String,
+    /// Where its simulation time went.
+    pub profile: ProfileBreakdown,
+}
+
+/// Thread-safe accumulator for per-cell profiles; the runner hands a clone
+/// to every worker and drains it into the run summary.
+pub type ProfileCollector = Arc<Mutex<Vec<CellProfile>>>;
+
+/// A fresh, empty [`ProfileCollector`].
+pub fn profile_collector() -> ProfileCollector {
+    Arc::new(Mutex::new(Vec::new()))
+}
+
+// ---------------------------------------------------------------------------
+// The recorder
+
+/// The telemetry recorder threaded through the system simulator.
+///
+/// [`Recorder::Off`] is the default and costs one discriminant test per
+/// guard ([`Recorder::is_off`]); everything else lives behind a box so the
+/// off state adds no per-`System` memory beyond the enum word.
+#[derive(Debug, Default)]
+pub enum Recorder {
+    /// Telemetry disabled: every hook is a no-op.
+    #[default]
+    Off,
+    /// Telemetry enabled.
+    On(Box<ActiveRecorder>),
+}
+
+impl Recorder {
+    /// A recorder in the off state.
+    pub fn off() -> Self {
+        Recorder::Off
+    }
+
+    /// An enabled recorder with the given knobs.
+    pub fn enabled(config: TelemetryConfig) -> Self {
+        Recorder::On(Box::new(ActiveRecorder::new(config)))
+    }
+
+    /// True when telemetry is disabled — the hot-path guard.
+    #[inline]
+    pub fn is_off(&self) -> bool {
+        matches!(self, Recorder::Off)
+    }
+
+    /// The active recorder, if enabled.
+    #[inline]
+    pub fn active_mut(&mut self) -> Option<&mut ActiveRecorder> {
+        match self {
+            Recorder::Off => None,
+            Recorder::On(rec) => Some(rec),
+        }
+    }
+
+    /// The active recorder, if enabled (shared).
+    #[inline]
+    pub fn active(&self) -> Option<&ActiveRecorder> {
+        match self {
+            Recorder::Off => None,
+            Recorder::On(rec) => Some(rec),
+        }
+    }
+}
+
+/// State behind an enabled [`Recorder`].
+#[derive(Debug)]
+pub struct ActiveRecorder {
+    config: TelemetryConfig,
+    series: TimeSeries,
+    events: EventRing,
+    profile: Profiler,
+    /// Instruction count at which the next sample is due.
+    next_sample_at: u64,
+    /// The previous sample boundary's cumulative counters (None before the
+    /// first sample; the first window deltas against zero).
+    prev: Option<SampleCumulative>,
+    /// Previous cumulative values of [`EVENT_GAUGES`] names, aligned with
+    /// that array, for polled event extraction.
+    prev_event_gauges: [f64; EVENT_GAUGES.len()],
+}
+
+impl ActiveRecorder {
+    /// A fresh recorder; the first sample is due after one interval.
+    pub fn new(config: TelemetryConfig) -> Self {
+        ActiveRecorder {
+            series: TimeSeries::new(config.max_samples),
+            events: EventRing::new(config.max_events),
+            profile: Profiler::new(),
+            next_sample_at: config.interval_instructions.max(1),
+            prev: None,
+            prev_event_gauges: [0.0; EVENT_GAUGES.len()],
+            config,
+        }
+    }
+
+    /// The recorder's knobs.
+    pub fn config(&self) -> &TelemetryConfig {
+        &self.config
+    }
+
+    /// True once `instructions` has crossed the next sample boundary.
+    #[inline]
+    pub fn sample_due(&self, instructions: u64) -> bool {
+        instructions >= self.next_sample_at
+    }
+
+    /// Ingest one cumulative snapshot: compute the windowed delta against
+    /// the previous snapshot, extract polled events, append the sample and
+    /// schedule the next boundary.
+    pub fn record_sample(
+        &mut self,
+        warmup: bool,
+        cum: SampleCumulative,
+        gauges: &[(&'static str, f64)],
+    ) {
+        let prev = self.prev.clone().unwrap_or_default();
+        let prev = &prev;
+        // A stale boundary (e.g. right after a forced boundary sample at
+        // measurement start) would produce an empty, meaningless window.
+        if cum.instructions <= prev.instructions && self.prev.is_some() {
+            self.next_sample_at = cum.instructions + self.config.interval_instructions.max(1);
+            return;
+        }
+
+        let delta_instructions = cum.instructions - prev.instructions;
+        let delta_cycles = cum.cycles.saturating_sub(prev.cycles);
+        let delta_misses = cum.dram_cache_misses - prev.dram_cache_misses;
+        let sample = Sample {
+            instructions: cum.instructions,
+            cycles: cum.cycles,
+            warmup,
+            delta_instructions,
+            delta_cycles,
+            ipc: if delta_cycles == 0 {
+                0.0
+            } else {
+                delta_instructions as f64 / delta_cycles as f64
+            },
+            mpki: if delta_instructions == 0 {
+                0.0
+            } else {
+                delta_misses as f64 * 1000.0 / delta_instructions as f64
+            },
+            dram_cache_accesses: cum.dram_cache_accesses - prev.dram_cache_accesses,
+            dram_cache_misses: delta_misses,
+            llc_misses: cum.llc_misses - prev.llc_misses,
+            traffic: cum.traffic.since(&prev.traffic),
+            in_dram: dram_sample(&cum.in_dram, &prev.in_dram),
+            off_dram: dram_sample(&cum.off_dram, &prev.off_dram),
+            gauges: gauges.iter().map(|&(n, v)| (n.to_string(), v)).collect(),
+        };
+
+        // Polled events: DRAM maintenance counted by the devices...
+        self.polled_event(
+            EventKind::Refresh,
+            &cum,
+            (cum.in_dram.refreshes + cum.off_dram.refreshes)
+                .saturating_sub(prev.in_dram.refreshes + prev.off_dram.refreshes),
+        );
+        self.polled_event(
+            EventKind::WriteDrain,
+            &cum,
+            (cum.in_dram.write_drains + cum.off_dram.write_drains)
+                .saturating_sub(prev.in_dram.write_drains + prev.off_dram.write_drains),
+        );
+        // ...and design-internal maintenance surfaced as cumulative gauges.
+        // Skip the very first window: a recorder enabled on a resumed
+        // (already-warmed) system would otherwise report the whole warmup's
+        // worth of maintenance as one giant event burst.
+        let first = self.prev.is_none();
+        for (slot, (name, kind)) in EVENT_GAUGES.iter().enumerate() {
+            if let Some(&(_, value)) = gauges.iter().find(|(n, _)| n == name) {
+                if !first {
+                    let delta = value - self.prev_event_gauges[slot];
+                    if delta > 0.0 {
+                        self.polled_event(*kind, &cum, delta as u64);
+                    }
+                }
+                self.prev_event_gauges[slot] = value;
+            }
+        }
+
+        self.series.push(sample);
+        self.next_sample_at = cum.instructions + self.config.interval_instructions.max(1);
+        self.prev = Some(cum);
+    }
+
+    fn polled_event(&mut self, kind: EventKind, cum: &SampleCumulative, count: u64) {
+        if count > 0 {
+            self.events.push(Event {
+                instructions: cum.instructions,
+                cycles: cum.cycles,
+                kind,
+                count,
+            });
+        }
+    }
+
+    /// Record one discrete event occurrence.
+    #[inline]
+    pub fn record_event(&mut self, instructions: u64, cycles: Cycle, kind: EventKind, count: u64) {
+        self.events.push(Event {
+            instructions,
+            cycles,
+            kind,
+            count,
+        });
+    }
+
+    /// The profiler, for scoped timing.
+    #[inline]
+    pub fn profiler_mut(&mut self) -> &mut Profiler {
+        &mut self.profile
+    }
+
+    /// The recorded series so far.
+    pub fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+
+    /// The recorded events so far.
+    pub fn events(&self) -> &EventRing {
+        &self.events
+    }
+
+    /// Consume the recorder into an exportable report.
+    #[allow(clippy::too_many_arguments)]
+    pub fn into_report(
+        self,
+        design: &str,
+        workload: &str,
+        warmup_instructions: u64,
+        measured_instructions: u64,
+        final_cycles: Cycle,
+        final_traffic: &TrafficStats,
+    ) -> TelemetryReport {
+        TelemetryReport {
+            design: design.to_string(),
+            workload: workload.to_string(),
+            interval_instructions: self.config.interval_instructions,
+            warmup_instructions,
+            measured_instructions,
+            final_cycles,
+            final_traffic: final_traffic.clone(),
+            samples_dropped: self.series.dropped(),
+            events_total: self.events.total(),
+            events_dropped: self.events.dropped(),
+            samples: self.series.samples,
+            events: self.events.iter().cloned().collect(),
+            profile: self.profile.breakdown(),
+        }
+    }
+}
+
+fn dram_sample(cum: &DramTelemetry, prev: &DramTelemetry) -> DramSample {
+    let accesses = cum.accesses.saturating_sub(prev.accesses);
+    let row_hits = cum.row_hits.saturating_sub(prev.row_hits);
+    DramSample {
+        read_queue: cum.read_queue,
+        write_queue: cum.write_queue,
+        accesses,
+        row_hits,
+        row_hit_rate: if accesses == 0 {
+            0.0
+        } else {
+            row_hits as f64 / accesses as f64
+        },
+        refreshes: cum.refreshes.saturating_sub(prev.refreshes),
+        write_drains: cum.write_drains.saturating_sub(prev.write_drains),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors and the export sink
+
+/// Telemetry sink I/O failed. Mirrors `SnapshotError`'s philosophy: typed,
+/// actionable, and — unlike snapshots — always degraded to a warning by
+/// callers, because telemetry must never fail an otherwise good run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TelemetryError {
+    /// The output directory could not be created.
+    CreateDir {
+        /// The directory that could not be created.
+        path: String,
+        /// The underlying I/O error.
+        message: String,
+    },
+    /// A telemetry file could not be written.
+    Write {
+        /// The file that could not be written.
+        path: String,
+        /// The underlying I/O error.
+        message: String,
+    },
+}
+
+impl fmt::Display for TelemetryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TelemetryError::CreateDir { path, message } => {
+                write!(f, "cannot create telemetry dir {path}: {message}")
+            }
+            TelemetryError::Write { path, message } => {
+                write!(f, "cannot write telemetry file {path}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TelemetryError {}
+
+/// The exportable JSON payload of one cell's telemetry: time series, events,
+/// profile, plus the final aggregates the samples must reconcile against
+/// (so a report file is self-validating).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TelemetryReport {
+    /// Design label of the cell.
+    pub design: String,
+    /// Workload label of the cell.
+    pub workload: String,
+    /// Instructions between samples.
+    pub interval_instructions: u64,
+    /// Warmup instructions the cell was configured with.
+    pub warmup_instructions: u64,
+    /// Measured instructions the run actually retired.
+    pub measured_instructions: u64,
+    /// Final max core clock, in cycles.
+    pub final_cycles: u64,
+    /// Final *measured-phase* traffic (what `SimResult` reports); the sum of
+    /// non-warmup sample `traffic` deltas must equal this exactly.
+    pub final_traffic: TrafficStats,
+    /// Samples that did not fit in the configured capacity.
+    pub samples_dropped: u64,
+    /// Events recorded in total, including overwritten ones.
+    pub events_total: u64,
+    /// Events lost to ring overwriting.
+    pub events_dropped: u64,
+    /// The retained samples, oldest first.
+    pub samples: Vec<Sample>,
+    /// The retained events, oldest first.
+    pub events: Vec<Event>,
+    /// Wall-clock attribution of this cell's simulation time.
+    pub profile: ProfileBreakdown,
+}
+
+/// Sanitise a label into a filename-safe slug: ASCII alphanumerics are
+/// lowercased, everything else becomes `_`.
+pub fn slug(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Writes one cell's telemetry files (`telemetry_<cell>.json`, `.csv` and
+/// `.trace.json`) into a directory.
+#[derive(Debug, Clone)]
+pub struct TelemetrySink {
+    dir: PathBuf,
+    cell: String,
+}
+
+impl TelemetrySink {
+    /// A sink for cell `cell` (pre-sanitised with [`slug`]) under `dir`.
+    pub fn new(dir: impl Into<PathBuf>, cell: &str) -> Self {
+        TelemetrySink {
+            dir: dir.into(),
+            cell: slug(cell),
+        }
+    }
+
+    /// The path of the JSON report this sink writes.
+    pub fn json_path(&self) -> PathBuf {
+        self.dir.join(format!("telemetry_{}.json", self.cell))
+    }
+
+    /// The path of the CSV time series this sink writes.
+    pub fn csv_path(&self) -> PathBuf {
+        self.dir.join(format!("telemetry_{}.csv", self.cell))
+    }
+
+    /// The path of the Chrome trace this sink writes.
+    pub fn trace_path(&self) -> PathBuf {
+        self.dir.join(format!("telemetry_{}.trace.json", self.cell))
+    }
+
+    /// Write all three artefacts, returning the written paths.
+    pub fn export(&self, report: &TelemetryReport) -> Result<Vec<PathBuf>, TelemetryError> {
+        std::fs::create_dir_all(&self.dir).map_err(|e| TelemetryError::CreateDir {
+            path: self.dir.display().to_string(),
+            message: e.to_string(),
+        })?;
+        let json = self.json_path();
+        let pretty = serde_json::to_string_pretty(report).unwrap_or_else(|e| {
+            // Serialization of an in-memory report cannot fail with the
+            // vendored encoder; keep a defensive fallback anyway.
+            format!("{{\"error\": \"{e}\"}}")
+        });
+        write_file(&json, &pretty)?;
+        let csv = self.csv_path();
+        write_file(&csv, &csv_text(report))?;
+        let trace = self.trace_path();
+        write_file(&trace, &chrome_trace_text(report))?;
+        Ok(vec![json, csv, trace])
+    }
+}
+
+fn write_file(path: &Path, text: &str) -> Result<(), TelemetryError> {
+    std::fs::write(path, text).map_err(|e| TelemetryError::Write {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })
+}
+
+/// Render a report's samples as CSV. Columns are fixed (cumulative position,
+/// windowed rates, per-(DRAM, class) traffic bytes, per-DRAM queue/row-hit
+/// metrics) plus one column per gauge of the first sample — gauge sets are
+/// constant within a run, so the first sample's names describe them all.
+pub fn csv_text(report: &TelemetryReport) -> String {
+    let mut header: Vec<String> = vec![
+        "instructions".into(),
+        "cycles".into(),
+        "warmup".into(),
+        "delta_instructions".into(),
+        "delta_cycles".into(),
+        "ipc".into(),
+        "mpki".into(),
+        "dram_cache_accesses".into(),
+        "dram_cache_misses".into(),
+        "llc_misses".into(),
+    ];
+    for kind in DramKind::ALL {
+        let k = kind_slug(kind);
+        for class in TrafficClass::ALL {
+            header.push(format!("{}_{}_bytes", k, slug(class.label())));
+        }
+    }
+    for kind in DramKind::ALL {
+        let k = kind_slug(kind);
+        header.push(format!("{k}_read_queue"));
+        header.push(format!("{k}_write_queue"));
+        header.push(format!("{k}_row_hit_rate"));
+        header.push(format!("{k}_refreshes"));
+        header.push(format!("{k}_write_drains"));
+    }
+    let gauge_names: Vec<&str> = report
+        .samples
+        .first()
+        .map(|s| s.gauges.iter().map(|(n, _)| n.as_str()).collect())
+        .unwrap_or_default();
+    for name in &gauge_names {
+        header.push(format!("gauge_{}", slug(name)));
+    }
+
+    let mut out = header.join(",");
+    out.push('\n');
+    for s in &report.samples {
+        let mut row: Vec<String> = vec![
+            s.instructions.to_string(),
+            s.cycles.to_string(),
+            (s.warmup as u8).to_string(),
+            s.delta_instructions.to_string(),
+            s.delta_cycles.to_string(),
+            format!("{:.6}", s.ipc),
+            format!("{:.6}", s.mpki),
+            s.dram_cache_accesses.to_string(),
+            s.dram_cache_misses.to_string(),
+            s.llc_misses.to_string(),
+        ];
+        for kind in DramKind::ALL {
+            for class in TrafficClass::ALL {
+                row.push(s.traffic.bytes(kind, class).to_string());
+            }
+        }
+        for (kind, d) in [
+            (DramKind::InPackage, &s.in_dram),
+            (DramKind::OffPackage, &s.off_dram),
+        ] {
+            let _ = kind;
+            row.push(d.read_queue.to_string());
+            row.push(d.write_queue.to_string());
+            row.push(format!("{:.6}", d.row_hit_rate));
+            row.push(d.refreshes.to_string());
+            row.push(d.write_drains.to_string());
+        }
+        for name in &gauge_names {
+            let v = s
+                .gauges
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+                .unwrap_or(0.0);
+            row.push(format!("{v:.6}"));
+        }
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+fn kind_slug(kind: DramKind) -> &'static str {
+    match kind {
+        DramKind::InPackage => "in",
+        DramKind::OffPackage => "off",
+    }
+}
+
+/// Render a report's events as Chrome trace-event JSON (instant events,
+/// global scope), loadable in chrome://tracing or Perfetto. Timestamps are
+/// microseconds derived from the 2.7 GHz core clock.
+pub fn chrome_trace_text(report: &TelemetryReport) -> String {
+    use serde::Value;
+    let events: Vec<Value> = report
+        .events
+        .iter()
+        .map(|e| {
+            Value::Object(vec![
+                ("name".to_string(), Value::Str(e.kind.label().to_string())),
+                ("ph".to_string(), Value::Str("i".to_string())),
+                ("s".to_string(), Value::Str("g".to_string())),
+                (
+                    "ts".to_string(),
+                    Value::Float(e.cycles as f64 / (CORE_GHZ * 1e3)),
+                ),
+                ("pid".to_string(), Value::UInt(1)),
+                ("tid".to_string(), Value::UInt(1)),
+                (
+                    "args".to_string(),
+                    Value::Object(vec![
+                        ("instructions".to_string(), Value::UInt(e.instructions)),
+                        ("count".to_string(), Value::UInt(e.count)),
+                    ]),
+                ),
+            ])
+        })
+        .collect();
+    let doc = Value::Object(vec![
+        ("traceEvents".to_string(), Value::Array(events)),
+        ("displayTimeUnit".to_string(), Value::Str("ms".to_string())),
+        (
+            "otherData".to_string(),
+            Value::Object(vec![
+                ("design".to_string(), Value::Str(report.design.clone())),
+                ("workload".to_string(), Value::Str(report.workload.clone())),
+            ]),
+        ),
+    ]);
+    serde_json::to_string_pretty(&doc).unwrap_or_else(|e| format!("{{\"error\": \"{e}\"}}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cum(instructions: u64, cycles: u64) -> SampleCumulative {
+        SampleCumulative {
+            instructions,
+            cycles,
+            ..SampleCumulative::default()
+        }
+    }
+
+    #[test]
+    fn time_series_drops_new_when_full() {
+        let mut ts = TimeSeries::new(2);
+        for i in 0..5 {
+            ts.push(Sample {
+                instructions: i,
+                ..Sample::default()
+            });
+        }
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.dropped(), 3);
+        // The earliest samples are retained (warmup convergence needs them).
+        assert_eq!(ts.samples()[0].instructions, 0);
+        assert_eq!(ts.samples()[1].instructions, 1);
+    }
+
+    #[test]
+    fn event_ring_overwrites_oldest() {
+        let mut ring = EventRing::new(3);
+        for i in 0..5u64 {
+            ring.push(Event {
+                instructions: i,
+                cycles: i,
+                kind: EventKind::EpochPlan,
+                count: 1,
+            });
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.total(), 5);
+        assert_eq!(ring.dropped(), 2);
+        let order: Vec<u64> = ring.iter().map(|e| e.instructions).collect();
+        assert_eq!(order, [2, 3, 4]);
+    }
+
+    #[test]
+    fn recorder_sampling_boundaries() {
+        let mut rec = ActiveRecorder::new(TelemetryConfig {
+            interval_instructions: 100,
+            ..TelemetryConfig::default()
+        });
+        assert!(!rec.sample_due(99));
+        assert!(rec.sample_due(100));
+        rec.record_sample(true, cum(120, 300), &[]);
+        assert!(!rec.sample_due(219));
+        assert!(rec.sample_due(220));
+    }
+
+    #[test]
+    fn samples_delta_against_previous() {
+        let mut rec = ActiveRecorder::new(TelemetryConfig::default());
+        let mut first = cum(100, 400);
+        first
+            .traffic
+            .add(DramKind::InPackage, TrafficClass::HitData, 64);
+        first.dram_cache_misses = 10;
+        rec.record_sample(true, first, &[]);
+        let mut second = cum(300, 600);
+        second
+            .traffic
+            .add(DramKind::InPackage, TrafficClass::HitData, 192);
+        second.dram_cache_misses = 14;
+        rec.record_sample(false, second, &[]);
+
+        let s = rec.series().samples();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].delta_instructions, 100);
+        assert!((s[0].ipc - 0.25).abs() < 1e-12);
+        assert_eq!(s[1].delta_instructions, 200);
+        assert_eq!(s[1].delta_cycles, 200);
+        assert!((s[1].ipc - 1.0).abs() < 1e-12);
+        assert_eq!(
+            s[1].traffic
+                .bytes(DramKind::InPackage, TrafficClass::HitData),
+            128
+        );
+        assert!((s[1].mpki - 20.0).abs() < 1e-12);
+        assert!(s[0].warmup && !s[1].warmup);
+    }
+
+    #[test]
+    fn polled_gauge_events_skip_first_window() {
+        let mut rec = ActiveRecorder::new(TelemetryConfig::default());
+        // First window: cumulative flushes already at 7 (e.g. resumed from
+        // a warmed snapshot) — must not produce an event burst.
+        rec.record_sample(true, cum(100, 100), &[("tag_buffer_flushes", 7.0)]);
+        assert!(rec.events().is_empty());
+        // Second window: two more flushes and one halving.
+        rec.record_sample(
+            false,
+            cum(200, 200),
+            &[("tag_buffer_flushes", 9.0), ("fbr_counter_halvings", 1.0)],
+        );
+        let kinds: Vec<(EventKind, u64)> = rec.events().iter().map(|e| (e.kind, e.count)).collect();
+        assert!(kinds.contains(&(EventKind::TagBufferFlush, 2)));
+        // fbr gauge appeared for the first time in window 2, so its
+        // baseline was 0 from construction and delta 1 fires.
+        assert!(kinds.contains(&(EventKind::FbrHalving, 1)));
+    }
+
+    #[test]
+    fn polled_dram_events_fire_on_deltas() {
+        let mut rec = ActiveRecorder::new(TelemetryConfig::default());
+        let mut a = cum(100, 100);
+        a.in_dram.refreshes = 2;
+        rec.record_sample(true, a, &[]);
+        let mut b = cum(200, 200);
+        b.in_dram.refreshes = 5;
+        b.off_dram.write_drains = 1;
+        rec.record_sample(false, b, &[]);
+        let kinds: Vec<(EventKind, u64)> = rec.events().iter().map(|e| (e.kind, e.count)).collect();
+        // First window deltas against zero, so the initial 2 refreshes fire.
+        assert!(kinds.contains(&(EventKind::Refresh, 2)));
+        assert!(kinds.contains(&(EventKind::Refresh, 3)));
+        assert!(kinds.contains(&(EventKind::WriteDrain, 1)));
+    }
+
+    #[test]
+    fn profiler_breakdown_shares() {
+        let mut p = Profiler::new();
+        p.record(ProfileComponent::Translate, Duration::from_nanos(300));
+        p.record(ProfileComponent::DramExecute, Duration::from_nanos(700));
+        let b = p.breakdown();
+        assert_eq!(b.entries.len(), ProfileComponent::ALL.len());
+        let total_share: f64 = b.entries.iter().map(|e| e.share).sum();
+        assert!((total_share - 1.0).abs() < 1e-12);
+        let translate = b
+            .entries
+            .iter()
+            .find(|e| e.component == "translate")
+            .unwrap();
+        assert!((translate.share - 0.3).abs() < 1e-12);
+        assert_eq!(translate.calls, 1);
+        // An empty profiler yields zero shares, not NaN.
+        let empty = Profiler::new().breakdown();
+        assert!(empty.entries.iter().all(|e| e.share == 0.0));
+    }
+
+    #[test]
+    fn slug_sanitizes_labels() {
+        assert_eq!(slug("Banshee (batman)"), "banshee__batman_");
+        assert_eq!(slug("kv99"), "kv99");
+        assert_eq!(slug("TDC x mcf/4"), "tdc_x_mcf_4");
+    }
+
+    #[test]
+    fn error_display_names_the_path() {
+        let e = TelemetryError::Write {
+            path: "/tmp/x.json".into(),
+            message: "denied".into(),
+        };
+        let msg = e.to_string();
+        assert!(
+            msg.contains("/tmp/x.json") && msg.contains("denied"),
+            "{msg}"
+        );
+    }
+
+    fn tiny_report() -> TelemetryReport {
+        let mut rec = ActiveRecorder::new(TelemetryConfig {
+            interval_instructions: 100,
+            ..TelemetryConfig::default()
+        });
+        let mut a = cum(100, 270);
+        a.traffic
+            .add(DramKind::InPackage, TrafficClass::HitData, 64);
+        rec.record_sample(true, a, &[("resident_pages", 3.0)]);
+        let mut b = cum(200, 540);
+        b.traffic
+            .add(DramKind::InPackage, TrafficClass::HitData, 128);
+        b.in_dram.refreshes = 1;
+        rec.record_sample(false, b, &[("resident_pages", 5.0)]);
+        rec.record_event(150, 400, EventKind::MeasurementStart, 1);
+        rec.profiler_mut()
+            .record(ProfileComponent::DramExecute, Duration::from_micros(5));
+        let traffic = TrafficStats::new();
+        rec.into_report("Banshee", "mcf", 100, 100, 540, &traffic)
+    }
+
+    #[test]
+    fn report_exports_parse_and_round_trip() {
+        let report = tiny_report();
+        let text = serde_json::to_string_pretty(&report).unwrap();
+        let back: TelemetryReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.samples.len(), 2);
+        assert_eq!(back.events.len(), 2); // polled refresh + measurement start
+        assert_eq!(back.design, "Banshee");
+        assert_eq!(back.samples[1].gauges[0].0, "resident_pages");
+
+        let csv = csv_text(&report);
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("instructions,cycles,warmup"));
+        assert!(header.contains("in_hitdata_bytes"));
+        assert!(header.contains("off_row_hit_rate"));
+        assert!(header.ends_with("gauge_resident_pages"));
+        assert_eq!(lines.count(), 2);
+        let cols = header.split(',').count();
+        for line in csv.lines().skip(1) {
+            assert_eq!(line.split(',').count(), cols);
+        }
+
+        let trace = chrome_trace_text(&report);
+        let v = serde_json::parse_value(&trace).unwrap();
+        let events = v.field("traceEvents").unwrap();
+        if let serde::Value::Array(items) = events {
+            assert_eq!(items.len(), 2);
+            let first = &items[0];
+            assert!(first.field("ts").is_ok());
+            assert_eq!(
+                first.field("ph").unwrap(),
+                &serde::Value::Str("i".to_string())
+            );
+        } else {
+            panic!("traceEvents should be an array");
+        }
+    }
+
+    #[test]
+    fn sink_writes_all_three_files() {
+        let dir = std::env::temp_dir().join(format!("banshee_tel_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let sink = TelemetrySink::new(&dir, "000 mcf x Banshee");
+        let written = sink.export(&tiny_report()).unwrap();
+        assert_eq!(written.len(), 3);
+        for path in &written {
+            assert!(path.exists(), "{} missing", path.display());
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            assert!(name.starts_with("telemetry_000_mcf_x_banshee"), "{name}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sink_failure_is_a_typed_error() {
+        let dir = std::env::temp_dir().join(format!("banshee_tel_f_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::write(&dir, b"not a dir").unwrap();
+        let sink = TelemetrySink::new(dir.join("sub"), "cell");
+        let err = sink.export(&tiny_report()).unwrap_err();
+        assert!(matches!(err, TelemetryError::CreateDir { .. }), "{err}");
+        let _ = std::fs::remove_file(&dir);
+    }
+
+    #[test]
+    fn recorder_off_is_the_default_and_cheap() {
+        let rec = Recorder::default();
+        assert!(rec.is_off());
+        assert!(rec.active().is_none());
+        let mut on = Recorder::enabled(TelemetryConfig::default());
+        assert!(!on.is_off());
+        assert!(on.active_mut().is_some());
+    }
+
+    #[test]
+    fn measured_samples_telescope_to_final_traffic() {
+        // The reconciliation invariant the sim-level tests rely on, in
+        // miniature: sum of measured-window deltas == final - boundary.
+        let mut rec = ActiveRecorder::new(TelemetryConfig {
+            interval_instructions: 50,
+            ..TelemetryConfig::default()
+        });
+        let mut total = TrafficStats::new();
+        // Warmup window.
+        total.add(DramKind::InPackage, TrafficClass::Replacement, 4096);
+        let mut c = cum(50, 100);
+        c.traffic = total.clone();
+        rec.record_sample(true, c, &[]);
+        let boundary = total.clone();
+        // Three measured windows.
+        for i in 1..=3u64 {
+            total.add(DramKind::OffPackage, TrafficClass::MissData, 64 * i);
+            let mut c = cum(50 + 50 * i, 100 + 100 * i);
+            c.traffic = total.clone();
+            rec.record_sample(false, c, &[]);
+        }
+        let mut summed = TrafficStats::new();
+        for s in rec.series().samples().iter().filter(|s| !s.warmup) {
+            summed.merge(&s.traffic);
+        }
+        let expected = total.since(&boundary);
+        assert_eq!(summed, expected);
+    }
+}

@@ -553,6 +553,38 @@ impl DramCacheController for BansheeController {
         s
     }
 
+    fn telemetry_gauges(&self, out: &mut Vec<(&'static str, f64)>) {
+        // Point-in-time gauges.
+        let n = self.tag_buffers.len().max(1) as f64;
+        let occupancy: f64 = self
+            .tag_buffers
+            .iter()
+            .map(|t| t.remap_occupancy())
+            .sum::<f64>()
+            / n;
+        out.push(("tag_buffer_occupancy", occupancy));
+        out.push((
+            "tag_buffer_remap_entries",
+            self.tag_buffers
+                .iter()
+                .map(|t| t.remap_entries() as f64)
+                .sum(),
+        ));
+        out.push(("fbr_threshold", self.fbr.threshold()));
+        out.push(("resident_pages", self.resident.len() as f64));
+        out.push(("recent_miss_rate", self.demand.recent_miss_rate()));
+        // Cumulative gauges; the first two carry the EVENT_GAUGES names, so
+        // the recorder turns their per-window increases into polled events.
+        out.push((
+            "tag_buffer_flushes",
+            (self.coherence.flushes() + self.set_full_flushes) as f64,
+        ));
+        out.push(("fbr_counter_halvings", self.fbr.counter_halvings() as f64));
+        out.push(("fbr_sampled_accesses", self.fbr.sampled_accesses() as f64));
+        out.push(("replacements", self.replacements as f64));
+        out.push(("pte_updates", self.coherence.pte_updates() as f64));
+    }
+
     fn save_state(&self, w: &mut SnapshotWriter) {
         self.metadata.save(w);
         w.seq(self.tag_buffers.iter());

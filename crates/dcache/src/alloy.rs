@@ -222,6 +222,11 @@ impl DramCacheController for AlloyCache {
         s
     }
 
+    fn telemetry_gauges(&self, out: &mut Vec<(&'static str, f64)>) {
+        out.push(("recent_miss_rate", self.demand.recent_miss_rate()));
+        out.push(("fill_probability", self.fill_probability));
+    }
+
     fn save_state(&self, w: &mut SnapshotWriter) {
         w.usize(self.slots.len());
         w.seq_with(&self.slots, |w, s| {

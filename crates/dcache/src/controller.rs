@@ -78,6 +78,14 @@ pub trait DramCacheController {
     /// pages remapped, ...).
     fn stats(&self) -> StatSet;
 
+    /// Push design-specific telemetry gauges as `(name, value)` pairs for
+    /// one time-series sample. Names must be stable within a run; values are
+    /// point-in-time (occupancy, threshold) or cumulative (the recorder
+    /// turns [`banshee_common::telemetry::EVENT_GAUGES`] names' increases
+    /// into polled events). The default pushes nothing; only called when
+    /// telemetry is enabled, so implementations need not be hot-path cheap.
+    fn telemetry_gauges(&self, _out: &mut Vec<(&'static str, f64)>) {}
+
     /// Serialise the controller's mutable state (cache contents, counters,
     /// RNG streams) into a warmed-state snapshot. Configuration is *not*
     /// saved: a restored controller is always built cold from the same

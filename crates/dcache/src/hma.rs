@@ -237,6 +237,17 @@ impl DramCacheController for Hma {
         s
     }
 
+    fn telemetry_gauges(&self, out: &mut Vec<(&'static str, f64)>) {
+        out.push(("resident_pages", self.cached.len() as f64));
+        out.push((
+            "occupancy",
+            self.cached.len() as f64 / self.capacity_pages as f64,
+        ));
+        out.push(("recent_miss_rate", self.demand.recent_miss_rate()));
+        out.push(("migrations_in", self.migrations_in as f64));
+        out.push(("migrations_out", self.migrations_out as f64));
+    }
+
     fn save_state(&self, w: &mut SnapshotWriter) {
         w.u64(self.capacity_pages);
         w.u64(self.migrations_in);

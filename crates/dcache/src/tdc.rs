@@ -276,6 +276,17 @@ impl DramCacheController for Tdc {
         s
     }
 
+    fn telemetry_gauges(&self, out: &mut Vec<(&'static str, f64)>) {
+        out.push(("resident_pages", self.frames.len() as f64));
+        out.push((
+            "occupancy",
+            self.frames.len() as f64 / self.capacity_pages as f64,
+        ));
+        out.push(("recent_miss_rate", self.demand.recent_miss_rate()));
+        out.push(("fills", self.fills as f64));
+        out.push(("evictions", self.evictions as f64));
+    }
+
     fn save_state(&self, w: &mut SnapshotWriter) {
         w.u64(self.capacity_pages);
         w.u64(self.fills);

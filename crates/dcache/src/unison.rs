@@ -235,6 +235,12 @@ impl DramCacheController for UnisonCache {
         s
     }
 
+    fn telemetry_gauges(&self, out: &mut Vec<(&'static str, f64)>) {
+        out.push(("recent_miss_rate", self.demand.recent_miss_rate()));
+        out.push(("fills", self.fills as f64));
+        out.push(("mean_footprint_lines", self.footprint.mean_footprint()));
+    }
+
     fn save_state(&self, w: &mut SnapshotWriter) {
         w.usize(self.sets.len());
         w.usize(self.ways);

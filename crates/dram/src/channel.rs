@@ -242,6 +242,17 @@ impl Channel {
         self.write_queue.len()
     }
 
+    /// Reads still in flight at cycle `now`, summed over banks. Each bank's
+    /// ring holds the finish times of its last `queue_depth` requests, so an
+    /// entry strictly after `now` is a request still occupying a queue slot
+    /// — exactly the occupancy the bounded-read-queue admission test uses.
+    pub fn read_queue_occupancy(&self, now: Cycle) -> usize {
+        self.banks
+            .iter()
+            .map(|b| b.ring.iter().filter(|&&finish| finish > now).count())
+            .sum()
+    }
+
     /// Earliest cycle at which the data bus is free.
     pub fn bus_free_at(&self) -> Cycle {
         self.bus_free
@@ -646,6 +657,20 @@ mod tests {
         let a = ch.read(0, Addr::new(0x1000), 64, TrafficClass::HitData);
         assert_eq!(a.row_outcome, RowBufferOutcome::Closed);
         assert!(a.finish > a.start);
+    }
+
+    #[test]
+    fn read_queue_occupancy_counts_in_flight_requests() {
+        let mut ch = Channel::new(&bare(2));
+        assert_eq!(ch.read_queue_occupancy(0), 0);
+        let a = ch.read(0, Addr::new(0), 64, TrafficClass::HitData);
+        let b = ch.read(0, Addr::new(64), 64, TrafficClass::HitData);
+        // Both requests occupy slots until their finish times pass.
+        assert_eq!(ch.read_queue_occupancy(0), 2);
+        let first_done = a.finish.min(b.finish);
+        let last_done = a.finish.max(b.finish);
+        assert_eq!(ch.read_queue_occupancy(first_done), 1);
+        assert_eq!(ch.read_queue_occupancy(last_done), 0);
     }
 
     #[test]

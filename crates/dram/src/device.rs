@@ -3,6 +3,7 @@
 use crate::channel::{Channel, ChannelAccess};
 use crate::config::DramConfig;
 use banshee_common::persist::{Persist, SnapshotError, SnapshotReader, SnapshotWriter};
+use banshee_common::telemetry::DramTelemetry;
 use banshee_common::{Addr, Cycle, DramKind, FastDivMod, TrafficClass, TrafficStats, PAGE_SIZE};
 
 /// Result of an access at the device level.
@@ -201,6 +202,27 @@ impl DramDevice {
         sum / self.channels.len() as f64
     }
 
+    /// Gather the device's telemetry counters plus point-in-time queue
+    /// occupancy at cycle `now`, for one time-series sample.
+    pub fn telemetry(&self, now: Cycle) -> DramTelemetry {
+        DramTelemetry {
+            read_queue: self
+                .channels
+                .iter()
+                .map(|c| c.read_queue_occupancy(now) as u64)
+                .sum(),
+            write_queue: self
+                .channels
+                .iter()
+                .map(|c| c.pending_writes() as u64)
+                .sum(),
+            accesses: self.channels.iter().map(|c| c.access_count()).sum(),
+            row_hits: self.channels.iter().map(|c| c.row_hit_count()).sum(),
+            refreshes: self.refresh_count(),
+            write_drains: self.write_drain_count(),
+        }
+    }
+
     /// Row-buffer hit rate across channels.
     pub fn row_hit_rate(&self) -> f64 {
         let hits: u64 = self.channels.iter().map(|c| c.row_hit_count()).sum();
@@ -389,6 +411,32 @@ mod tests {
             );
         }
         assert!(loaded.mean_latency() > idle.mean_latency());
+    }
+
+    #[test]
+    fn telemetry_gauges_track_queues_and_counters() {
+        let mut dev = DramDevice::new(DramKind::InPackage, DramConfig::in_package_default());
+        let mut last_finish = 0;
+        for i in 0..8u64 {
+            last_finish = dev
+                .access(
+                    0,
+                    Addr::new(i * PAGE_SIZE),
+                    64,
+                    TrafficClass::HitData,
+                    false,
+                )
+                .finish
+                .max(last_finish);
+        }
+        let busy = dev.telemetry(0);
+        assert!(busy.read_queue > 0, "reads in flight at issue time");
+        assert_eq!(busy.accesses, dev.access_count());
+        assert_eq!(busy.refreshes, dev.refresh_count());
+        assert_eq!(busy.write_drains, dev.write_drain_count());
+        let idle = dev.telemetry(last_finish + 1);
+        assert_eq!(idle.read_queue, 0, "all reads finished");
+        assert_eq!(idle.accesses, busy.accesses);
     }
 
     #[test]

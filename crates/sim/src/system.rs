@@ -5,6 +5,10 @@ use crate::core_model::{CoreModel, Translation};
 use crate::factory::build_controller;
 use crate::result::SimResult;
 use banshee_common::persist::Persist;
+use banshee_common::telemetry::{
+    CellProfile, EventKind, ProfileCollector, ProfileComponent, Recorder, SampleCumulative,
+    TelemetryConfig, TelemetrySink,
+};
 use banshee_common::{
     fnv1a64, Addr, Cycle, LineAddr, PageNum, SnapshotError, SnapshotHeader, SnapshotReader,
     SnapshotWriter, StatSet, TrafficStats, XorShiftRng,
@@ -13,6 +17,7 @@ use banshee_dcache::{DramCacheController, MemRequest, PlanSink, SideEffect};
 use banshee_dram::DualDram;
 use banshee_memhier::{CacheHierarchy, HitLevel, PageSize, PageTable, TlbEntry};
 use banshee_workloads::TraceFactory;
+use std::time::{Duration, Instant};
 
 /// Small fixed latencies of the on-chip path (partially hidden by the
 /// out-of-order core, hence smaller than the raw lookup latencies).
@@ -42,6 +47,16 @@ pub struct System {
     sink: PlanSink,
     /// Reusable buffer for page-flush side effects.
     flush_scratch: Vec<LineAddr>,
+    /// Time-resolved telemetry. [`Recorder::Off`] by default and *never*
+    /// persisted in warmed images or reflected in key material — telemetry
+    /// observes the simulation without influencing it, and results are
+    /// byte-identical with the recorder on or off.
+    recorder: Recorder,
+    /// Where to write telemetry files at collection time (None: discard).
+    telemetry_sink: Option<TelemetrySink>,
+    /// Where to deposit the self-profile at collection time, with the cell
+    /// label it should carry.
+    profile_out: Option<(String, ProfileCollector)>,
 }
 
 impl System {
@@ -78,7 +93,40 @@ impl System {
             planned: banshee_common::TrafficStats::new(),
             sink: PlanSink::new(),
             flush_scratch: Vec::new(),
+            recorder: Recorder::Off,
+            telemetry_sink: None,
+            profile_out: None,
             config,
+        }
+    }
+
+    /// Turn on the telemetry recorder. Must be called before the run starts
+    /// (or right after [`System::resume_warmed`]); simulation results are
+    /// unaffected either way.
+    pub fn enable_telemetry(&mut self, config: TelemetryConfig) {
+        self.recorder = Recorder::enabled(config);
+    }
+
+    /// Set where [`System::run_measured`] writes the telemetry files. Export
+    /// errors degrade to a warning on stderr, never a failed run.
+    pub fn set_telemetry_sink(&mut self, sink: TelemetrySink) {
+        self.telemetry_sink = Some(sink);
+    }
+
+    /// Deposit the end-of-run self-profile into `collector` under `cell`.
+    pub fn set_profile_output(&mut self, cell: String, collector: ProfileCollector) {
+        self.profile_out = Some((cell, collector));
+    }
+
+    /// Note (for the event trace) that this system was resumed from a
+    /// warmed snapshot at `executed` instructions rather than re-warmed.
+    pub fn note_snapshot_resume(&mut self, executed: u64) {
+        if self.recorder.is_off() {
+            return;
+        }
+        let cycles = self.cores.iter().map(|c| c.clock).max().unwrap_or(0);
+        if let Some(rec) = self.recorder.active_mut() {
+            rec.record_event(executed, cycles, EventKind::SnapshotResume, 1);
         }
     }
 
@@ -111,6 +159,9 @@ impl System {
         let mut executed: u64 = 0;
         while executed < warmup + budget {
             executed += self.step_laggard();
+            if !self.recorder.is_off() {
+                self.telemetry_tick(executed, true);
+            }
             if executed >= warmup {
                 return Some(executed);
             }
@@ -118,7 +169,7 @@ impl System {
             // rebalancing).
             if executed >= self.next_epoch_at {
                 self.next_epoch_at += self.config.epoch_instructions;
-                self.run_epoch();
+                self.run_epoch(executed);
             }
         }
         None
@@ -132,6 +183,15 @@ impl System {
             return self.collect(workload_name, 0, MeasurementBaseline::default());
         };
         let baseline = self.counter_baseline();
+        if !self.recorder.is_off() {
+            // Flush the partial warm-up sampling window exactly at the
+            // baseline, so measured-phase sample deltas telescope to the
+            // final (baseline-subtracted) result.
+            self.take_sample(executed, true);
+            if let Some(rec) = self.recorder.active_mut() {
+                rec.record_event(executed, baseline.cycles, EventKind::MeasurementStart, 1);
+            }
+        }
         let warmup = self.config.warmup_instructions;
         let budget = self.config.total_instructions;
         // The step that crossed the warm-up boundary still owes its epoch
@@ -139,16 +199,79 @@ impl System {
         // capture).
         if executed >= self.next_epoch_at {
             self.next_epoch_at += self.config.epoch_instructions;
-            self.run_epoch();
+            self.run_epoch(executed);
         }
         while executed < warmup + budget {
             executed += self.step_laggard();
+            if !self.recorder.is_off() {
+                self.telemetry_tick(executed, false);
+            }
             if executed >= self.next_epoch_at {
                 self.next_epoch_at += self.config.epoch_instructions;
-                self.run_epoch();
+                self.run_epoch(executed);
             }
         }
         self.collect(workload_name, executed, baseline)
+    }
+
+    /// Record a time-series sample if the current instruction count crossed
+    /// the sampling boundary. Only called with the recorder on; kept out of
+    /// line so the hot loop pays a single branch when telemetry is off.
+    #[cold]
+    fn telemetry_tick(&mut self, executed: u64, warmup: bool) {
+        let due = match self.recorder.active() {
+            Some(rec) => rec.sample_due(executed),
+            None => return,
+        };
+        if due {
+            self.take_sample(executed, warmup);
+        }
+    }
+
+    /// Gather the cumulative counters the recorder diffs between samples and
+    /// push one sample. The read is pure observation: nothing in the
+    /// simulation state changes.
+    fn take_sample(&mut self, executed: u64, warmup: bool) {
+        let t0 = Instant::now();
+        let cycles = self.cores.iter().map(|c| c.clock).max().unwrap_or(0);
+        let (accesses, misses) = self.controller.demand_stats();
+        let cum = SampleCumulative {
+            instructions: executed,
+            cycles,
+            dram_cache_accesses: accesses,
+            dram_cache_misses: misses,
+            llc_misses: self.hierarchy.llc_miss_count(),
+            traffic: self.dram.combined_traffic(),
+            in_dram: self.dram.in_package.telemetry(cycles),
+            off_dram: self.dram.off_package.telemetry(cycles),
+        };
+        let mut gauges = Vec::new();
+        self.controller.telemetry_gauges(&mut gauges);
+        if let Some(rec) = self.recorder.active_mut() {
+            rec.record_sample(warmup, cum, &gauges);
+            rec.profiler_mut()
+                .record(ProfileComponent::TelemetrySampling, t0.elapsed());
+        }
+    }
+
+    /// Add `elapsed` to a self-profiling bucket (recorder on only).
+    #[inline]
+    fn profile(&mut self, component: ProfileComponent, elapsed: Duration) {
+        if let Some(rec) = self.recorder.active_mut() {
+            rec.profiler_mut().record(component, elapsed);
+        }
+    }
+
+    /// Record a rare design event at the current total instruction count.
+    /// Only called from cold paths (side effects, epochs).
+    fn design_event(&mut self, kind: EventKind, now: Cycle, count: u64) {
+        if self.recorder.is_off() {
+            return;
+        }
+        let instructions = self.cores.iter().map(|c| c.instructions).sum();
+        if let Some(rec) = self.recorder.active_mut() {
+            rec.record_event(instructions, now, kind, count);
+        }
     }
 
     /// Advance the core that is furthest behind in time by one access.
@@ -298,16 +421,25 @@ impl System {
     /// Execute one memory access (plus its leading instructions) on a core.
     /// Returns the number of instructions retired.
     fn step_core(&mut self, core_id: usize) -> u64 {
+        let prof = !self.recorder.is_off();
         let access = self.cores[core_id].trace.next_access();
         let retired = access.instructions();
         self.cores[core_id].retire_instructions(retired);
 
         // ---- Address translation ------------------------------------------------
+        let t0 = prof.then(Instant::now);
         let translation = self.translate(core_id, access.vaddr);
         let paddr = translation.paddr;
+        if let Some(t0) = t0 {
+            self.profile(ProfileComponent::Translate, t0.elapsed());
+        }
 
         // ---- SRAM hierarchy ------------------------------------------------------
+        let t0 = prof.then(Instant::now);
         let outcome = self.hierarchy.access(core_id, paddr.line(), access.write);
+        if let Some(t0) = t0 {
+            self.profile(ProfileComponent::SramHierarchy, t0.elapsed());
+        }
         match outcome.hit {
             Some(HitLevel::L1) => {}
             Some(HitLevel::L2) => self.cores[core_id].advance(L2_HIT_PENALTY),
@@ -324,7 +456,11 @@ impl System {
                 req = req.on_large_page();
             }
             self.sink.reset();
+            let t0 = prof.then(Instant::now);
             self.controller.access(&req, now, &mut self.sink);
+            if let Some(t0) = t0 {
+                self.profile(ProfileComponent::DesignController, t0.elapsed());
+            }
             self.execute_plan(core_id, now);
         }
 
@@ -339,7 +475,11 @@ impl System {
             }
             let now = self.cores[core_id].clock;
             self.sink.reset();
+            let t0 = prof.then(Instant::now);
             self.controller.access(&req, now, &mut self.sink);
+            if let Some(t0) = t0 {
+                self.profile(ProfileComponent::DesignController, t0.elapsed());
+            }
             let completion = self.execute_plan(core_id, now);
             self.cores[core_id].advance(MISS_ISSUE_PENALTY);
             self.cores[core_id].issue_miss(completion);
@@ -382,6 +522,8 @@ impl System {
     /// the rare side-effect list is detached, because applying it can
     /// re-enter the controller and reuse the sink for nested requests.
     fn execute_plan(&mut self, core_id: usize, now: Cycle) -> Cycle {
+        let prof = !self.recorder.is_off();
+        let t0 = prof.then(Instant::now);
         let mut t = now + self.sink.extra_latency;
         let System {
             sink,
@@ -411,9 +553,16 @@ impl System {
             );
             dev.access(t, op.addr, op.bytes, op.class, op.write);
         }
+        if let Some(t0) = t0 {
+            self.profile(ProfileComponent::DramExecute, t0.elapsed());
+        }
         if !self.sink.side_effects.is_empty() {
             let effects = std::mem::take(&mut self.sink.side_effects);
+            let t0 = prof.then(Instant::now);
             self.apply_side_effects(effects, core_id, t);
+            if let Some(t0) = t0 {
+                self.profile(ProfileComponent::SideEffects, t0.elapsed());
+            }
         }
         t
     }
@@ -421,6 +570,18 @@ impl System {
     /// Apply OS-level side effects requested by the controller.
     fn apply_side_effects(&mut self, effects: Vec<SideEffect>, core_id: usize, now: Cycle) {
         let cpu = banshee_common::CyclesPerSec::ghz(2.7);
+        if !self.recorder.is_off() {
+            // One batched event per application: an HMA epoch flushes
+            // thousands of pages in a single effects vector, and per-page
+            // events would flood the ring.
+            let flushes = effects
+                .iter()
+                .filter(|e| matches!(e, SideEffect::FlushPage { .. }))
+                .count() as u64;
+            if flushes > 0 {
+                self.design_event(EventKind::PageFlush, now, flushes);
+            }
+        }
         for effect in effects {
             match effect {
                 SideEffect::OsWork { cycles } => {
@@ -437,6 +598,7 @@ impl System {
                     self.os_stats.inc("pte_batch_updates");
                     self.os_stats
                         .add("pte_entries_updated", updates.len() as u64);
+                    self.design_event(EventKind::PteUpdateBatch, now, updates.len() as u64);
                     for (unit, info) in updates {
                         let ppage = self.unit_to_ppage(unit);
                         self.page_table.update_mapping(ppage, info);
@@ -449,6 +611,7 @@ impl System {
                 }
                 SideEffect::TlbShootdown => {
                     self.os_stats.inc("tlb_shootdowns");
+                    self.design_event(EventKind::TlbShootdown, now, 1);
                     let initiator = self.rng.next_below(self.cores.len() as u64) as usize;
                     let init_cost = cpu.cycles_in_us(self.config.shootdown_initiator_us);
                     let slave_cost = cpu.cycles_in_us(self.config.shootdown_slave_us);
@@ -493,24 +656,39 @@ impl System {
         }
     }
 
-    /// Run the periodic controller hook.
-    fn run_epoch(&mut self) {
+    /// Run the periodic controller hook. `executed` is the total instruction
+    /// count that triggered this epoch (event-trace timestamp only).
+    fn run_epoch(&mut self, executed: u64) {
+        let prof = !self.recorder.is_off();
+        let t0 = prof.then(Instant::now);
         let now = self.cores.iter().map(|c| c.clock).max().unwrap_or(0);
         self.sink.reset();
         if self.controller.epoch(now, &mut self.sink) {
+            if let Some(rec) = self.recorder.active_mut() {
+                rec.record_event(executed, now, EventKind::EpochPlan, 1);
+            }
             // Charge epoch work to a random core (the OS picks one).
             let core = self.rng.next_below(self.cores.len() as u64) as usize;
             self.execute_plan(core, now);
+        }
+        if let Some(t0) = t0 {
+            self.profile(ProfileComponent::EpochMaintenance, t0.elapsed());
         }
     }
 
     /// Gather the final statistics for the measured (post-warm-up) phase.
     fn collect(
-        self,
+        mut self,
         workload_name: &str,
         executed_instructions: u64,
         baseline: MeasurementBaseline,
     ) -> SimResult {
+        if !self.recorder.is_off() && executed_instructions > 0 {
+            // Flush the trailing partial window so measured samples cover
+            // the full phase (the recorder skips this if the last sample
+            // already landed exactly here).
+            self.take_sample(executed_instructions, false);
+        }
         let cycles = self.cores.iter().map(|c| c.clock).max().unwrap_or(0);
         let (accesses, misses) = self.controller.demand_stats();
         let mut stats = self.controller.stats();
@@ -574,7 +752,7 @@ impl System {
             );
         }
 
-        SimResult {
+        let result = SimResult {
             design: self.controller.name().to_string(),
             workload: workload_name.to_string(),
             cores: self.config.cores,
@@ -588,6 +766,38 @@ impl System {
                 .llc_miss_count()
                 .saturating_sub(baseline.llc_misses),
             stats,
+        };
+        self.finish_telemetry(&result, cycles);
+        result
+    }
+
+    /// Turn the recorder into a report and hand it to the configured
+    /// outputs. I/O failures degrade to a stderr warning — telemetry never
+    /// fails a run.
+    fn finish_telemetry(&mut self, result: &SimResult, final_cycles: Cycle) {
+        let Recorder::On(rec) = std::mem::take(&mut self.recorder) else {
+            return;
+        };
+        let report = rec.into_report(
+            &result.design,
+            &result.workload,
+            self.config.warmup_instructions,
+            result.instructions,
+            final_cycles,
+            &result.traffic,
+        );
+        if let Some((cell, collector)) = self.profile_out.take() {
+            if let Ok(mut cells) = collector.lock() {
+                cells.push(CellProfile {
+                    cell,
+                    profile: report.profile.clone(),
+                });
+            }
+        }
+        if let Some(sink) = self.telemetry_sink.take() {
+            if let Err(err) = sink.export(&report) {
+                eprintln!("[telemetry] warning: {err} (run results are unaffected)");
+            }
         }
     }
 }

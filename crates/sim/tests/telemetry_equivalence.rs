@@ -1,0 +1,183 @@
+//! Telemetry is pure observation: for every design, a run with the
+//! recorder on must produce a `SimResult` byte-identical to the same run
+//! with the recorder off, and the exported report must reconcile with the
+//! final aggregates (measured sample deltas telescope to the result's
+//! traffic and instruction counts).
+
+use banshee_common::telemetry::{
+    profile_collector, slug, EventKind, TelemetryConfig, TelemetryReport, TelemetrySink,
+};
+use banshee_common::TrafficClass;
+use banshee_dcache::DramCacheDesign;
+use banshee_sim::{run_one, SimConfig, SimResult, System};
+use banshee_workloads::{SpecProgram, Workload, WorkloadKind};
+use std::path::{Path, PathBuf};
+
+fn workload() -> Workload {
+    Workload::new(WorkloadKind::Spec(SpecProgram::Mcf), 16 << 20, 3)
+}
+
+fn test_config() -> TelemetryConfig {
+    TelemetryConfig {
+        interval_instructions: 50_000,
+        ..TelemetryConfig::default()
+    }
+}
+
+/// Run one design with telemetry enabled, exporting under `dir`.
+fn run_with_telemetry(design: DramCacheDesign, dir: &Path) -> (SimResult, PathBuf) {
+    let config = SimConfig::test_default(design);
+    let w = workload();
+    let name = w.name();
+    let cell = slug(&config.design.label());
+    let mut system = System::new(config, &w);
+    system.enable_telemetry(test_config());
+    let sink = TelemetrySink::new(dir, &cell);
+    let json_path = sink.json_path();
+    system.set_telemetry_sink(sink);
+    let warmed = system.warm_up();
+    (system.run_measured(&name, warmed), json_path)
+}
+
+fn read_report(path: &Path) -> TelemetryReport {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    serde_json::from_str(&text).expect("telemetry JSON parses back into a report")
+}
+
+fn traffic_total(t: &banshee_common::TrafficStats) -> u64 {
+    t.grand_total()
+}
+
+#[test]
+fn telemetry_on_results_are_byte_identical_for_every_design() {
+    let dir = std::env::temp_dir().join(format!("banshee_tel_equiv_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    for design in DramCacheDesign::figure4_lineup() {
+        let off = run_one(SimConfig::test_default(design), &workload());
+        let (on, json_path) = run_with_telemetry(design, &dir);
+        assert_eq!(
+            serde_json::to_string_pretty(&off).unwrap(),
+            serde_json::to_string_pretty(&on).unwrap(),
+            "telemetry changed the {} result",
+            off.design
+        );
+
+        // The exported report must be present, parse back, and reconcile
+        // with the final (baseline-subtracted) aggregates.
+        let report = read_report(&json_path);
+        assert_eq!(report.design, on.design);
+        assert!(!report.samples.is_empty(), "{}: no samples", on.design);
+        assert!(
+            report.samples.iter().any(|s| s.warmup),
+            "{}: no warm-up samples",
+            on.design
+        );
+        let measured: Vec<_> = report.samples.iter().filter(|s| !s.warmup).collect();
+        assert!(!measured.is_empty(), "{}: no measured samples", on.design);
+        let delta_instr: u64 = measured.iter().map(|s| s.delta_instructions).sum();
+        assert_eq!(
+            delta_instr, on.instructions,
+            "{}: measured sample windows do not cover the measured phase",
+            on.design
+        );
+        let delta_traffic: u64 = measured.iter().map(|s| traffic_total(&s.traffic)).sum();
+        assert_eq!(
+            delta_traffic,
+            traffic_total(&on.traffic),
+            "{}: measured sample traffic does not telescope to the result",
+            on.design
+        );
+        // Per-class reconciliation, not just grand totals.
+        for kind in banshee_common::DramKind::ALL {
+            for class in TrafficClass::ALL {
+                let sum: u64 = measured.iter().map(|s| s.traffic.bytes(kind, class)).sum();
+                assert_eq!(
+                    sum,
+                    on.traffic.bytes(kind, class),
+                    "{}: {kind:?}/{class:?} does not reconcile",
+                    on.design
+                );
+            }
+        }
+        assert!(
+            report
+                .events
+                .iter()
+                .any(|e| e.kind == EventKind::MeasurementStart),
+            "{}: missing the MeasurementStart boundary event",
+            on.design
+        );
+        assert!(report.profile.total_seconds > 0.0);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn model_revision_is_unchanged_by_telemetry() {
+    // Telemetry must never perturb simulation semantics; the revision only
+    // moves when results change.
+    assert_eq!(SimConfig::MODEL_REVISION, 2);
+}
+
+#[test]
+fn telemetry_config_is_not_key_material() {
+    // The recorder is runtime state, not configuration: two identical
+    // configs must share key material whether or not telemetry runs.
+    let a = SimConfig::test_default(DramCacheDesign::Banshee);
+    let b = SimConfig::test_default(DramCacheDesign::Banshee);
+    assert_eq!(a.cache_key_material(), b.cache_key_material());
+    assert!(
+        !a.cache_key_material().to_lowercase().contains("telemetry"),
+        "telemetry leaked into key material"
+    );
+}
+
+#[test]
+fn unwritable_sink_degrades_to_a_warning() {
+    // Export failures must never fail the run: pointing the sink at a path
+    // that cannot be created still yields the byte-identical result.
+    let off = run_one(
+        SimConfig::test_default(DramCacheDesign::NoCache),
+        &workload(),
+    );
+    let config = SimConfig::test_default(DramCacheDesign::NoCache);
+    let w = workload();
+    let name = w.name();
+    let mut system = System::new(config, &w);
+    system.enable_telemetry(test_config());
+    system.set_telemetry_sink(TelemetrySink::new(
+        "/proc/banshee-no-such-dir/telemetry",
+        "x",
+    ));
+    let warmed = system.warm_up();
+    let on = system.run_measured(&name, warmed);
+    assert_eq!(
+        serde_json::to_string_pretty(&off).unwrap(),
+        serde_json::to_string_pretty(&on).unwrap()
+    );
+}
+
+#[test]
+fn profile_collector_receives_one_profile_per_cell() {
+    let collector = profile_collector();
+    for design in [DramCacheDesign::NoCache, DramCacheDesign::Banshee] {
+        let config = SimConfig::test_default(design);
+        let w = workload();
+        let name = w.name();
+        let cell = slug(&config.design.label());
+        let mut system = System::new(config, &w);
+        system.enable_telemetry(test_config());
+        system.set_profile_output(cell, collector.clone());
+        let warmed = system.warm_up();
+        system.run_measured(&name, warmed);
+    }
+    let profiles = collector.lock().unwrap();
+    assert_eq!(profiles.len(), 2);
+    assert_eq!(profiles[0].cell, "nocache");
+    assert_eq!(profiles[1].cell, "banshee");
+    for p in profiles.iter() {
+        assert!(p.profile.total_seconds > 0.0, "{}: empty profile", p.cell);
+        assert!(p.profile.entries.iter().any(|e| e.calls > 0));
+    }
+}

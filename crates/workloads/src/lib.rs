@@ -44,7 +44,8 @@ pub use mix::SpecMix;
 pub use phased::{PhasedParams, PhasedTrace};
 pub use scenario::{
     DramPagePolicyOverride, DramSchedulerOverride, ScenarioError, ScenarioOverrides, ScenarioSpec,
-    ScenarioSweep, ScenarioWorkloadEntry, ScenarioWorkloadInstance, ScenarioWorkloadSpec,
+    ScenarioSweep, ScenarioTelemetry, ScenarioWorkloadEntry, ScenarioWorkloadInstance,
+    ScenarioWorkloadSpec,
 };
 pub use spec::SpecProgram;
 pub use synthetic::{SyntheticParams, SyntheticTrace};

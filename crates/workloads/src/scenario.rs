@@ -173,6 +173,21 @@ impl ScenarioOverrides {
     }
 }
 
+/// Telemetry-recorder knobs a scenario may carry. Pure parameterization:
+/// the block does *not* turn telemetry on — activation stays with the
+/// harness (`--telemetry DIR` / `BANSHEE_TELEMETRY`), so running the same
+/// scenario with telemetry off is bit-for-bit unchanged. When telemetry is
+/// active, set fields replace the recorder defaults.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScenarioTelemetry {
+    /// Instructions between time-series samples.
+    pub interval_instructions: Option<u64>,
+    /// Time-series buffer capacity (samples beyond it are dropped).
+    pub max_samples: Option<usize>,
+    /// Event-ring capacity (oldest events are overwritten beyond it).
+    pub max_events: Option<usize>,
+}
+
 /// The sweep matrix: cells are the cross product of workloads × designs ×
 /// `footprint_factors` × `seeds` × the optional DRAM axes (`page_policies`,
 /// `write_queue_depths` — empty means "use the config's value", one cell).
@@ -444,6 +459,9 @@ pub struct ScenarioSpec {
     pub sweep: ScenarioSweep,
     /// System-config overrides applied to every cell.
     pub overrides: ScenarioOverrides,
+    /// Telemetry-recorder knobs, applied only when the harness activates
+    /// telemetry (never turns it on by itself).
+    pub telemetry: Option<ScenarioTelemetry>,
 }
 
 impl ScenarioSpec {
@@ -488,6 +506,7 @@ impl ScenarioSpec {
                 "designs",
                 "sweep",
                 "config",
+                "telemetry",
             ],
         )?;
         let name = req_string(obj, "name", "scenario")?;
@@ -547,6 +566,10 @@ impl ScenarioSpec {
             None => ScenarioOverrides::default(),
             Some(v) => parse_overrides(v)?,
         };
+        let telemetry = match get(obj, "telemetry") {
+            None => None,
+            Some(v) => Some(parse_telemetry(v)?),
+        };
 
         Ok(ScenarioSpec {
             name,
@@ -555,6 +578,7 @@ impl ScenarioSpec {
             designs,
             sweep,
             overrides,
+            telemetry,
         })
     }
 }
@@ -1114,6 +1138,32 @@ fn parse_overrides(value: &Value) -> Result<ScenarioOverrides, ScenarioError> {
     Ok(o)
 }
 
+fn parse_telemetry(value: &Value) -> Result<ScenarioTelemetry, ScenarioError> {
+    let obj = as_object(value, "scenario.telemetry")?;
+    check_fields(
+        obj,
+        "scenario.telemetry",
+        &["interval_instructions", "max_samples", "max_events"],
+    )?;
+    let mut t = ScenarioTelemetry::default();
+    let p = "scenario.telemetry";
+    if let Some(v) = get(obj, "interval_instructions") {
+        t.interval_instructions = Some(bounded_u64(
+            v,
+            &format!("{p}.interval_instructions"),
+            1,
+            u64::MAX,
+        )?);
+    }
+    if let Some(v) = get(obj, "max_samples") {
+        t.max_samples = Some(bounded_u64(v, &format!("{p}.max_samples"), 1, 1 << 24)? as usize);
+    }
+    if let Some(v) = get(obj, "max_events") {
+        t.max_events = Some(bounded_u64(v, &format!("{p}.max_events"), 1, 1 << 24)? as usize);
+    }
+    Ok(t)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1162,6 +1212,53 @@ mod tests {
         assert_eq!(spec.overrides.cores, Some(8));
         assert_eq!(spec.overrides.large_pages, Some(true));
         assert_eq!(spec.cells_per_design(), 16);
+        assert!(spec.telemetry.is_none());
+    }
+
+    #[test]
+    fn telemetry_block_parses() {
+        let json = r#"{
+            "name": "tel",
+            "workloads": [{"type": "builtin", "name": "mcf"}],
+            "telemetry": {"interval_instructions": 50000, "max_samples": 2048,
+                          "max_events": 512}
+        }"#;
+        let spec = ScenarioSpec::from_json_str(json, base()).unwrap();
+        let tel = spec.telemetry.unwrap();
+        assert_eq!(tel.interval_instructions, Some(50_000));
+        assert_eq!(tel.max_samples, Some(2048));
+        assert_eq!(tel.max_events, Some(512));
+
+        // Partial blocks leave the rest at recorder defaults.
+        let spec = ScenarioSpec::from_json_str(
+            r#"{"name": "tel2", "workloads": [{"type": "builtin", "name": "mcf"}],
+                "telemetry": {"interval_instructions": 1}}"#,
+            base(),
+        )
+        .unwrap();
+        let tel = spec.telemetry.unwrap();
+        assert_eq!(tel.interval_instructions, Some(1));
+        assert_eq!(tel.max_samples, None);
+    }
+
+    #[test]
+    fn telemetry_block_rejects_bad_values() {
+        // Unknown keys are rejected (strict schema).
+        let err = ScenarioSpec::from_json_str(
+            r#"{"name": "tel", "workloads": [{"type": "builtin", "name": "mcf"}],
+                "telemetry": {"intervall": 5}}"#,
+            base(),
+        )
+        .unwrap_err();
+        assert!(err.0.contains("scenario.telemetry"), "{}", err.0);
+        // A zero interval would never sample.
+        let err = ScenarioSpec::from_json_str(
+            r#"{"name": "tel", "workloads": [{"type": "builtin", "name": "mcf"}],
+                "telemetry": {"interval_instructions": 0}}"#,
+            base(),
+        )
+        .unwrap_err();
+        assert!(err.0.contains("interval_instructions"), "{}", err.0);
     }
 
     #[test]

@@ -203,3 +203,77 @@ mod snapshot_props {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Telemetry properties. The recorder is pure observation, so for any design,
+// seed and sampling interval (a) the result with the recorder on is
+// byte-identical to the recorder-off run, and (b) the measured-phase sample
+// windows partition the measured phase: their deltas telescope exactly to
+// the final baseline-subtracted instruction and per-class traffic totals.
+
+mod telemetry_props {
+    use banshee_repro::common::telemetry::{TelemetryConfig, TelemetryReport, TelemetrySink};
+    use banshee_repro::common::{DramKind, TrafficClass};
+    use banshee_repro::dcache::DramCacheDesign;
+    use banshee_repro::sim::{SimConfig, System};
+    use banshee_repro::workloads::{SpecProgram, Workload, WorkloadKind};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn samples_reconcile_with_final_traffic(
+            design_ix in 0usize..7,
+            seed in 0u64..1000,
+            interval in 1_000u64..30_000,
+        ) {
+            let designs = DramCacheDesign::figure4_lineup();
+            let design = designs[design_ix % designs.len()];
+            let mut cfg = SimConfig::test_default(design);
+            cfg.warmup_instructions = 20_000;
+            cfg.total_instructions = 20_000;
+            cfg.seed = seed;
+            let w = Workload::new(WorkloadKind::Spec(SpecProgram::Mcf), 8 << 20, seed ^ 1);
+
+            let off = System::new(cfg.clone(), &w).run(&w.name());
+
+            let mut system = System::new(cfg, &w);
+            system.enable_telemetry(TelemetryConfig {
+                interval_instructions: interval,
+                ..TelemetryConfig::default()
+            });
+            let dir = std::env::temp_dir().join(format!(
+                "banshee_tel_prop_{}_{}_{}",
+                std::process::id(),
+                design_ix,
+                seed
+            ));
+            let cell = format!("case_{design_ix}_{seed}_{interval}");
+            system.set_telemetry_sink(TelemetrySink::new(&dir, &cell));
+            let warmed = system.warm_up();
+            let on = system.run_measured(&w.name(), warmed);
+
+            prop_assert_eq!(
+                serde_json::to_string_pretty(&off).unwrap(),
+                serde_json::to_string_pretty(&on).unwrap()
+            );
+
+            let path = dir.join(format!("telemetry_{cell}.json"));
+            let text = std::fs::read_to_string(&path).expect("telemetry file exists");
+            let parsed: TelemetryReport = serde_json::from_str(&text).expect("report parses");
+            let measured: Vec<_> = parsed.samples.iter().filter(|s| !s.warmup).collect();
+            prop_assert!(!measured.is_empty());
+            let instr: u64 = measured.iter().map(|s| s.delta_instructions).sum();
+            prop_assert_eq!(instr, on.instructions);
+            for kind in DramKind::ALL {
+                for class in TrafficClass::ALL {
+                    let sum: u64 =
+                        measured.iter().map(|s| s.traffic.bytes(kind, class)).sum();
+                    prop_assert_eq!(sum, on.traffic.bytes(kind, class));
+                }
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
