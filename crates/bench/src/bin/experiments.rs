@@ -9,6 +9,8 @@
 //!
 //! Flags: `--quick` (smaller runs), `--smoke` (tiny sanity runs),
 //! `--jobs N` (worker threads; default: available parallelism),
+//! `--shards N` (timing-shard threads inside each simulation; results are
+//! byte-identical at any N; also honoured as `BANSHEE_SHARDS=N`),
 //! `--no-store` (disable the persistent result store), `--no-snapshot`
 //! (disable warmed-state snapshot capture/resume; also honoured as the
 //! `BANSHEE_NO_SNAPSHOT=1` environment variable), `--help`.
@@ -43,6 +45,7 @@ struct CellTiming {
     from_store: bool,
     resumed_warm: bool,
     seconds: f64,
+    sim_seconds: f64,
     instructions: u64,
     instr_per_sec: f64,
 }
@@ -55,6 +58,7 @@ impl From<&CellRecord> for CellTiming {
             from_store: r.from_store,
             resumed_warm: r.resumed_warm,
             seconds: r.seconds,
+            sim_seconds: r.sim_seconds,
             instructions: r.instructions,
             instr_per_sec: r.instr_per_sec,
         }
@@ -69,6 +73,8 @@ struct RunSummary {
     instructions_per_run: u64,
     cores: usize,
     jobs: usize,
+    shards_requested: usize,
+    shards_effective: usize,
     store_enabled: bool,
     snapshots_enabled: bool,
     telemetry_enabled: bool,
@@ -79,6 +85,7 @@ struct RunSummary {
     cells_resumed_warm: usize,
     cells_cold: usize,
     simulation_seconds: f64,
+    sim_only_seconds: f64,
     experiments: Vec<ExperimentTiming>,
     cells: Vec<CellTiming>,
     self_profile: Option<ProfileBreakdown>,
@@ -129,12 +136,12 @@ fn print_all(tables: Vec<Table>) {
 
 fn print_usage() {
     println!(
-        "usage: experiments [EXPERIMENT ...] [--quick | --smoke] [--jobs N] [--no-store] \
-         [--no-snapshot] [--telemetry DIR] [--telemetry-interval N]"
+        "usage: experiments [EXPERIMENT ...] [--quick | --smoke] [--jobs N] [--shards N] \
+         [--no-store] [--no-snapshot] [--telemetry DIR] [--telemetry-interval N]"
     );
     println!(
-        "       experiments scenario FILE... [--quick | --smoke] [--jobs N] [--no-store] \
-         [--no-snapshot] [--telemetry DIR] [--telemetry-interval N]"
+        "       experiments scenario FILE... [--quick | --smoke] [--jobs N] [--shards N] \
+         [--no-store] [--no-snapshot] [--telemetry DIR] [--telemetry-interval N]"
     );
     println!();
     println!("Regenerates the paper's tables and figures. With no experiment");
@@ -153,6 +160,11 @@ fn print_usage() {
     println!("  --smoke     tiny sanity runs (seconds, shapes only)");
     println!("  --jobs N    run N simulations in parallel (default: available");
     println!("              parallelism; results are identical at any N)");
+    println!("  --shards N  split each simulation's DRAM-channel timing across");
+    println!("              N threads (default 1 = sequential; results are");
+    println!("              byte-identical at any N). Clamped, with a notice, so");
+    println!("              jobs x shards never oversubscribes the host.");
+    println!("              (BANSHEE_SHARDS=N does the same)");
     println!("  --no-store  disable the persistent result store (by default,");
     println!("              finished cells are cached under");
     println!("              target/experiments/store/ and re-runs resume)");
@@ -183,6 +195,7 @@ struct CliArgs {
     quick: bool,
     smoke: bool,
     jobs: usize,
+    shards: usize,
     no_store: bool,
     no_snapshot: bool,
     telemetry_dir: Option<PathBuf>,
@@ -191,6 +204,7 @@ struct CliArgs {
 
 fn parse_args(args: &[String]) -> Result<CliArgs, String> {
     let mut cli = CliArgs {
+        shards: 1,
         no_snapshot: std::env::var("BANSHEE_NO_SNAPSHOT").is_ok_and(|v| v == "1"),
         telemetry_dir: std::env::var("BANSHEE_TELEMETRY")
             .ok()
@@ -198,6 +212,13 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
             .map(PathBuf::from),
         ..CliArgs::default()
     };
+    if let Ok(value) = std::env::var("BANSHEE_SHARDS") {
+        cli.shards = value
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("invalid BANSHEE_SHARDS value '{value}'"))?;
+    }
     if let Ok(value) = std::env::var("BANSHEE_TELEMETRY_INTERVAL") {
         cli.telemetry_interval = Some(
             value
@@ -228,6 +249,26 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
             cli.jobs = value
                 .parse()
                 .map_err(|_| format!("invalid --jobs value '{value}'"))?;
+        } else if arg == "--shards" {
+            i += 1;
+            let value = args
+                .get(i)
+                .ok_or_else(|| "--shards requires a value".to_string())?;
+            cli.shards = value
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| {
+                    format!("invalid --shards value '{value}' (need an integer >= 1)")
+                })?;
+        } else if let Some(value) = arg.strip_prefix("--shards=") {
+            cli.shards = value
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| {
+                    format!("invalid --shards value '{value}' (need an integer >= 1)")
+                })?;
         } else if arg == "--telemetry" {
             i += 1;
             let value = args
@@ -254,8 +295,8 @@ fn parse_args(args: &[String]) -> Result<CliArgs, String> {
             );
         } else if arg.starts_with('-') {
             return Err(format!(
-                "unknown flag '{arg}'; valid flags: --quick, --smoke, --jobs N, --no-store, \
-                 --no-snapshot, --telemetry DIR, --telemetry-interval N, --help"
+                "unknown flag '{arg}'; valid flags: --quick, --smoke, --jobs N, --shards N, \
+                 --no-store, --no-snapshot, --telemetry DIR, --telemetry-interval N, --help"
             ));
         } else {
             cli.selected.push(arg.clone());
@@ -286,6 +327,7 @@ fn main() {
         quick,
         smoke,
         jobs,
+        shards,
         no_store,
         no_snapshot,
         telemetry_dir,
@@ -330,6 +372,7 @@ fn main() {
     };
     let mut runner = Runner::new(scale)
         .with_jobs(jobs)
+        .with_shards(shards)
         .with_progress(true)
         .with_snapshots(!no_snapshot);
     if !no_store {
@@ -348,7 +391,7 @@ fn main() {
         );
     }
     eprintln!(
-        "running {} at {:?} scale ({} instructions per run, {} cores) with {} worker{}{}",
+        "running {} at {:?} scale ({} instructions per run, {} cores) with {} worker{}{}{}",
         if scenario_mode {
             format!("scenario {}", scenario_files.join(", "))
         } else {
@@ -359,6 +402,11 @@ fn main() {
         scale.cores(),
         effective_jobs,
         if effective_jobs == 1 { "" } else { "s" },
+        if shards > 1 {
+            format!(", {shards} timing shards per cell")
+        } else {
+            String::new()
+        },
         if no_store {
             ", result store disabled".to_string()
         } else {
@@ -530,6 +578,11 @@ fn main() {
         instructions_per_run: scale.instructions(),
         cores: scale.cores(),
         jobs: effective_jobs,
+        shards_requested: shards,
+        shards_effective: match runner.counters.effective_shards() {
+            0 => shards, // no cell simulated; the request was never clamped
+            effective => effective,
+        },
         store_enabled: !no_store,
         snapshots_enabled: !no_snapshot && !no_store,
         telemetry_enabled: telemetry_dir.is_some(),
@@ -540,6 +593,7 @@ fn main() {
         cells_resumed_warm: runner.counters.resumed_warm(),
         cells_cold: runner.counters.cold(),
         simulation_seconds: runner.counters.simulated_time().as_secs_f64(),
+        sim_only_seconds: runner.counters.sim_only_time().as_secs_f64(),
         experiments: timings,
         cells: runner
             .counters

@@ -20,7 +20,7 @@ use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How big an experiment run should be.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,8 +105,15 @@ pub struct CellReport {
     /// True if the cell's simulation panicked instead of producing a
     /// result (the whole batch fails once every cell has finished).
     pub panicked: bool,
-    /// Wall-clock time the cell took (zero for store hits).
+    /// Wall-clock time the cell took end to end, including snapshot
+    /// get/resume/put I/O (zero for store hits).
     pub duration: Duration,
+    /// Wall-clock time spent purely simulating (warm-up plus measured
+    /// phase), excluding snapshot I/O and image encode/decode. This is the
+    /// denominator for honest throughput comparisons — e.g. sharded vs.
+    /// sequential — where snapshot traffic would otherwise dilute the
+    /// speedup. Zero for store hits.
+    pub sim_duration: Duration,
     /// Instructions simulated for this cell in this process: warm-up plus
     /// measured phase for cold runs, the measured phase alone for
     /// snapshot-resumed runs, and the stored result's measured instructions
@@ -115,9 +122,10 @@ pub struct CellReport {
 }
 
 impl CellReport {
-    /// Simulated instructions per wall-clock second (zero for store hits).
+    /// Simulated instructions per wall-clock second of *simulation* time
+    /// (snapshot-resume I/O excluded; zero for store hits).
     pub fn instr_per_sec(&self) -> f64 {
-        let secs = self.duration.as_secs_f64();
+        let secs = self.sim_duration.as_secs_f64();
         if secs > 0.0 && !self.from_store {
             self.instructions as f64 / secs
         } else {
@@ -138,12 +146,17 @@ pub struct CellRecord {
     pub from_store: bool,
     /// True if the run resumed from a warmed snapshot.
     pub resumed_warm: bool,
-    /// Wall-clock seconds (zero for store hits).
+    /// Wall-clock seconds end to end, including snapshot I/O (zero for
+    /// store hits).
     pub seconds: f64,
+    /// Wall-clock seconds spent purely simulating (see
+    /// [`CellReport::sim_duration`]; zero for store hits).
+    pub sim_seconds: f64,
     /// Instructions simulated in this process (see
     /// [`CellReport::instructions`]).
     pub instructions: u64,
-    /// Simulated instructions per wall-clock second (zero for store hits).
+    /// Simulated instructions per second of simulation time
+    /// (snapshot-resume I/O excluded; zero for store hits).
     pub instr_per_sec: f64,
 }
 
@@ -180,6 +193,8 @@ pub struct RunnerCounters {
     from_store: Arc<AtomicUsize>,
     resumed_warm: Arc<AtomicUsize>,
     simulated_micros: Arc<AtomicU64>,
+    sim_only_micros: Arc<AtomicU64>,
+    effective_shards: Arc<AtomicUsize>,
     cells: Arc<Mutex<Vec<CellRecord>>>,
     profiles: ProfileCollector,
 }
@@ -208,9 +223,22 @@ impl RunnerCounters {
     }
 
     /// Total wall-clock time spent inside simulations, summed over cells
-    /// (under parallel execution this exceeds elapsed time).
+    /// (under parallel execution this exceeds elapsed time). Includes
+    /// snapshot get/resume/put I/O; see [`RunnerCounters::sim_only_time`].
     pub fn simulated_time(&self) -> Duration {
         Duration::from_micros(self.simulated_micros.load(Ordering::Relaxed))
+    }
+
+    /// Total wall-clock time spent purely simulating, summed over cells
+    /// (snapshot I/O excluded; see [`CellReport::sim_duration`]).
+    pub fn sim_only_time(&self) -> Duration {
+        Duration::from_micros(self.sim_only_micros.load(Ordering::Relaxed))
+    }
+
+    /// The per-cell shard count the most recent batch actually used, after
+    /// the oversubscription clamp (zero before any batch simulates).
+    pub fn effective_shards(&self) -> usize {
+        self.effective_shards.load(Ordering::Relaxed)
     }
 
     /// Per-cell wall-clock records, in completion order (store hits first).
@@ -241,6 +269,8 @@ impl RunnerCounters {
             }
             self.simulated_micros
                 .fetch_add(report.duration.as_micros() as u64, Ordering::Relaxed);
+            self.sim_only_micros
+                .fetch_add(report.sim_duration.as_micros() as u64, Ordering::Relaxed);
         }
         if !report.panicked {
             if let Ok(mut cells) = self.cells.lock() {
@@ -250,6 +280,7 @@ impl RunnerCounters {
                     from_store: report.from_store,
                     resumed_warm: report.resumed_warm,
                     seconds: report.duration.as_secs_f64(),
+                    sim_seconds: report.sim_duration.as_secs_f64(),
                     instructions: report.instructions,
                     instr_per_sec: report.instr_per_sec(),
                 });
@@ -279,6 +310,13 @@ pub struct Runner {
     /// Worker threads used for batched cells; `0` selects the host's
     /// available parallelism.
     pub jobs: usize,
+    /// Timing-shard threads *inside* each simulated cell (`--shards`):
+    /// `1` (the default) runs the proven sequential loop, `N > 1` splits
+    /// DRAM-channel timing across `N - 1` workers plus the coordinator.
+    /// Results are byte-identical either way. Clamped per batch so
+    /// `jobs x shards` never oversubscribes the host (see
+    /// [`Runner::effective_parallelism`]).
+    pub shards: usize,
     /// Directory of the persistent result store; `None` disables caching
     /// (every cell is recomputed).
     pub store_dir: Option<PathBuf>,
@@ -306,6 +344,7 @@ impl Runner {
             scale,
             seed: 42,
             jobs: 0,
+            shards: 1,
             store_dir: None,
             snapshots: true,
             progress: false,
@@ -317,6 +356,14 @@ impl Runner {
     /// Use `jobs` worker threads (`0` = available parallelism).
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs;
+        self
+    }
+
+    /// Use `shards` timing-shard threads inside each simulated cell
+    /// (`1` or `0` = sequential). Results are byte-identical across shard
+    /// counts; this only changes wall-clock time.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
         self
     }
 
@@ -346,6 +393,27 @@ impl Runner {
             config,
         });
         self
+    }
+
+    /// Resolve the `(jobs, shards)` pair a batch of `batch_size` simulated
+    /// cells will actually use. `jobs = 0` resolves to the host's available
+    /// parallelism (then drops to the batch size — idle workers would only
+    /// starve shards of threads). If `jobs x shards` still exceeds the
+    /// available parallelism, **shards** are scaled down — cell-level
+    /// parallelism wins because cells are embarrassingly parallel while
+    /// shard speedup is sublinear. The clamp never lifts `shards` above the
+    /// requested value and never touches an explicit `jobs` request.
+    pub fn effective_parallelism(&self, batch_size: usize) -> (usize, usize) {
+        let available = JobPool::available_workers();
+        let jobs = if self.jobs == 0 { available } else { self.jobs };
+        let jobs = jobs.min(batch_size.max(1));
+        let shards = self.shards.max(1);
+        let shards = if jobs.saturating_mul(shards) > available {
+            (available / jobs).max(1).min(shards)
+        } else {
+            shards
+        };
+        (jobs, shards)
     }
 
     /// The base configuration for a design at this scale.
@@ -453,8 +521,10 @@ impl Runner {
 
     /// Simulate one prepared cell, resuming from (and capturing) a warmed
     /// image through the store when snapshots are enabled. Returns the
-    /// result, whether the run resumed from a warmed image, and the number
-    /// of instructions simulated in this process.
+    /// result, whether the run resumed from a warmed image, the number of
+    /// instructions simulated in this process, and the wall-clock time
+    /// spent purely simulating (snapshot get/resume/put I/O excluded, so
+    /// the reported instr/s measures the simulator, not the disk).
     ///
     /// A stale or corrupt image is *never* fatal: any resume failure is
     /// reported and the cell re-runs warm-up cold, overwriting the bad
@@ -464,7 +534,8 @@ impl Runner {
         slot: usize,
         cell: &PreparedCell,
         store: Option<&ResultStore>,
-    ) -> (SimResult, bool, u64) {
+        shards: usize,
+    ) -> (SimResult, bool, u64, Duration) {
         let name = cell.factory.name();
         let snap_key = System::warmed_key_material(&cell.config, &cell.workload_ident);
         if self.snapshots {
@@ -477,10 +548,13 @@ impl Runner {
                         &image,
                     ) {
                         Ok((mut system, executed)) => {
+                            system.set_shards(shards);
                             self.attach_telemetry(&mut system, slot, cell, Some(executed));
+                            let sim_start = Instant::now();
                             let result = system.run_measured(&name, Some(executed));
+                            let sim_time = sim_start.elapsed();
                             let instructions = result.instructions;
-                            return (result, true, instructions);
+                            return (result, true, instructions, sim_time);
                         }
                         Err(err) => eprintln!(
                             "[exec] warning: discarding warmed image for {} x {} ({err}); re-warming",
@@ -491,8 +565,11 @@ impl Runner {
             }
         }
         let mut system = System::new(cell.config.clone(), &*cell.factory);
+        system.set_shards(shards);
         self.attach_telemetry(&mut system, slot, cell, None);
+        let sim_start = Instant::now();
         let warmed = system.warm_up();
+        let mut sim_time = sim_start.elapsed();
         if self.snapshots {
             if let (Some(store), Some(executed)) = (store, warmed) {
                 let image = system.warmed_image(&cell.workload_ident, executed);
@@ -501,9 +578,11 @@ impl Runner {
                 }
             }
         }
+        let sim_start = Instant::now();
         let result = system.run_measured(&name, warmed);
+        sim_time += sim_start.elapsed();
         let instructions = result.instructions + warmed.unwrap_or(0);
-        (result, false, instructions)
+        (result, false, instructions, sim_time)
     }
 
     /// Run a batch of (config, workload) cells through the execution
@@ -591,6 +670,7 @@ impl Runner {
                         resumed_warm: false,
                         panicked: false,
                         duration: Duration::ZERO,
+                        sim_duration: Duration::ZERO,
                         instructions: result.instructions,
                     };
                     self.counters.record(&report);
@@ -616,7 +696,21 @@ impl Runner {
             return results.into_iter().map(|r| r.unwrap()).collect();
         }
 
-        let pool = JobPool::new(self.jobs);
+        let (jobs, shards) = self.effective_parallelism(misses.len());
+        if shards < self.shards.max(1) {
+            eprintln!(
+                "[exec] clamped --shards {} to {}: {} job(s) x {} shard(s) would oversubscribe {} available thread(s)",
+                self.shards,
+                shards,
+                jobs,
+                self.shards,
+                JobPool::available_workers(),
+            );
+        }
+        self.counters
+            .effective_shards
+            .store(shards, Ordering::Relaxed);
+        let pool = JobPool::new(jobs);
         let miss_cells: Vec<PreparedCell> = misses.iter().map(|&i| cells[i].clone()).collect();
         // Set by the worker before it returns, read by the (same-thread)
         // completion callback: whether each miss resumed from a warmed
@@ -626,15 +720,17 @@ impl Runner {
             .collect();
         let instr_counts: Vec<AtomicU64> =
             (0..miss_cells.len()).map(|_| AtomicU64::new(0)).collect();
+        let sim_micros: Vec<AtomicU64> = (0..miss_cells.len()).map(|_| AtomicU64::new(0)).collect();
         let outputs = pool.run_with_progress(
             miss_cells,
             |index, cell| {
-                let (result, resumed, instructions) =
-                    self.simulate_cell(misses[index], cell, store.as_ref());
+                let (result, resumed, instructions, sim_time) =
+                    self.simulate_cell(misses[index], cell, store.as_ref(), shards);
                 if resumed {
                     resumed_flags[index].store(true, Ordering::Relaxed);
                 }
                 instr_counts[index].store(instructions, Ordering::Relaxed);
+                sim_micros[index].store(sim_time.as_micros() as u64, Ordering::Relaxed);
                 // Persist from the worker, as soon as the cell finishes:
                 // a sweep interrupted mid-batch resumes from every
                 // completed cell, not just completed batches.
@@ -655,17 +751,22 @@ impl Runner {
                     resumed_warm: resumed_flags[completion.index].load(Ordering::Relaxed),
                     panicked: completion.panicked,
                     duration: completion.duration,
+                    sim_duration: Duration::from_micros(
+                        sim_micros[completion.index].load(Ordering::Relaxed),
+                    ),
                     instructions: instr_counts[completion.index].load(Ordering::Relaxed),
                 };
                 if self.progress {
                     eprintln!(
-                        "[exec] {}/{} {} x {} ({:.2}s, {:.2} Minstr/s{}){}",
+                        "[exec] {}/{} {} x {} ({:.2}s, {:.2}s sim, {:.2} Minstr/s{}{}){}",
                         completion.completed,
                         completion.total,
                         report.workload,
                         report.design,
                         completion.duration.as_secs_f64(),
+                        report.sim_duration.as_secs_f64(),
                         report.instr_per_sec() / 1e6,
+                        if shards > 1 { ", sharded" } else { "" },
                         if report.resumed_warm { ", warmed" } else { "" },
                         if completion.panicked { " PANICKED" } else { "" },
                     );
@@ -913,6 +1014,64 @@ mod tests {
         assert_eq!(third.counters.resumed_warm(), 0);
         assert_eq!(third.counters.cold(), 1);
 
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Satellite: `jobs x shards` must never exceed the host's available
+    /// parallelism — the clamp scales shards down, never jobs, and never
+    /// scales anything up.
+    #[test]
+    fn shard_clamp_never_oversubscribes() {
+        let available = JobPool::available_workers();
+        let greedy = Runner::new(ExperimentScale::Smoke)
+            .with_jobs(1)
+            .with_shards(available + 7);
+        let (jobs, shards) = greedy.effective_parallelism(4);
+        assert_eq!(jobs, 1);
+        assert_eq!(shards, available, "one job gets every available thread");
+
+        // An in-budget request passes through untouched.
+        let modest = Runner::new(ExperimentScale::Smoke)
+            .with_jobs(available)
+            .with_shards(1);
+        assert_eq!(modest.effective_parallelism(64), (available, 1));
+
+        // `jobs = 0` resolves to available parallelism but drops to the
+        // batch size, freeing threads for shards.
+        let auto = Runner::new(ExperimentScale::Smoke).with_shards(available);
+        let (jobs, shards) = auto.effective_parallelism(1);
+        assert_eq!(jobs, 1);
+        assert_eq!(shards, available);
+
+        // Shards are never raised above the request.
+        let seq = Runner::new(ExperimentScale::Smoke).with_jobs(1);
+        assert_eq!(seq.effective_parallelism(3), (1, 1));
+    }
+
+    #[test]
+    fn cell_records_split_sim_time_from_snapshot_io() {
+        let dir = std::env::temp_dir().join(format!(
+            "banshee_runner_simtime_test_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let runner = Runner::new(ExperimentScale::Smoke).with_store(&dir);
+        runner.run(
+            DramCacheDesign::NoCache,
+            WorkloadKind::Spec(SpecProgram::Gcc),
+        );
+        let records = runner.counters.cell_records();
+        assert_eq!(records.len(), 1);
+        let rec = &records[0];
+        assert!(rec.sim_seconds > 0.0, "cold runs spend time simulating");
+        assert!(
+            rec.sim_seconds <= rec.seconds,
+            "sim time ({:.4}s) is a subset of total cell time ({:.4}s)",
+            rec.sim_seconds,
+            rec.seconds
+        );
+        assert!(rec.instr_per_sec > 0.0);
+        assert!(runner.counters.sim_only_time() <= runner.counters.simulated_time());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -19,6 +19,8 @@
 //! * [`config`] — capacity/latency helper constructors and a few
 //!   configuration structs shared between the DRAM model and the system
 //!   simulator.
+//! * [`spsc`] — bounded single-producer/single-consumer rings, the
+//!   allocation-free data plane of the sharded simulation loop.
 //! * [`telemetry`] — the time-resolved observability layer: an epoch-sampled
 //!   time series, a bounded ring of rare structured events, and wall-clock
 //!   self-profiling, all behind a zero-cost-when-off [`telemetry::Recorder`].
@@ -36,6 +38,7 @@ pub mod hash;
 pub mod persist;
 pub mod replay;
 pub mod rng;
+pub mod spsc;
 pub mod stats;
 pub mod telemetry;
 

@@ -20,6 +20,7 @@ pub mod config;
 pub mod core_model;
 pub mod factory;
 pub mod result;
+mod shard;
 pub mod system;
 
 pub use config::SimConfig;

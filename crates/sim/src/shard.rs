@@ -1,0 +1,546 @@
+//! Deterministic intra-cell parallelism: shard workers for one simulation.
+//!
+//! A [`ShardSession`] splits one running [`crate::System`] across OS
+//! threads without changing a single byte of its results. The seams are
+//! the two places where the sequential hot loop spends time on state that
+//! nothing else reads mid-stream:
+//!
+//! * **DRAM channel timing domains.** Each [`banshee_dram::Channel`] is a
+//!   self-contained state machine (banks, row buffers, write queue,
+//!   refresh phase) whose evolution depends only on the sequence of
+//!   operations issued *to that channel*, in issue order — not on global
+//!   time or on any other channel. The coordinator therefore routes each
+//!   DRAM operation to the worker owning its channel over a bounded SPSC
+//!   command ring; per-ring FIFO order preserves per-channel issue order,
+//!   which is the only order that matters.
+//! * **Trace pre-generation.** A [`banshee_workloads::TraceGenerator`] is
+//!   a pure function of the workload definition — zero feedback from
+//!   simulation state — so workers run the generators ahead of demand and
+//!   stream accesses back through per-core rings.
+//!
+//! Everything with cross-cutting order sensitivity — the laggard scan,
+//! address translation and the shared page table, the SRAM hierarchy with
+//! its back-invalidations, the DRAM-cache design state, the OS side
+//! effects and the RNG that places them — stays in the coordinator, which
+//! is exactly the sequential code path.
+//!
+//! **Determinism argument.** Results are byte-identical to `--shards 1`
+//! because (a) the coordinator issues operations in the sequential order
+//! and tags each with its issue cycle, (b) each channel sees its exact
+//! sequential op sequence via ring FIFO, (c) critical-path operations
+//! block the coordinator for their finish cycle (a strict round trip, so
+//! timing-dependent control flow is bit-equal), and (d) every aggregate
+//! the workers accumulate (access counts, latency sums, telemetry gauges)
+//! is a commutative u64 sum merged in a fixed worker order at barriers.
+//! Barriers are needed only where channel state is *read* (telemetry
+//! samples) or reclaimed (session end); epoch maintenance reads no DRAM
+//! state and needs none.
+
+use banshee_common::spsc::{self, Consumer, Producer};
+use banshee_common::telemetry::DramTelemetry;
+use banshee_common::{Addr, Cycle, DramKind, FastDivMod, TrafficClass, PAGE_SIZE};
+use banshee_dram::{Channel, DualDram};
+use banshee_workloads::{MemoryAccess, TraceGenerator};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::core_model::CoreModel;
+
+/// Command-ring capacity per worker. Large enough that background
+/// (fire-and-forget) bursts rarely stall the coordinator, small enough to
+/// stay cache-resident.
+const COMMAND_RING_CAPACITY: usize = 2048;
+/// Pre-generated accesses buffered per core.
+const TRACE_RING_CAPACITY: usize = 512;
+/// Trace accesses a worker generates per scheduling quantum, so a long
+/// pre-generation burst never starves the command ring.
+const TRACE_BATCH: usize = 64;
+
+fn kind_index(kind: DramKind) -> usize {
+    match kind {
+        DramKind::InPackage => 0,
+        DramKind::OffPackage => 1,
+    }
+}
+
+/// One fixed-size message on a worker's command ring.
+#[derive(Debug, Clone, Copy)]
+enum Command {
+    /// Service a DRAM operation on worker-local channel `slot`.
+    /// `seq != 0` marks a critical-path operation: publish the finish
+    /// cycle under sequence number `seq` in the response slot.
+    Access {
+        slot: u32,
+        kind: DramKind,
+        addr: Addr,
+        bytes: u64,
+        class: TrafficClass,
+        write: bool,
+        now: Cycle,
+        seq: u64,
+    },
+    /// Telemetry barrier: report partial DRAM gauges at cycle `now` over
+    /// the control channel. Ring order guarantees every prior operation
+    /// has been serviced first.
+    Telemetry { now: Cycle },
+    /// Drain, return all owned state over the control channel, and exit.
+    Shutdown,
+}
+
+/// Single-entry response slot for critical-path operations. The
+/// coordinator never has more than one outstanding critical op per worker,
+/// so a sequence-stamped pair of atomics is enough: the worker publishes
+/// `finish` first, then releases `seq`; the coordinator acquires `seq` and
+/// the finish value becomes visible with it.
+struct RespSlot {
+    seq: AtomicU64,
+    finish: AtomicU64,
+}
+
+/// Control-plane message (rare path; allocation is fine here).
+enum Control {
+    Telemetry([DramTelemetry; 2]),
+    Done(Box<WorkerReturn>),
+}
+
+/// Everything a worker owns, handed back at session end.
+struct WorkerReturn {
+    /// `(global channel index, channel)` in this worker's slot order.
+    channels: Vec<(usize, Channel)>,
+    /// Per device kind: `(access_count, total_latency)` deltas.
+    serviced: [(u64, u64); 2],
+    /// `(core id, generator)` for every trace feed this worker ran.
+    generators: Vec<(usize, Box<dyn TraceGenerator>)>,
+}
+
+/// One trace feed: a core's generator plus the ring it streams into.
+struct Feed {
+    core: usize,
+    gen: Box<dyn TraceGenerator>,
+    ring: Producer<MemoryAccess>,
+}
+
+/// Worker-thread state: a subset of DRAM channels and a subset of trace
+/// generators.
+struct Worker {
+    commands: Consumer<Command>,
+    resp: Arc<RespSlot>,
+    ctrl: mpsc::Sender<Control>,
+    stop: Arc<AtomicBool>,
+    /// `(global index, channel)` indexed by worker-local slot.
+    channels: Vec<(usize, Channel)>,
+    feeds: Vec<Feed>,
+    serviced: [(u64, u64); 2],
+    /// Global channel indices below this belong to the in-package device.
+    in_package_channels: usize,
+}
+
+impl Worker {
+    fn run(mut self) {
+        let mut spins = 0u32;
+        loop {
+            let mut did_work = false;
+            while let Some(cmd) = self.commands.try_pop() {
+                did_work = true;
+                match cmd {
+                    Command::Access {
+                        slot,
+                        kind,
+                        addr,
+                        bytes,
+                        class,
+                        write,
+                        now,
+                        seq,
+                    } => {
+                        let ch = &mut self.channels[slot as usize].1;
+                        let out = if write {
+                            ch.write(now, addr, bytes, class)
+                        } else {
+                            ch.read(now, addr, bytes, class)
+                        };
+                        let k = kind_index(kind);
+                        self.serviced[k].0 += 1;
+                        self.serviced[k].1 += out.finish.saturating_sub(now);
+                        if seq != 0 {
+                            self.resp.finish.store(out.finish, Ordering::Relaxed);
+                            self.resp.seq.store(seq, Ordering::Release);
+                        }
+                    }
+                    Command::Telemetry { now } => {
+                        let mut partial = [DramTelemetry::default(); 2];
+                        for (global, ch) in &self.channels {
+                            let k = kind_index(self.channel_kind(*global));
+                            let p = &mut partial[k];
+                            p.read_queue += ch.read_queue_occupancy(now) as u64;
+                            p.write_queue += ch.pending_writes() as u64;
+                            p.accesses += ch.access_count();
+                            p.row_hits += ch.row_hit_count();
+                            p.refreshes += ch.refresh_count();
+                            p.write_drains += ch.write_drain_count();
+                        }
+                        let _ = self.ctrl.send(Control::Telemetry(partial));
+                    }
+                    Command::Shutdown => {
+                        let ret = WorkerReturn {
+                            channels: std::mem::take(&mut self.channels),
+                            serviced: self.serviced,
+                            generators: self.feeds.drain(..).map(|f| (f.core, f.gen)).collect(),
+                        };
+                        let _ = self.ctrl.send(Control::Done(Box::new(ret)));
+                        return;
+                    }
+                }
+            }
+            // Pre-generate trace accesses while the command ring is idle.
+            let mut generated = 0usize;
+            for feed in &mut self.feeds {
+                while generated < TRACE_BATCH && feed.ring.len() < feed.ring.capacity() {
+                    feed.ring
+                        .try_push(feed.gen.next_access())
+                        .expect("sole producer checked for space");
+                    generated += 1;
+                }
+            }
+            if generated > 0 {
+                did_work = true;
+            }
+            if did_work {
+                spins = 0;
+            } else {
+                if self.stop.load(Ordering::Acquire) {
+                    // Abnormal teardown (coordinator panicked): exit without
+                    // returning state — the session is already lost.
+                    return;
+                }
+                spsc::backoff(&mut spins);
+            }
+        }
+    }
+
+    /// Device kind of a global channel index (set at session start).
+    fn channel_kind(&self, global: usize) -> DramKind {
+        if global < self.in_package_channels {
+            DramKind::InPackage
+        } else {
+            DramKind::OffPackage
+        }
+    }
+}
+
+/// Coordinator-side handle for one worker.
+struct WorkerHandle {
+    commands: Producer<Command>,
+    resp: Arc<RespSlot>,
+    ctrl: mpsc::Receiver<Control>,
+    join: Option<JoinHandle<()>>,
+    next_seq: u64,
+}
+
+/// A live sharded-execution session over one [`crate::System`]'s DRAM
+/// channels and trace generators. Created by the system when it enters a
+/// hot loop with `shards > 1`, torn down (state reclaimed) before anything
+/// reads DRAM channel state or captures a snapshot.
+pub(crate) struct ShardSession {
+    workers: Vec<WorkerHandle>,
+    /// `(worker, slot)` for every global channel index.
+    routes: Vec<(u32, u32)>,
+    /// Global channel indices 0..in_package_channels belong to the
+    /// in-package device, the rest to the off-package device.
+    in_package_channels: usize,
+    /// Page-interleaved channel routing, mirroring
+    /// [`banshee_dram::DramDevice::channel_for`] per device.
+    in_div: FastDivMod,
+    off_div: FastDivMod,
+    poison: Arc<AtomicBool>,
+    stop: Arc<AtomicBool>,
+    finished: bool,
+}
+
+impl std::fmt::Debug for ShardSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardSession")
+            .field("workers", &self.workers.len())
+            .field("channels", &self.routes.len())
+            .finish()
+    }
+}
+
+impl ShardSession {
+    /// Detach DRAM channels and trace generators from `dram` / `cores` and
+    /// spawn `shards - 1` worker threads (the coordinator is the final
+    /// shard). `shards` must be at least 2.
+    pub(crate) fn start(shards: usize, dram: &mut DualDram, cores: &mut [CoreModel]) -> Self {
+        assert!(shards >= 2, "a shard session needs at least one worker");
+        let nworkers = shards - 1;
+        let poison = Arc::new(AtomicBool::new(false));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let in_channels = dram.in_package.detach_channels();
+        let off_channels = dram.off_package.detach_channels();
+        let in_package_channels = in_channels.len();
+        let in_div = FastDivMod::new(in_channels.len() as u64);
+        let off_div = FastDivMod::new(off_channels.len() as u64);
+
+        // Global channel order: in-package channels first, then
+        // off-package; round-robin over workers so both devices spread.
+        let mut routes = Vec::new();
+        let mut per_worker_channels: Vec<Vec<(usize, Channel)>> =
+            (0..nworkers).map(|_| Vec::new()).collect();
+        for (global, ch) in in_channels.into_iter().chain(off_channels).enumerate() {
+            let worker = global % nworkers;
+            let slot = per_worker_channels[worker].len() as u32;
+            routes.push((worker as u32, slot));
+            per_worker_channels[worker].push((global, ch));
+        }
+
+        // Trace feeds: core `c` is generated by worker `c % nworkers`.
+        let mut per_worker_feeds: Vec<Vec<Feed>> = (0..nworkers).map(|_| Vec::new()).collect();
+        for (core_id, core) in cores.iter_mut().enumerate() {
+            let (tx, rx) = spsc::ring::<MemoryAccess>(TRACE_RING_CAPACITY);
+            let gen = core.trace.begin_sharded(rx, Arc::clone(&poison));
+            per_worker_feeds[core_id % nworkers].push(Feed {
+                core: core_id,
+                gen,
+                ring: tx,
+            });
+        }
+
+        let mut workers = Vec::with_capacity(nworkers);
+        for (index, (channels, feeds)) in per_worker_channels
+            .into_iter()
+            .zip(per_worker_feeds)
+            .enumerate()
+        {
+            let (cmd_tx, cmd_rx) = spsc::ring::<Command>(COMMAND_RING_CAPACITY);
+            let resp = Arc::new(RespSlot {
+                seq: AtomicU64::new(0),
+                finish: AtomicU64::new(0),
+            });
+            let (ctrl_tx, ctrl_rx) = mpsc::channel();
+            let worker = Worker {
+                commands: cmd_rx,
+                resp: Arc::clone(&resp),
+                ctrl: ctrl_tx,
+                stop: Arc::clone(&stop),
+                channels,
+                feeds,
+                serviced: [(0, 0); 2],
+                in_package_channels,
+            };
+            let poison_flag = Arc::clone(&poison);
+            let join = std::thread::Builder::new()
+                .name(format!("banshee-shard-{index}"))
+                .spawn(move || {
+                    if catch_unwind(AssertUnwindSafe(|| worker.run())).is_err() {
+                        poison_flag.store(true, Ordering::Release);
+                    }
+                })
+                .expect("spawn shard worker");
+            workers.push(WorkerHandle {
+                commands: cmd_tx,
+                resp,
+                ctrl: ctrl_rx,
+                join: Some(join),
+                next_seq: 0,
+            });
+        }
+
+        ShardSession {
+            workers,
+            routes,
+            in_package_channels,
+            in_div,
+            off_div,
+            poison,
+            stop,
+            finished: false,
+        }
+    }
+
+    /// Issue one DRAM operation to the worker owning its channel.
+    /// `rounded_bytes` is pre-rounded by the coordinator (also used for
+    /// issue-side traffic accounting). For critical-path operations this
+    /// blocks for the finish cycle; background operations return `now`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn access(
+        &mut self,
+        kind: DramKind,
+        addr: Addr,
+        bytes: u64,
+        class: TrafficClass,
+        write: bool,
+        now: Cycle,
+        critical: bool,
+    ) -> Cycle {
+        let page = addr.raw() / PAGE_SIZE;
+        let global = match kind {
+            DramKind::InPackage => self.in_div.rem(page) as usize,
+            DramKind::OffPackage => self.in_package_channels + self.off_div.rem(page) as usize,
+        };
+        let (worker, slot) = self.routes[global];
+        let wk = &mut self.workers[worker as usize];
+        let seq = if critical {
+            wk.next_seq += 1;
+            wk.next_seq
+        } else {
+            0
+        };
+        let cmd = Command::Access {
+            slot,
+            kind,
+            addr,
+            bytes,
+            class,
+            write,
+            now,
+            seq,
+        };
+        let poison = &self.poison;
+        if !wk.commands.push(cmd, || poison.load(Ordering::Acquire)) {
+            panic!("shard worker {worker} panicked (command ring stalled)");
+        }
+        if !critical {
+            return now;
+        }
+        let mut spins = 0u32;
+        loop {
+            if wk.resp.seq.load(Ordering::Acquire) == seq {
+                return wk.resp.finish.load(Ordering::Relaxed);
+            }
+            if poison.load(Ordering::Acquire) {
+                panic!("shard worker {worker} panicked");
+            }
+            spsc::backoff(&mut spins);
+        }
+    }
+
+    /// Telemetry barrier: every worker reports its channels' gauges at
+    /// cycle `now` after servicing everything issued before this call.
+    /// Partials are merged in fixed worker order (commutative sums, so the
+    /// totals equal the sequential device-level sums). Returns
+    /// `(in_package, off_package)` telemetry.
+    pub(crate) fn sample(&mut self, now: Cycle) -> (DramTelemetry, DramTelemetry) {
+        for wk in &mut self.workers {
+            let poison = &self.poison;
+            if !wk.commands.push(Command::Telemetry { now }, || {
+                poison.load(Ordering::Acquire)
+            }) {
+                panic!("shard worker panicked (telemetry barrier)");
+            }
+        }
+        let mut total = [DramTelemetry::default(); 2];
+        for (index, wk) in self.workers.iter().enumerate() {
+            match recv_ctrl(wk, &self.poison, index) {
+                Control::Telemetry(partial) => {
+                    for (t, p) in total.iter_mut().zip(partial) {
+                        t.read_queue += p.read_queue;
+                        t.write_queue += p.write_queue;
+                        t.accesses += p.accesses;
+                        t.row_hits += p.row_hits;
+                        t.refreshes += p.refreshes;
+                        t.write_drains += p.write_drains;
+                    }
+                }
+                Control::Done(_) => unreachable!("worker returned state at a telemetry barrier"),
+            }
+        }
+        (total[0], total[1])
+    }
+
+    /// Tear the session down: drain every ring, reclaim channels (in their
+    /// original device positions), merge per-worker service accounting in
+    /// fixed worker order, and hand each trace generator back to its core's
+    /// cursor. Afterwards `dram` and `cores` are indistinguishable from a
+    /// sequential run.
+    pub(crate) fn finish(mut self, dram: &mut DualDram, cores: &mut [CoreModel]) {
+        let in_count = self.in_package_channels;
+        let off_count = self.routes.len() - in_count;
+        let mut in_slots: Vec<Option<Channel>> = (0..in_count).map(|_| None).collect();
+        let mut off_slots: Vec<Option<Channel>> = (0..off_count).map(|_| None).collect();
+        for index in 0..self.workers.len() {
+            {
+                let wk = &mut self.workers[index];
+                let poison = &self.poison;
+                if !wk
+                    .commands
+                    .push(Command::Shutdown, || poison.load(Ordering::Acquire))
+                {
+                    panic!("shard worker {index} panicked (shutdown)");
+                }
+            }
+            let ret = loop {
+                match recv_ctrl(&self.workers[index], &self.poison, index) {
+                    Control::Done(ret) => break ret,
+                    // A telemetry response can still be in flight only if
+                    // the protocol was violated; there is no such path, but
+                    // draining is harmless.
+                    Control::Telemetry(_) => continue,
+                }
+            };
+            for (global, ch) in ret.channels {
+                if global < in_count {
+                    in_slots[global] = Some(ch);
+                } else {
+                    off_slots[global - in_count] = Some(ch);
+                }
+            }
+            let (in_serviced, off_serviced) = (ret.serviced[0], ret.serviced[1]);
+            dram.in_package.merge_serviced(in_serviced.0, in_serviced.1);
+            dram.off_package
+                .merge_serviced(off_serviced.0, off_serviced.1);
+            for (core, gen) in ret.generators {
+                cores[core].trace.end_sharded(gen);
+            }
+            if let Some(join) = self.workers[index].join.take() {
+                let _ = join.join();
+            }
+        }
+        dram.in_package.attach_channels(
+            in_slots
+                .into_iter()
+                .map(|c| c.expect("every in-package channel returned"))
+                .collect(),
+        );
+        dram.off_package.attach_channels(
+            off_slots
+                .into_iter()
+                .map(|c| c.expect("every off-package channel returned"))
+                .collect(),
+        );
+        self.finished = true;
+    }
+}
+
+impl Drop for ShardSession {
+    fn drop(&mut self) {
+        if !self.finished {
+            // Abnormal teardown (a coordinator panic unwound past the
+            // session): tell workers to exit so they do not spin forever.
+            // Channel and generator state is lost, but the run is already
+            // dead.
+            self.stop.store(true, Ordering::Release);
+        }
+    }
+}
+
+/// Receive one control message from a worker, converting a dead worker
+/// into a panic instead of a hang.
+fn recv_ctrl(wk: &WorkerHandle, poison: &AtomicBool, index: usize) -> Control {
+    loop {
+        match wk.ctrl.recv_timeout(Duration::from_millis(20)) {
+            Ok(msg) => return msg,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if poison.load(Ordering::Acquire) {
+                    panic!("shard worker {index} panicked");
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                panic!("shard worker {index} exited unexpectedly");
+            }
+        }
+    }
+}

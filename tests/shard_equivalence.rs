@@ -1,0 +1,92 @@
+//! Property-based shard-equivalence suite: for *any* combination of
+//! design, workload, trace seed and shard count, the sharded simulator
+//! produces a `SimResult` byte-identical to the sequential path.
+//!
+//! This is the acceptance bar of the sharded execution engine (see the
+//! shard-architecture section of `DESIGN.md`): `--shards N` is a pure
+//! wall-clock knob. The full-system simulator is orders of magnitude
+//! slower than the controller-level property tests in `properties.rs`, so
+//! the runs here are tiny (tens of thousands of instructions) and the case
+//! count is small — coverage comes from the dimensions swept, not the
+//! volume. Deeper per-design checks live in `crates/sim`'s unit tests.
+
+use banshee_repro::dcache::DramCacheDesign;
+use banshee_repro::sim::{run_one, SimConfig, System};
+use banshee_repro::workloads::{GraphKernel, SpecMix, SpecProgram, Workload, WorkloadKind};
+use proptest::prelude::*;
+
+/// Designs spanning every plan shape the coordinator can issue: pure
+/// off-package (NoCache), pure in-package (CacheOnly), tag probes on the
+/// critical path (Alloy/Unison), idealized remapping (TDC), epoch-stalled
+/// migration (HMA) and Banshee's background fills + PTE side effects.
+const DESIGNS: [DramCacheDesign; 8] = [
+    DramCacheDesign::NoCache,
+    DramCacheDesign::CacheOnly,
+    DramCacheDesign::Alloy {
+        fill_probability: 0.1,
+    },
+    DramCacheDesign::Unison,
+    DramCacheDesign::Tdc,
+    DramCacheDesign::Hma,
+    DramCacheDesign::Banshee,
+    DramCacheDesign::BansheeLru,
+];
+
+/// Workloads from each trace-generator family (SPEC loop, graph kernel,
+/// heterogeneous mix) — the families differ in how cores share pages,
+/// which shapes the cross-channel interleaving the shards must preserve.
+const WORKLOADS: [WorkloadKind; 5] = [
+    WorkloadKind::Spec(SpecProgram::Mcf),
+    WorkloadKind::Spec(SpecProgram::Lbm),
+    WorkloadKind::Graph(GraphKernel::PageRank),
+    WorkloadKind::Graph(GraphKernel::Graph500),
+    WorkloadKind::Mix(SpecMix::Mix1),
+];
+
+/// A deliberately tiny configuration: enough instructions to cross the
+/// warm-up boundary and (for HMA) an epoch boundary, small enough that a
+/// proptest case costs well under a second.
+fn tiny_config(design: DramCacheDesign, seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::test_default(design);
+    cfg.warmup_instructions = 20_000;
+    cfg.total_instructions = 60_000;
+    cfg.epoch_instructions = 25_000;
+    cfg.seed = seed;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Sweep (design, workload, seed, shards in {1, 2, 4}): every shard
+    /// count reproduces the sequential (`shards = 1`) result byte for
+    /// byte, serialized JSON and all.
+    #[test]
+    fn any_shard_count_is_byte_identical_to_sequential(
+        design_idx in 0usize..DESIGNS.len(),
+        workload_idx in 0usize..WORKLOADS.len(),
+        seed in 0u64..1_000,
+    ) {
+        let design = DESIGNS[design_idx];
+        let kind = WORKLOADS[workload_idx];
+        let workload = Workload::new(kind, 4 << 20, seed);
+        let cfg = tiny_config(design, seed);
+        let sequential = run_one(cfg.clone(), &workload);
+        let reference = serde_json::to_string_pretty(&sequential).unwrap();
+        for shards in [2usize, 4] {
+            let mut sys = System::new(cfg.clone(), &workload);
+            sys.set_shards(shards);
+            let sharded = sys.run(&workload.name());
+            let json = serde_json::to_string_pretty(&sharded).unwrap();
+            prop_assert_eq!(
+                &json,
+                &reference,
+                "{:?} x {:?} (seed {}) diverged at {} shards",
+                design,
+                kind,
+                seed,
+                shards
+            );
+        }
+    }
+}
