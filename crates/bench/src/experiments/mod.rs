@@ -13,6 +13,7 @@
 //! | [`table6`] | Table 6 — associativity vs. miss rate |
 //! | [`large_pages`] | Section 5.4.1 — 2 MiB large pages |
 //! | [`batman`] | Section 5.4.2 — bandwidth balancing |
+//! | [`sketch_fidelity`] | CountMinSketch vs exact frequency tracking |
 //! | [`scenario`] | Data-driven scenario files (`experiments scenario FILE...`) |
 
 pub mod batman;
@@ -24,6 +25,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod large_pages;
 pub mod scenario;
+pub mod sketch_fidelity;
 pub mod table1;
 pub mod table5;
 pub mod table6;
@@ -62,7 +64,7 @@ pub fn run_sweep_matrix(runner: &Runner) -> MatrixResults {
 }
 
 /// All experiment names accepted by the `experiments` binary.
-pub const EXPERIMENT_NAMES: [&str; 12] = [
+pub const EXPERIMENT_NAMES: [&str; 13] = [
     "fig4",
     "fig5",
     "fig6",
@@ -74,6 +76,7 @@ pub const EXPERIMENT_NAMES: [&str; 12] = [
     "table6",
     "large_pages",
     "batman",
+    "sketch_fidelity",
     "all",
 ];
 

@@ -32,9 +32,13 @@ use std::fmt;
 /// Leading magic bytes of a snapshot image.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"BSHSNAP\0";
 /// The snapshot encoding version this build writes and understands.
-/// Bump when the framing itself changes (not when a component's state
-/// changes shape — that is what the model revision in the header is for).
-pub const SNAPSHOT_FORMAT: u32 = 1;
+/// Bump when the framing changes, or when a component's persisted layout
+/// changes shape without a model-revision bump (the model revision tracks
+/// simulated behaviour, not encoding): components restore sequentially, so
+/// a layout shift would otherwise misalign every downstream section.
+/// Format 2: frequency-tracker images replaced the raw per-page count/mask
+/// maps inside HMA, the footprint predictor and FBR.
+pub const SNAPSHOT_FORMAT: u32 = 2;
 
 /// Everything that can go wrong decoding a snapshot. Mirrors the typed
 /// errors of `trace_file.rs`: every variant is actionable and none panics.
