@@ -12,6 +12,7 @@
 //! The same 64-bit FNV-1a is used by `banshee_exec`'s result store to derive
 //! entry file names from key material ([`fnv1a64`]).
 
+// tidy: allow(std-hash): definition site — these are re-exported below with the deterministic FNV hasher plugged in
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 

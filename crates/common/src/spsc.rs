@@ -38,10 +38,18 @@ struct Inner<T> {
     tail: CachePadded<AtomicUsize>,
 }
 
-// Safety: the protocol guarantees a slot is accessed by exactly one side at
-// a time (producer before the tail release, consumer after acquiring it),
-// and `T: Copy` means slots never need dropping.
+// SAFETY: `Inner` is only not auto-`Send` because of the `UnsafeCell` slots;
+// moving the whole ring to another thread is fine — the Lamport protocol
+// (below) still serialises all slot access, and `T: Copy` means no slot
+// ever needs dropping on a particular thread.
 unsafe impl<T: Copy + Send> Send for Inner<T> {}
+// SAFETY: shared `&Inner` is used by exactly two threads — one producer, one
+// consumer. A slot is touched by at most one side at a time: the producer
+// writes `buf[tail]` only while `tail - head <= mask` and before its
+// `tail.store(Release)`; the consumer reads `buf[head]` only after its
+// `tail.load(Acquire)` observed that store. The Acquire/Release pair on
+// `tail` (and symmetrically on `head` for slot reuse) makes the write
+// happen-before the read, so no slot is ever aliased mutably.
 unsafe impl<T: Copy + Send> Sync for Inner<T> {}
 
 /// Producing endpoint of a [`ring`].
@@ -98,6 +106,11 @@ impl<T: Copy + Send> Producer<T> {
         if tail.wrapping_sub(head) > inner.mask {
             return Err(value);
         }
+        // SAFETY: `tail - head <= mask` (checked above with `head` loaded
+        // Acquire), so this slot is free: the consumer's `head` release for
+        // its previous lap happened-before our load, and the consumer never
+        // touches a slot at or past the published `tail`. We are the only
+        // producer (SPSC, `&mut self`), so nobody else writes it either.
         unsafe {
             (*inner.buf[tail & inner.mask].get()).write(value);
         }
@@ -152,6 +165,11 @@ impl<T: Copy + Send> Consumer<T> {
         if head == tail {
             return None;
         }
+        // SAFETY: `head != tail` with `tail` loaded Acquire, so the
+        // producer's Release store publishing this slot happened-before the
+        // load: the slot is initialised, and the producer will not rewrite
+        // it until we release `head` past it. `assume_init_read` duplicates
+        // the value, which is sound because `T: Copy`.
         let value = unsafe { (*inner.buf[head & inner.mask].get()).assume_init_read() };
         inner.head.0.store(head.wrapping_add(1), Ordering::Release);
         Some(value)

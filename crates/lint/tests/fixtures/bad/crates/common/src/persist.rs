@@ -1,0 +1,15 @@
+//! Known-bad fixture: snapshot-format and section-label violations.
+
+pub const SNAPSHOT_FORMAT: u32 = 9;
+
+pub struct Writer;
+
+impl Writer {
+    pub fn section(&mut self, _label: &str) {}
+
+    pub fn save(&mut self) {
+        self.section("cores");
+        self.section("dram");
+        self.section("cores");
+    }
+}

@@ -1,0 +1,18 @@
+//! Known-bad fixture: std-hash, wall-clock and unsafe violations.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn lookup() -> HashMap<u64, u64> {
+    HashMap::new()
+}
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+// tidy: allow(std-hash)
+pub type Bad = std::collections::HashSet<u64>;
+
+pub unsafe fn grow(p: *mut u64) {
+    unsafe { *p += 1 };
+}

@@ -25,6 +25,17 @@ const L2_HIT_PENALTY: Cycle = 2;
 const LLC_HIT_PENALTY: Cycle = 8;
 const MISS_ISSUE_PENALTY: Cycle = 2;
 
+/// The self-profiling clock: the one place this file reads host time.
+/// Every call site feeds the resulting `Duration` into the telemetry
+/// recorder only — simulated state (core clocks, cache contents, DRAM
+/// timing, the RNG) never observes it, so results stay a pure function of
+/// `SimConfig` + workload + seed.
+#[inline]
+fn profiling_clock() -> Instant {
+    // tidy: allow(wall-clock): self-profiling chokepoint — durations feed the telemetry recorder, never simulated state
+    Instant::now()
+}
+
 /// The simulated machine: cores + SRAM hierarchy + page table + memory
 /// controllers (one [`DramCacheController`]) + the two DRAM devices.
 pub struct System {
@@ -292,7 +303,7 @@ impl System {
     /// push one sample. The read is pure observation: nothing in the
     /// simulation state changes.
     fn take_sample(&mut self, executed: u64, warmup: bool) {
-        let t0 = Instant::now();
+        let t0 = profiling_clock();
         let cycles = self.cores.iter().map(|c| c.clock).max().unwrap_or(0);
         let (accesses, misses) = self.controller.demand_stats();
         // Channel-derived gauges: read locally, or — while sharded — via a
@@ -502,7 +513,7 @@ impl System {
         self.cores[core_id].retire_instructions(retired);
 
         // ---- Address translation ------------------------------------------------
-        let t0 = prof.then(Instant::now);
+        let t0 = prof.then(profiling_clock);
         let translation = self.translate(core_id, access.vaddr);
         let paddr = translation.paddr;
         if let Some(t0) = t0 {
@@ -510,7 +521,7 @@ impl System {
         }
 
         // ---- SRAM hierarchy ------------------------------------------------------
-        let t0 = prof.then(Instant::now);
+        let t0 = prof.then(profiling_clock);
         let outcome = self.hierarchy.access(core_id, paddr.line(), access.write);
         if let Some(t0) = t0 {
             self.profile(ProfileComponent::SramHierarchy, t0.elapsed());
@@ -531,7 +542,7 @@ impl System {
                 req = req.on_large_page();
             }
             self.sink.reset();
-            let t0 = prof.then(Instant::now);
+            let t0 = prof.then(profiling_clock);
             self.controller.access(&req, now, &mut self.sink);
             if let Some(t0) = t0 {
                 self.profile(ProfileComponent::DesignController, t0.elapsed());
@@ -550,7 +561,7 @@ impl System {
             }
             let now = self.cores[core_id].clock;
             self.sink.reset();
-            let t0 = prof.then(Instant::now);
+            let t0 = prof.then(profiling_clock);
             self.controller.access(&req, now, &mut self.sink);
             if let Some(t0) = t0 {
                 self.profile(ProfileComponent::DesignController, t0.elapsed());
@@ -598,7 +609,7 @@ impl System {
     /// re-enter the controller and reuse the sink for nested requests.
     fn execute_plan(&mut self, core_id: usize, now: Cycle) -> Cycle {
         let prof = !self.recorder.is_off();
-        let t0 = prof.then(Instant::now);
+        let t0 = prof.then(profiling_clock);
         let mut t = now + self.sink.extra_latency;
         let System {
             sink,
@@ -659,7 +670,7 @@ impl System {
         }
         if !self.sink.side_effects.is_empty() {
             let effects = std::mem::take(&mut self.sink.side_effects);
-            let t0 = prof.then(Instant::now);
+            let t0 = prof.then(profiling_clock);
             self.apply_side_effects(effects, core_id, t);
             if let Some(t0) = t0 {
                 self.profile(ProfileComponent::SideEffects, t0.elapsed());
@@ -761,7 +772,7 @@ impl System {
     /// count that triggered this epoch (event-trace timestamp only).
     fn run_epoch(&mut self, executed: u64) {
         let prof = !self.recorder.is_off();
-        let t0 = prof.then(Instant::now);
+        let t0 = prof.then(profiling_clock);
         let now = self.cores.iter().map(|c| c.clock).max().unwrap_or(0);
         self.sink.reset();
         if self.controller.epoch(now, &mut self.sink) {

@@ -91,7 +91,7 @@ mod tests {
 
     #[test]
     fn sixteen_cores_run_each_program_twice() {
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = banshee_common::FnvHashMap::default();
         for core in 0..16 {
             *counts
                 .entry(SpecMix::Mix1.program_for_core(core))
